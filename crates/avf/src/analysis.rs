@@ -1,0 +1,229 @@
+//! Hotness-risk analysis: the quadrant categorization of Section 4.2 and
+//! the correlation measurements of Figures 6 and 9.
+
+use ramp_sim::stats::{pearson, rank_descending};
+use ramp_sim::units::PageId;
+
+use crate::tracker::{PageStats, StatsTable};
+
+/// The four hotness-risk quadrants of Figure 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// Above mean hotness, above mean AVF.
+    HotHighRisk,
+    /// Above mean hotness, below mean AVF — the placement opportunity.
+    HotLowRisk,
+    /// Below mean hotness, above mean AVF.
+    ColdHighRisk,
+    /// Below mean hotness, below mean AVF.
+    ColdLowRisk,
+}
+
+impl std::fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Quadrant::HotHighRisk => "hot & high-risk",
+            Quadrant::HotLowRisk => "hot & low-risk",
+            Quadrant::ColdHighRisk => "cold & high-risk",
+            Quadrant::ColdLowRisk => "cold & low-risk",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Quadrant split of a workload's footprint around its mean hotness and
+/// mean AVF (the horizontal/vertical lines of Figure 4).
+#[derive(Clone, Debug)]
+pub struct QuadrantAnalysis {
+    /// Mean hotness threshold used.
+    pub mean_hotness: f64,
+    /// Mean AVF threshold used.
+    pub mean_avf: f64,
+    counts: [u64; 4],
+    total: u64,
+}
+
+impl QuadrantAnalysis {
+    /// Splits `table` around its mean hotness and mean AVF.
+    pub fn new(table: &StatsTable) -> Self {
+        let mean_hotness = table.mean_hotness();
+        let mean_avf = table.mean_avf();
+        let mut counts = [0u64; 4];
+        for s in table.pages() {
+            counts[Self::index(Self::classify_with(s, mean_hotness, mean_avf))] += 1;
+        }
+        QuadrantAnalysis {
+            mean_hotness,
+            mean_avf,
+            counts,
+            total: table.pages().len() as u64,
+        }
+    }
+
+    fn index(q: Quadrant) -> usize {
+        match q {
+            Quadrant::HotHighRisk => 0,
+            Quadrant::HotLowRisk => 1,
+            Quadrant::ColdHighRisk => 2,
+            Quadrant::ColdLowRisk => 3,
+        }
+    }
+
+    fn classify_with(s: &PageStats, mean_hotness: f64, mean_avf: f64) -> Quadrant {
+        let hot = s.hotness() as f64 > mean_hotness;
+        let high_risk = s.avf > mean_avf;
+        match (hot, high_risk) {
+            (true, true) => Quadrant::HotHighRisk,
+            (true, false) => Quadrant::HotLowRisk,
+            (false, true) => Quadrant::ColdHighRisk,
+            (false, false) => Quadrant::ColdLowRisk,
+        }
+    }
+
+    /// Which quadrant a page falls into under this split.
+    pub fn classify(&self, s: &PageStats) -> Quadrant {
+        Self::classify_with(s, self.mean_hotness, self.mean_avf)
+    }
+
+    /// Page count in a quadrant.
+    pub fn count(&self, q: Quadrant) -> u64 {
+        self.counts[Self::index(q)]
+    }
+
+    /// Fraction of the footprint in a quadrant (Figure 4's percentages;
+    /// the paper reports 9 %-39 % for hot & low-risk).
+    pub fn fraction(&self, q: Quadrant) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(q) as f64 / self.total as f64
+        }
+    }
+
+    /// Total pages analyzed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Pages of `table` sorted by descending hotness (ties by page id).
+pub fn hottest_pages(table: &StatsTable) -> Vec<&PageStats> {
+    let hot: Vec<f64> = table.pages().iter().map(|s| s.hotness() as f64).collect();
+    rank_descending(&hot)
+        .into_iter()
+        .map(|i| &table.pages()[i])
+        .collect()
+}
+
+/// Pearson correlation between page hotness and AVF over the whole
+/// footprint (Figure 6 reports ρ ≈ 0.08 for mix1).
+pub fn hotness_avf_correlation(table: &StatsTable) -> Option<f64> {
+    let hot: Vec<f64> = table.pages().iter().map(|s| s.hotness() as f64).collect();
+    let avf: Vec<f64> = table.pages().iter().map(|s| s.avf).collect();
+    pearson(&hot, &avf)
+}
+
+/// Pearson correlation between write ratio and AVF (Figure 9a reports
+/// ρ ≈ -0.32), measured over the `top_n` hottest pages as in the paper.
+pub fn writeratio_avf_correlation(table: &StatsTable, top_n: usize) -> Option<f64> {
+    let pages = hottest_pages(table);
+    let take = pages.len().min(top_n);
+    let wr: Vec<f64> = pages[..take].iter().map(|s| s.wr_ratio()).collect();
+    let avf: Vec<f64> = pages[..take].iter().map(|s| s.avf).collect();
+    pearson(&wr, &avf)
+}
+
+/// The page ids of the `n` hottest pages.
+pub fn top_hot_page_ids(table: &StatsTable, n: usize) -> Vec<PageId> {
+    hottest_pages(table)
+        .into_iter()
+        .take(n)
+        .map(|s| s.page)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::PageStats;
+
+    fn page(id: u64, reads: u64, writes: u64, avf: f64) -> PageStats {
+        PageStats {
+            page: PageId(id),
+            reads,
+            writes,
+            ace_hbm: 0,
+            ace_ddr: 0,
+            avf,
+        }
+    }
+
+    fn table() -> StatsTable {
+        StatsTable::from_stats(
+            vec![
+                page(0, 100, 0, 0.9),  // hot & high
+                page(1, 0, 100, 0.05), // hot & low
+                page(2, 2, 0, 0.8),    // cold & high
+                page(3, 1, 1, 0.01),   // cold & low
+            ],
+            1000,
+        )
+    }
+
+    #[test]
+    fn quadrants_classified_around_means() {
+        let t = table();
+        let q = QuadrantAnalysis::new(&t);
+        assert_eq!(q.total(), 4);
+        for quad in [
+            Quadrant::HotHighRisk,
+            Quadrant::HotLowRisk,
+            Quadrant::ColdHighRisk,
+            Quadrant::ColdLowRisk,
+        ] {
+            assert_eq!(q.count(quad), 1, "{quad}");
+            assert!((q.fraction(quad) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hottest_pages_sorted() {
+        let t = table();
+        let hot = hottest_pages(&t);
+        assert_eq!(hot[0].page, PageId(0));
+        assert_eq!(hot[1].page, PageId(1));
+        assert_eq!(hot[3].page, PageId(3));
+    }
+
+    #[test]
+    fn correlations_have_expected_sign() {
+        // Build a population where write ratio anti-correlates with AVF.
+        let stats: Vec<PageStats> = (0..80)
+            .map(|i| {
+                let writes = i;
+                let reads = 100 - i;
+                let avf = 0.9 * (reads as f64 / 100.0);
+                page(i, reads, writes, avf)
+            })
+            .collect();
+        let t = StatsTable::from_stats(stats, 1000);
+        let rho = writeratio_avf_correlation(&t, 100).unwrap();
+        assert!(rho < -0.3, "expected negative correlation, got {rho}");
+    }
+
+    #[test]
+    fn top_hot_ids() {
+        let t = table();
+        assert_eq!(top_hot_page_ids(&t, 2), vec![PageId(0), PageId(1)]);
+        assert_eq!(top_hot_page_ids(&t, 99).len(), 4);
+    }
+
+    #[test]
+    fn empty_table_is_safe() {
+        let t = StatsTable::from_stats(vec![], 100);
+        let q = QuadrantAnalysis::new(&t);
+        assert_eq!(q.total(), 0);
+        assert_eq!(q.fraction(Quadrant::HotLowRisk), 0.0);
+        assert!(hotness_avf_correlation(&t).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! Architectural Vulnerability Factor (AVF) analysis for memory pages.
+//!
+//! Implements the paper's Section 4 machinery: cache-line-granularity ACE
+//! interval tracking ([`tracker::AvfTracker`]), page-level aggregation into
+//! hotness/write-ratio/AVF statistics, the hotness-risk quadrant analysis
+//! of Figure 4 ([`analysis::QuadrantAnalysis`]), and the `SER = FIT x AVF`
+//! model of Equation 2 ([`ser::SerModel`]) fed by the FaultSim Monte-Carlo
+//! results.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod ser;
+pub mod tracker;
+
+pub use analysis::{
+    hotness_avf_correlation, hottest_pages, top_hot_page_ids, writeratio_avf_correlation,
+    Quadrant, QuadrantAnalysis,
+};
+pub use ser::SerModel;
+pub use tracker::{AvfTracker, PageStats, StatsTable};

@@ -1,0 +1,411 @@
+//! ACE-interval tracking at cache-line granularity (Section 4.1).
+//!
+//! The AVF of a bit in memory is the fraction of execution time during
+//! which flipping it would change program output. At memory-request
+//! granularity (Figure 3 of the paper):
+//!
+//! * a **read** of a line at cycle *t* makes the interval since the line's
+//!   previous memory access ACE (the value was live: the fill consumed it);
+//! * a **write** at cycle *t* makes the preceding interval un-ACE (dead:
+//!   the value was overwritten before being read).
+//!
+//! The tracker attributes each ACE interval to the memory (HBM or DDR) the
+//! page resides in at the time of the read; migration intervals are much
+//! longer than typical ACE intervals, so the attribution error is
+//! second-order (DESIGN.md).
+
+use std::collections::HashMap;
+
+use ramp_dram::MemoryKind;
+use ramp_sim::units::{AccessKind, Cycle, PageId, LINES_PER_PAGE};
+
+/// Per-page tracking state.
+#[derive(Debug)]
+struct PageTrack {
+    /// Last memory access per line (fill or writeback).
+    last_access: Box<[u64; LINES_PER_PAGE]>,
+    /// ACE cycles accumulated while resident in [HBM, DDR].
+    ace: [u64; 2],
+    reads: u64,
+    writes: u64,
+}
+
+#[inline]
+fn mem_index(kind: MemoryKind) -> usize {
+    match kind {
+        MemoryKind::Hbm => 0,
+        MemoryKind::Ddr => 1,
+    }
+}
+
+/// Final per-page statistics: the raw material of every placement policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageStats {
+    /// The page.
+    pub page: PageId,
+    /// Memory-level reads (fills).
+    pub reads: u64,
+    /// Memory-level writes (writebacks).
+    pub writes: u64,
+    /// ACE cycles accumulated while in HBM.
+    pub ace_hbm: u64,
+    /// ACE cycles accumulated while in DDR.
+    pub ace_ddr: u64,
+    /// Page AVF over the whole run, in `[0, 1]`.
+    pub avf: f64,
+}
+
+impl PageStats {
+    /// Raw access count ("hotness"): reads + writes.
+    pub fn hotness(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// The paper's Wr ratio heuristic: writes / reads (Section 5.4.1).
+    /// Pages with zero reads use 1 as the denominator (maximally
+    /// write-dominated).
+    pub fn wr_ratio(&self) -> f64 {
+        self.writes as f64 / self.reads.max(1) as f64
+    }
+
+    /// The paper's Wr² ratio: writes² / reads (Section 5.4.2) — the same
+    /// AVF proxy with extra weight on absolute write traffic.
+    pub fn wr2_ratio(&self) -> f64 {
+        (self.writes as f64) * (self.writes as f64) / self.reads.max(1) as f64
+    }
+
+    /// AVF component accumulated in the given memory.
+    pub fn avf_in(&self, kind: MemoryKind, total_cycles: u64) -> f64 {
+        let ace = match kind {
+            MemoryKind::Hbm => self.ace_hbm,
+            MemoryKind::Ddr => self.ace_ddr,
+        };
+        if total_cycles == 0 {
+            0.0
+        } else {
+            ace as f64 / (LINES_PER_PAGE as f64 * total_cycles as f64)
+        }
+    }
+}
+
+/// Tracks ACE intervals for every page touched during a run.
+///
+/// ```
+/// use ramp_avf::AvfTracker;
+/// use ramp_dram::MemoryKind;
+/// use ramp_sim::units::{AccessKind, Cycle, PageId};
+///
+/// let mut t = AvfTracker::new(Cycle(0));
+/// let p = PageId(7);
+/// // Write at cycle 100 (interval 0..100 dead), read at 300 (100..300 ACE).
+/// t.on_access(p, 0, AccessKind::Write, Cycle(100), MemoryKind::Ddr);
+/// t.on_access(p, 0, AccessKind::Read, Cycle(300), MemoryKind::Ddr);
+/// let stats = t.finish(Cycle(1000));
+/// let s = stats.get(p).unwrap();
+/// // 200 ACE cycles over 64 lines x 1000 cycles.
+/// assert!((s.avf - 200.0 / 64_000.0).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct AvfTracker {
+    pages: HashMap<PageId, PageTrack>,
+    start: Cycle,
+}
+
+impl AvfTracker {
+    /// Creates a tracker; `start` is the cycle memory contents become live
+    /// (data loaded before the simulated window counts as written then).
+    pub fn new(start: Cycle) -> Self {
+        AvfTracker {
+            pages: HashMap::new(),
+            start,
+        }
+    }
+
+    /// Records one memory-level access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_in_page >= 64` or `now` precedes the start cycle.
+    pub fn on_access(
+        &mut self,
+        page: PageId,
+        line_in_page: usize,
+        kind: AccessKind,
+        now: Cycle,
+        resident_in: MemoryKind,
+    ) {
+        assert!(line_in_page < LINES_PER_PAGE, "line index out of page");
+        assert!(now >= self.start, "access before tracker start");
+        let start = self.start.0;
+        let track = self.pages.entry(page).or_insert_with(|| PageTrack {
+            last_access: Box::new([start; LINES_PER_PAGE]),
+            ace: [0, 0],
+            reads: 0,
+            writes: 0,
+        });
+        let last = &mut track.last_access[line_in_page];
+        match kind {
+            AccessKind::Read => {
+                let interval = now.0.saturating_sub(*last);
+                track.ace[mem_index(resident_in)] += interval;
+                track.reads += 1;
+            }
+            AccessKind::Write => {
+                track.writes += 1;
+            }
+        }
+        *last = now.0;
+    }
+
+    /// Number of pages touched so far.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Finalizes tracking at `end` and produces the per-page statistics.
+    ///
+    /// The interval from each line's last access to `end` is un-ACE (the
+    /// standard cooldown assumption: data not read again before the window
+    /// closes does not count as vulnerable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the start cycle.
+    pub fn finish(self, end: Cycle) -> StatsTable {
+        assert!(end >= self.start, "end before start");
+        let total = (end - self.start).0;
+        let mut stats: Vec<PageStats> = self
+            .pages
+            .into_iter()
+            .map(|(page, t)| {
+                let ace_total = t.ace[0] + t.ace[1];
+                PageStats {
+                    page,
+                    reads: t.reads,
+                    writes: t.writes,
+                    ace_hbm: t.ace[0],
+                    ace_ddr: t.ace[1],
+                    avf: if total == 0 {
+                        0.0
+                    } else {
+                        ace_total as f64 / (LINES_PER_PAGE as f64 * total as f64)
+                    },
+                }
+            })
+            .collect();
+        stats.sort_by_key(|s| s.page);
+        StatsTable {
+            stats,
+            total_cycles: total,
+        }
+    }
+}
+
+/// The finished per-page statistics of one run.
+#[derive(Clone, Debug)]
+pub struct StatsTable {
+    stats: Vec<PageStats>,
+    total_cycles: u64,
+}
+
+impl StatsTable {
+    /// Builds a table directly (used by tests and synthetic analyses).
+    pub fn from_stats(stats: Vec<PageStats>, total_cycles: u64) -> Self {
+        let mut stats = stats;
+        stats.sort_by_key(|s| s.page);
+        StatsTable {
+            stats,
+            total_cycles,
+        }
+    }
+
+    /// All pages, sorted by page id.
+    pub fn pages(&self) -> &[PageStats] {
+        &self.stats
+    }
+
+    /// Run length in cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Stats for one page, if it was touched.
+    pub fn get(&self, page: PageId) -> Option<&PageStats> {
+        self.stats
+            .binary_search_by_key(&page, |s| s.page)
+            .ok()
+            .map(|i| &self.stats[i])
+    }
+
+    /// Extends the table with zero-stat entries for every footprint page
+    /// that was never touched during the window (the paper's Figure 2/4
+    /// statistics are over the *entire* memory footprint, where pages not
+    /// accessed in the simulated window have zero hotness and zero AVF).
+    pub fn include_untouched(mut self, footprint: impl IntoIterator<Item = PageId>) -> Self {
+        use std::collections::HashSet;
+        let have: HashSet<PageId> = self.stats.iter().map(|s| s.page).collect();
+        for page in footprint {
+            if !have.contains(&page) {
+                self.stats.push(PageStats {
+                    page,
+                    reads: 0,
+                    writes: 0,
+                    ace_hbm: 0,
+                    ace_ddr: 0,
+                    avf: 0.0,
+                });
+            }
+        }
+        self.stats.sort_by_key(|s| s.page);
+        self
+    }
+
+    /// Mean AVF over all pages in the table (Figure 2's per-workload
+    /// metric; include the footprint via [`StatsTable::include_untouched`]
+    /// first to match the paper's whole-footprint denominator).
+    pub fn mean_avf(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats.iter().map(|s| s.avf).sum::<f64>() / self.stats.len() as f64
+    }
+
+    /// Mean hotness over all touched pages.
+    pub fn mean_hotness(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats.iter().map(|s| s.hotness() as f64).sum::<f64>() / self.stats.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: MemoryKind = MemoryKind::Ddr;
+    const H: MemoryKind = MemoryKind::Hbm;
+
+    fn tracker() -> AvfTracker {
+        AvfTracker::new(Cycle(0))
+    }
+
+    #[test]
+    fn read_after_write_is_ace() {
+        let mut t = tracker();
+        let p = PageId(1);
+        t.on_access(p, 3, AccessKind::Write, Cycle(100), D);
+        t.on_access(p, 3, AccessKind::Read, Cycle(250), D);
+        let s = t.finish(Cycle(1000));
+        let ps = s.get(p).unwrap();
+        assert_eq!(ps.ace_ddr, 150);
+        assert_eq!(ps.ace_hbm, 0);
+        assert_eq!(ps.reads, 1);
+        assert_eq!(ps.writes, 1);
+    }
+
+    #[test]
+    fn write_after_write_is_dead_interval() {
+        // Figure 3(b): particle strike between two writes is masked.
+        let mut t = tracker();
+        let p = PageId(2);
+        t.on_access(p, 0, AccessKind::Write, Cycle(10), D);
+        t.on_access(p, 0, AccessKind::Write, Cycle(500), D);
+        let s = t.finish(Cycle(1000));
+        assert_eq!(s.get(p).unwrap().avf, 0.0);
+    }
+
+    #[test]
+    fn same_hotness_different_avf() {
+        // Figure 3(c)/(d): equal access counts, divergent AVF.
+        let mut t = tracker();
+        let (pa, pb) = (PageId(3), PageId(4));
+        // Page A: W at 0, R at 900 -> 900 ACE cycles on one line.
+        t.on_access(pa, 0, AccessKind::Write, Cycle(0), D);
+        t.on_access(pa, 0, AccessKind::Read, Cycle(900), D);
+        // Page B: R at 100 (100 ACE), W at 900 -> 100 ACE cycles.
+        t.on_access(pb, 0, AccessKind::Read, Cycle(100), D);
+        t.on_access(pb, 0, AccessKind::Write, Cycle(900), D);
+        let s = t.finish(Cycle(1000));
+        let (a, b) = (s.get(pa).unwrap(), s.get(pb).unwrap());
+        assert_eq!(a.hotness(), b.hotness());
+        assert!(a.avf > b.avf * 5.0);
+    }
+
+    #[test]
+    fn first_read_counts_from_start() {
+        // Data loaded before the window is live from the start cycle.
+        let mut t = AvfTracker::new(Cycle(1000));
+        let p = PageId(5);
+        t.on_access(p, 0, AccessKind::Read, Cycle(1600), D);
+        let s = t.finish(Cycle(2000));
+        assert_eq!(s.get(p).unwrap().ace_ddr, 600);
+    }
+
+    #[test]
+    fn residency_attribution_splits_ace() {
+        let mut t = tracker();
+        let p = PageId(6);
+        t.on_access(p, 0, AccessKind::Write, Cycle(0), D);
+        t.on_access(p, 0, AccessKind::Read, Cycle(100), D); // 100 in DDR
+        t.on_access(p, 0, AccessKind::Read, Cycle(300), H); // 200 in HBM
+        let s = t.finish(Cycle(400));
+        let ps = s.get(p).unwrap();
+        assert_eq!(ps.ace_ddr, 100);
+        assert_eq!(ps.ace_hbm, 200);
+        let tot = s.total_cycles();
+        assert!((ps.avf_in(H, tot) - 200.0 / (64.0 * 400.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avf_bounded_by_one() {
+        let mut t = tracker();
+        let p = PageId(7);
+        // Read every line at the last cycle: maximal ACE.
+        for l in 0..LINES_PER_PAGE {
+            t.on_access(p, l, AccessKind::Read, Cycle(1000), D);
+        }
+        let s = t.finish(Cycle(1000));
+        let a = s.get(p).unwrap().avf;
+        assert!(a <= 1.0 + 1e-12, "avf {a} exceeds 1");
+        assert!(a > 0.99);
+    }
+
+    #[test]
+    fn wr_ratio_heuristics() {
+        let s = PageStats {
+            page: PageId(0),
+            reads: 4,
+            writes: 8,
+            ace_hbm: 0,
+            ace_ddr: 0,
+            avf: 0.0,
+        };
+        assert_eq!(s.wr_ratio(), 2.0);
+        assert_eq!(s.wr2_ratio(), 16.0);
+        let w_only = PageStats {
+            reads: 0,
+            writes: 5,
+            ..s
+        };
+        assert_eq!(w_only.wr_ratio(), 5.0);
+    }
+
+    #[test]
+    fn table_means() {
+        let mut t = tracker();
+        t.on_access(PageId(0), 0, AccessKind::Read, Cycle(500), D);
+        t.on_access(PageId(1), 0, AccessKind::Write, Cycle(500), D);
+        let s = t.finish(Cycle(1000));
+        assert_eq!(s.pages().len(), 2);
+        assert!(s.mean_avf() > 0.0);
+        assert_eq!(s.mean_hotness(), 1.0);
+        assert!(s.get(PageId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn line_out_of_range_panics() {
+        tracker().on_access(PageId(0), 64, AccessKind::Read, Cycle(0), D);
+    }
+}

@@ -1,0 +1,51 @@
+//! End-to-end experiment benchmarks: one tiny representative of each
+//! experiment class (profiling, static placement, dynamic migration), so
+//! `cargo bench` exercises the whole pipeline. The full per-figure
+//! harnesses are the `ramp-bench` binaries (see DESIGN.md's index).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ramp_core::config::SystemConfig;
+use ramp_core::migration::MigrationScheme;
+use ramp_core::placement::PlacementPolicy;
+use ramp_core::runner::{profile_workload, run_migration, run_static};
+use ramp_trace::{Benchmark, Workload};
+
+fn tiny_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::table1_scaled();
+    cfg.cores = 4;
+    cfg.insts_per_core = 60_000;
+    cfg.hbm_capacity_pages = 512;
+    cfg.fc_interval_cycles = 60_000;
+    cfg.mea_interval_cycles = 6_000;
+    cfg
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = tiny_cfg();
+    let wl = Workload::Homogeneous(Benchmark::Soplex);
+    let profile = profile_workload(&cfg, &wl);
+
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("profile_ddr_only", |b| {
+        b.iter(|| black_box(profile_workload(&cfg, &wl)))
+    });
+    g.bench_function("static_wr2", |b| {
+        b.iter(|| black_box(run_static(&cfg, &wl, PlacementPolicy::Wr2Ratio, &profile.table)))
+    });
+    g.bench_function("migration_cross_counter", |b| {
+        b.iter(|| {
+            black_box(run_migration(
+                &cfg,
+                &wl,
+                MigrationScheme::CrossCounter,
+                &profile.table,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

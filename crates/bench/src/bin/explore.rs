@@ -1,0 +1,84 @@
+//! Interactive exploration CLI: run any workload under any policy or
+//! migration scheme and print the full result.
+//!
+//! ```text
+//! cargo run --release -p ramp-bench --bin explore -- mix1 wr2
+//! cargo run --release -p ramp-bench --bin explore -- lbm cross-counter
+//! cargo run --release -p ramp-bench --bin explore -- astar annotations
+//! ```
+
+use ramp_bench::experiment_config;
+use ramp_core::migration::MigrationScheme;
+use ramp_core::placement::PlacementPolicy;
+use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_static};
+use ramp_core::system::RunResult;
+use ramp_trace::Workload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore <workload> <policy>\n\
+         workloads: astar cactusADM lbm mcf milc soplex libquantum xsbench lulesh mix1..mix5\n\
+         policies : ddr-only perf rel balanced wr wr2 annotations perf-fc rel-fc cross-counter"
+    );
+    std::process::exit(2);
+}
+
+fn print_result(label: &str, r: &RunResult, baseline: Option<&RunResult>) {
+    println!("\n== {label} ==");
+    println!("  IPC           : {:.3}", r.ipc);
+    if let Some(b) = baseline {
+        println!("  vs DDR-only   : {:.2}x IPC, {:.1}x SER", r.ipc / b.ipc, r.ser_vs_ddr_only());
+    }
+    println!("  SER           : {:.3e} FIT", r.ser_fit);
+    println!("  MPKI          : {:.1}", r.mpki);
+    println!("  HBM accesses  : {}", r.hbm_accesses);
+    println!("  DDR accesses  : {}", r.ddr_accesses);
+    println!("  migrations    : {}", r.migrations);
+    println!(
+        "  read latency  : HBM {:.0} cy, DDR {:.0} cy",
+        r.mean_read_latency.0, r.mean_read_latency.1
+    );
+    println!("  cycles        : {}", r.cycles);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 2 {
+        usage();
+    }
+    let Some(workload) = Workload::from_name(&args[0]) else {
+        eprintln!("unknown workload {}", args[0]);
+        usage();
+    };
+    let cfg = experiment_config();
+    eprintln!("profiling {workload} (DDR-only)...");
+    let profile = profile_workload(&cfg, &workload);
+    print_result("ddr-only (profiling pass)", &profile, None);
+
+    let result = match args[1].as_str() {
+        "ddr-only" => return,
+        "perf" => run_static(&cfg, &workload, PlacementPolicy::PerfFocused, &profile.table),
+        "rel" => run_static(&cfg, &workload, PlacementPolicy::RelFocused, &profile.table),
+        "balanced" => run_static(&cfg, &workload, PlacementPolicy::Balanced, &profile.table),
+        "wr" => run_static(&cfg, &workload, PlacementPolicy::WrRatio, &profile.table),
+        "wr2" => run_static(&cfg, &workload, PlacementPolicy::Wr2Ratio, &profile.table),
+        "perf-fc" => run_migration(&cfg, &workload, MigrationScheme::PerfFc, &profile.table),
+        "rel-fc" => run_migration(&cfg, &workload, MigrationScheme::RelFc, &profile.table),
+        "cross-counter" => {
+            run_migration(&cfg, &workload, MigrationScheme::CrossCounter, &profile.table)
+        }
+        "annotations" => {
+            let (r, set) = run_annotated(&cfg, &workload, &profile.table);
+            println!("\nannotated structures ({}):", set.count());
+            for (b, n) in &set.structures {
+                println!("  {b}::{n}");
+            }
+            r
+        }
+        other => {
+            eprintln!("unknown policy {other}");
+            usage();
+        }
+    };
+    print_result(&args[1], &result, Some(&profile));
+}

@@ -1,0 +1,14 @@
+//! Figure 11: top-Wr²-ratio heuristic placement.
+//!
+//! Paper: SER reduced 1.6x at only 1 % performance loss vs perf-focused —
+//! the headline static result.
+
+use ramp_bench::{print_relative, static_vs_perf, workloads, Harness};
+use ramp_core::placement::PlacementPolicy;
+
+fn main() {
+    let mut h = Harness::new();
+    let wls = h.workloads_by_mpki(&workloads());
+    let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::Wr2Ratio);
+    print_relative("Figure 11: Wr2-ratio placement", &rows, "1%", "1.6x");
+}

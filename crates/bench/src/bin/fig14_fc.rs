@@ -1,0 +1,19 @@
+//! Figure 14: reliability-aware Full-Counter migration.
+//!
+//! Paper: SER reduced 1.8x at 6 % performance loss vs performance-focused
+//! migration; milc even speeds up slightly (fewer migrations).
+
+use ramp_bench::{migration_vs_perf, print_relative, workloads, Harness};
+use ramp_core::migration::MigrationScheme;
+
+fn main() {
+    let mut h = Harness::new();
+    let wls = h.workloads_by_mpki(&workloads());
+    let rows = migration_vs_perf(&mut h, &wls, MigrationScheme::RelFc);
+    print_relative(
+        "Figure 14: reliability-aware migration (Full Counters)",
+        &rows,
+        "6%",
+        "1.8x",
+    );
+}

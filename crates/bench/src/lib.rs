@@ -1,0 +1,234 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for paper-vs-measured numbers).
+//!
+//! Each figure has its own binary (`cargo run --release -p ramp-bench
+//! --bin fig05_perf_static`); `all_experiments` runs the whole suite,
+//! sharing profiling passes and baseline runs through [`Harness`].
+
+use std::collections::HashMap;
+
+use ramp_core::config::SystemConfig;
+use ramp_core::migration::MigrationScheme;
+use ramp_core::placement::PlacementPolicy;
+use ramp_core::runner::{profile_workload, run_migration, run_static};
+use ramp_core::system::RunResult;
+use ramp_trace::Workload;
+
+/// Environment variable overriding the per-core instruction budget.
+pub const ENV_INSTS: &str = "RAMP_INSTS";
+/// Environment variable overriding the workload list (comma-separated).
+pub const ENV_WORKLOADS: &str = "RAMP_WORKLOADS";
+
+/// The experiment configuration: Table 1 scaled, with env overrides.
+pub fn experiment_config() -> SystemConfig {
+    let mut cfg = SystemConfig::table1_scaled();
+    if let Ok(v) = std::env::var(ENV_INSTS) {
+        if let Ok(n) = v.parse::<u64>() {
+            cfg.insts_per_core = n.max(10_000);
+        }
+    }
+    cfg
+}
+
+/// The evaluated workloads (14 by default; `RAMP_WORKLOADS=mix1,lbm` to
+/// restrict).
+pub fn workloads() -> Vec<Workload> {
+    if let Ok(list) = std::env::var(ENV_WORKLOADS) {
+        let picked: Vec<Workload> = list
+            .split(',')
+            .filter_map(|n| Workload::from_name(n.trim()))
+            .collect();
+        if !picked.is_empty() {
+            return picked;
+        }
+    }
+    Workload::all()
+}
+
+/// Caches profiling passes, static runs and migration runs so that
+/// multi-figure drivers execute each simulation exactly once.
+#[derive(Debug)]
+pub struct Harness {
+    /// The system configuration used by every run.
+    pub cfg: SystemConfig,
+    profiles: HashMap<&'static str, RunResult>,
+    statics: HashMap<(&'static str, String), RunResult>,
+    migrations: HashMap<(&'static str, &'static str), RunResult>,
+}
+
+impl Harness {
+    /// Creates a harness around the (env-adjusted) experiment config.
+    pub fn new() -> Self {
+        Harness {
+            cfg: experiment_config(),
+            profiles: HashMap::new(),
+            statics: HashMap::new(),
+            migrations: HashMap::new(),
+        }
+    }
+
+    /// The DDR-only profiling run for `workload`.
+    pub fn profile(&mut self, wl: &Workload) -> RunResult {
+        if !self.profiles.contains_key(wl.name()) {
+            eprintln!("  [profile] {}", wl.name());
+            let r = profile_workload(&self.cfg, wl);
+            self.profiles.insert(wl.name(), r);
+        }
+        self.profiles[wl.name()].clone()
+    }
+
+    /// A static-placement run under `policy`.
+    pub fn static_run(&mut self, wl: &Workload, policy: PlacementPolicy) -> RunResult {
+        let key = (wl.name(), policy.name());
+        if !self.statics.contains_key(&key) {
+            let profile = self.profile(wl);
+            eprintln!("  [static {}] {}", policy.name(), wl.name());
+            let r = run_static(&self.cfg, wl, policy, &profile.table);
+            self.statics.insert(key.clone(), r);
+        }
+        self.statics[&key].clone()
+    }
+
+    /// A dynamic-migration run under `scheme`.
+    pub fn migration_run(&mut self, wl: &Workload, scheme: MigrationScheme) -> RunResult {
+        let key = (wl.name(), scheme.name());
+        if !self.migrations.contains_key(&key) {
+            let profile = self.profile(wl);
+            eprintln!("  [migration {}] {}", scheme.name(), wl.name());
+            let r = run_migration(&self.cfg, wl, scheme, &profile.table);
+            self.migrations.insert(key, r);
+        }
+        self.migrations[&key].clone()
+    }
+
+    /// Workloads ordered by decreasing MPKI (how Figures 7/8 order their
+    /// x-axes: bandwidth-intensive on the left).
+    pub fn workloads_by_mpki(&mut self, wls: &[Workload]) -> Vec<Workload> {
+        let mut v: Vec<(f64, Workload)> = wls
+            .iter()
+            .map(|wl| (self.profile(wl).mpki, *wl))
+            .collect();
+        v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        v.into_iter().map(|(_, w)| w).collect()
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A static-policy comparison row: IPC and SER relative to the
+/// performance-focused placement (how Figures 7-11 are normalized).
+#[derive(Clone, Debug)]
+pub struct RelativeRow {
+    /// Workload name.
+    pub workload: String,
+    /// IPC of the policy divided by perf-focused IPC.
+    pub ipc_rel: f64,
+    /// SER reduction factor: perf-focused SER divided by policy SER.
+    pub ser_reduction: f64,
+}
+
+/// Runs `policy` against the performance-focused baseline over `wls`.
+pub fn static_vs_perf(h: &mut Harness, wls: &[Workload], policy: PlacementPolicy) -> Vec<RelativeRow> {
+    wls.iter()
+        .map(|wl| {
+            let base = h.static_run(wl, PlacementPolicy::PerfFocused);
+            let run = h.static_run(wl, policy);
+            RelativeRow {
+                workload: wl.name().to_string(),
+                ipc_rel: run.ipc / base.ipc,
+                ser_reduction: base.ser_fit / run.ser_fit.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Runs migration `scheme` against the performance-focused migration
+/// baseline over `wls` (how Figures 14/15 are normalized).
+pub fn migration_vs_perf(
+    h: &mut Harness,
+    wls: &[Workload],
+    scheme: MigrationScheme,
+) -> Vec<RelativeRow> {
+    wls.iter()
+        .map(|wl| {
+            let base = h.migration_run(wl, MigrationScheme::PerfFc);
+            let run = h.migration_run(wl, scheme);
+            RelativeRow {
+                workload: wl.name().to_string(),
+                ipc_rel: run.ipc / base.ipc,
+                ser_reduction: base.ser_fit / run.ser_fit.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Prints relative rows plus their means, paper-style.
+pub fn print_relative(title: &str, rows: &[RelativeRow], paper_ipc_loss: &str, paper_ser: &str) {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.3}", r.ipc_rel),
+                fmt_x(r.ser_reduction),
+            ]
+        })
+        .collect();
+    print_table(title, &["workload", "IPC vs perf-focused", "SER reduction"], &data);
+    let ipc_mean = geomean_or_one(&rows.iter().map(|r| r.ipc_rel).collect::<Vec<_>>());
+    let ser_mean = geomean_or_one(&rows.iter().map(|r| r.ser_reduction).collect::<Vec<_>>());
+    println!(
+        "\nmean: IPC loss {:.1}% (paper: {paper_ipc_loss}), SER reduction {} (paper: {paper_ser})",
+        (1.0 - ipc_mean) * 100.0,
+        fmt_x(ser_mean),
+    );
+}
+
+/// Prints a markdown table: header row plus aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a ratio the way the paper quotes it ("1.60x").
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Geometric mean helper that tolerates empty input.
+pub fn geomean_or_one(xs: &[f64]) -> f64 {
+    ramp_sim::stats::geomean(xs).unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workload_list_is_fourteen() {
+        if std::env::var(ENV_WORKLOADS).is_err() {
+            assert_eq!(workloads().len(), 14);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(1.6), "1.60x");
+        assert_eq!(fmt_pct(0.049), "4.9%");
+        assert_eq!(geomean_or_one(&[]), 1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The multicore cache hierarchy: private L1 data caches in front of a
+//! shared L2, producing the filtered main-memory access stream.
+//!
+//! The paper filters its PinPlay traces through Moola so only main-memory
+//! activity reaches Ramulator; this module plays the same role. The
+//! hierarchy is non-inclusive, write-back and write-allocate with
+//! write-validate (a store miss does not fetch the line from memory), so:
+//!
+//! * an L2 *read* miss emits one memory **fill read**;
+//! * an L2 *dirty eviction* emits one memory **writeback write**;
+//! * everything else stays on chip.
+
+use ramp_sim::units::{AccessKind, LineAddr};
+
+use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use ramp_trace::MemEvent;
+
+/// Configuration of the whole hierarchy (Table 1, scaled — see DESIGN.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of cores (private L1 slices).
+    pub cores: usize,
+    /// Per-core L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 hierarchy at 1/16 L2 scale: 16 cores, 16 KB
+    /// 4-way private L1 D-caches, 1 MB 16-way shared L2.
+    ///
+    /// The L2 is scaled with the memory capacities so the cache:memory size
+    /// ratio of the paper is preserved (DESIGN.md §2).
+    pub fn table1_scaled() -> Self {
+        HierarchyConfig {
+            cores: 16,
+            l1: CacheConfig::new(16 * 1024, 4, 64),
+            l2: CacheConfig::new(1024 * 1024, 16, 64),
+        }
+    }
+}
+
+/// The multicore hierarchy.
+///
+/// ```
+/// use ramp_cache::{Hierarchy, HierarchyConfig};
+/// use ramp_sim::units::{AccessKind, LineAddr};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::table1_scaled());
+/// let mut mem = Vec::new();
+/// h.access(0, LineAddr(1234), AccessKind::Read, &mut mem);
+/// assert_eq!(mem.len(), 1); // cold read miss -> one fill
+/// mem.clear();
+/// h.access(0, LineAddr(1234), AccessKind::Read, &mut mem);
+/// assert!(mem.is_empty()); // now cached
+/// ```
+#[derive(Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores == 0`.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.cores > 0, "need at least one core");
+        Hierarchy {
+            config,
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
+            l2: SetAssocCache::new(config.l2),
+        }
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs one CPU access for `core`, appending any main-memory
+    /// events (fills and writebacks) to `mem_out`.
+    ///
+    /// Returns `true` if the access hit in L1 (used by the core model for
+    /// zero-latency hits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        mem_out: &mut Vec<MemEvent>,
+    ) -> bool {
+        let write = kind.is_write();
+        let l1 = &mut self.l1[core];
+        let r1 = l1.access(line, write);
+        if r1.hit {
+            return true;
+        }
+        // L1 victim writeback into L2 (write-validate: no fill on miss).
+        if let Some((vline, true)) = r1.victim {
+            let r2 = self.l2.access(vline, true);
+            if let Some((l2v, true)) = r2.victim {
+                mem_out.push(MemEvent::write(l2v, core));
+            }
+        }
+        // Satisfy the L1 miss.
+        if write {
+            // Write-validate: L1 already allocated the line dirty; no fill.
+            false
+        } else {
+            let r2 = self.l2.access(line, false);
+            if !r2.hit {
+                mem_out.push(MemEvent::read(line, core));
+                if let Some((l2v, true)) = r2.victim {
+                    mem_out.push(MemEvent::write(l2v, core));
+                }
+            }
+            false
+        }
+    }
+
+    /// Statistics for `core`'s L1.
+    pub fn l1_stats(&self, core: usize) -> &CacheStats {
+        self.l1[core].stats()
+    }
+
+    /// Statistics for the shared L2.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Flushes every dirty line in the hierarchy, emitting writebacks.
+    ///
+    /// Called at end of simulation so writeback-only data is fully
+    /// accounted; the paper's trace windows end the same way.
+    pub fn flush(&mut self, mem_out: &mut Vec<MemEvent>) {
+        // Drain L1s into L2, then L2 to memory. Walk by probing all valid
+        // lines via occupancy-preserving invalidation.
+        for core in 0..self.config.cores {
+            let lines = self.l1[core].valid_lines();
+            for (line, dirty) in lines {
+                self.l1[core].invalidate(line);
+                if dirty {
+                    let r2 = self.l2.access(line, true);
+                    if let Some((l2v, true)) = r2.victim {
+                        mem_out.push(MemEvent::write(l2v, core));
+                    }
+                }
+            }
+        }
+        for (line, dirty) in self.l2.valid_lines() {
+            self.l2.invalidate(line);
+            if dirty {
+                mem_out.push(MemEvent::write(line, 0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1: CacheConfig::new(256, 2, 64),  // 4 lines
+            l2: CacheConfig::new(1024, 2, 64), // 16 lines
+        })
+    }
+
+    #[test]
+    fn read_miss_produces_single_fill() {
+        let mut h = small();
+        let mut out = Vec::new();
+        assert!(!h.access(0, LineAddr(100), AccessKind::Read, &mut out));
+        assert_eq!(out, vec![MemEvent::read(LineAddr(100), 0)]);
+    }
+
+    #[test]
+    fn write_miss_produces_no_memory_traffic() {
+        let mut h = small();
+        let mut out = Vec::new();
+        h.access(0, LineAddr(100), AccessKind::Write, &mut out);
+        assert!(out.is_empty(), "write-validate must not fill");
+    }
+
+    #[test]
+    fn l1_hit_is_silent() {
+        let mut h = small();
+        let mut out = Vec::new();
+        h.access(0, LineAddr(7), AccessKind::Read, &mut out);
+        out.clear();
+        assert!(h.access(0, LineAddr(7), AccessKind::Read, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dirty_data_eventually_written_back() {
+        let mut h = small();
+        let mut out = Vec::new();
+        // Write a long stream: must overflow both L1 (4 lines) and L2
+        // (16 lines) and produce writebacks.
+        for i in 0..200 {
+            h.access(0, LineAddr(i * 2), AccessKind::Write, &mut out);
+        }
+        let wbs = out
+            .iter()
+            .filter(|e| e.kind == AccessKind::Write)
+            .count();
+        assert!(wbs > 150, "expected many writebacks, got {wbs}");
+        let fills = out.iter().filter(|e| e.kind == AccessKind::Read).count();
+        assert_eq!(fills, 0, "write stream must not fill");
+    }
+
+    #[test]
+    fn l2_shared_between_cores() {
+        let mut h = small();
+        let mut out = Vec::new();
+        h.access(0, LineAddr(42), AccessKind::Read, &mut out);
+        out.clear();
+        // Core 1 misses its own L1 but should hit shared L2: no memory event.
+        h.access(1, LineAddr(42), AccessKind::Read, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flush_writes_back_all_dirty_lines() {
+        let mut h = small();
+        let mut out = Vec::new();
+        h.access(0, LineAddr(1), AccessKind::Write, &mut out);
+        h.access(0, LineAddr(2), AccessKind::Write, &mut out);
+        assert!(out.is_empty());
+        h.flush(&mut out);
+        let wbs: Vec<_> = out
+            .iter()
+            .filter(|e| e.kind == AccessKind::Write)
+            .map(|e| e.line)
+            .collect();
+        assert!(wbs.contains(&LineAddr(1)));
+        assert!(wbs.contains(&LineAddr(2)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = small();
+        let mut out = Vec::new();
+        h.access(0, LineAddr(5), AccessKind::Read, &mut out);
+        h.access(0, LineAddr(5), AccessKind::Read, &mut out);
+        assert_eq!(h.l1_stats(0).hits, 1);
+        assert_eq!(h.l1_stats(0).misses, 1);
+        assert_eq!(h.l2_stats().misses, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Program-annotation-based data placement (Section 7).
+//!
+//! The paper pins a handful of *hot and low-risk* program structures in
+//! HBM via annotations honored by the ELF loader; annotated pages are
+//! immune to migration. We reproduce the profile-guided selection: rank
+//! each benchmark's structures by the hot-and-low-risk page mass they
+//! contribute (using the Wr² heuristic as the risk-aware hotness score)
+//! and annotate greedily until HBM capacity is covered. Figure 17 counts
+//! the structures annotated per workload (1-6 for most, ~39 for cactusADM,
+//! ~45 for mix1).
+
+use std::collections::HashSet;
+
+use ramp_avf::StatsTable;
+use ramp_sim::units::PageId;
+use ramp_trace::{Benchmark, Workload};
+
+/// One annotatable structure: a named region with its pages across every
+/// core running its benchmark.
+#[derive(Clone, Debug)]
+pub struct StructureInfo {
+    /// The benchmark the structure belongs to.
+    pub benchmark: Benchmark,
+    /// The structure (region) name.
+    pub name: String,
+    /// All pages of the structure, across all instances.
+    pub pages: Vec<PageId>,
+}
+
+/// The chosen annotation set for a workload.
+#[derive(Clone, Debug)]
+pub struct AnnotationSet {
+    /// `(benchmark, structure-name)` pairs, in selection order.
+    pub structures: Vec<(Benchmark, String)>,
+    /// Every page pinned by the annotations.
+    pub pinned: HashSet<PageId>,
+}
+
+impl AnnotationSet {
+    /// Number of annotated program structures (the Figure 17 metric).
+    pub fn count(&self) -> usize {
+        self.structures.len()
+    }
+}
+
+/// Enumerates a workload's structures with their global page sets.
+///
+/// Structures are per-*benchmark*: annotating `lbm.lattice_a` pins that
+/// region in every core running lbm (all copies execute the same annotated
+/// binary).
+pub fn workload_structures(workload: &Workload, seed: u64) -> Vec<StructureInfo> {
+    // Build the generators only to learn the address layout.
+    let cores = workload.build_cores(seed, 1);
+    let assignments = workload.assignments();
+    let mut out: Vec<StructureInfo> = Vec::new();
+    for bench in workload.distinct_benchmarks() {
+        let profile = bench.profile();
+        for (ri, region) in profile.regions.iter().enumerate() {
+            let mut pages = Vec::new();
+            for (core, gen) in cores.iter().enumerate() {
+                if assignments[core] != bench {
+                    continue;
+                }
+                let (lo, hi) = gen.region_page_range(ri);
+                pages.extend((lo.index()..hi.index()).map(PageId));
+            }
+            out.push(StructureInfo {
+                benchmark: bench,
+                name: region.name.clone(),
+                pages,
+            });
+        }
+    }
+    out
+}
+
+/// Profile-guided annotation selection.
+///
+/// Section 7 annotates structures that are "frequently accessed and yet do
+/// not remain live for a substantial duration": a structure is *eligible*
+/// when its aggregate write share marks it low-risk (above the footprint's
+/// mean write share), and eligible structures are ranked by per-page
+/// hotness so the annotations cover the performance-critical data first.
+/// Selection stops when `capacity_pages` are pinned or eligible structures
+/// run out.
+pub fn select_annotations(
+    workload: &Workload,
+    table: &StatsTable,
+    capacity_pages: usize,
+    seed: u64,
+) -> AnnotationSet {
+    let structures = workload_structures(workload, seed);
+    // Footprint-wide mean write share (the low-risk bar).
+    let (mut wtot, mut atot) = (0u64, 0u64);
+    for st in table.pages() {
+        wtot += st.writes;
+        atot += st.hotness();
+    }
+    let mean_share = wtot as f64 / atot.max(1) as f64;
+    // The hotness bar: half the marginal (capacity-th hottest) page of a
+    // performance-focused placement. Structures below it would waste HBM
+    // capacity that hotter non-pinned pages could use.
+    let mut hotness: Vec<u64> = table.pages().iter().map(|s| s.hotness()).collect();
+    hotness.sort_unstable_by(|a, b| b.cmp(a));
+    let marginal = hotness.get(capacity_pages.saturating_sub(1)).copied().unwrap_or(0);
+    let hotness_bar = marginal as f64 * 0.5;
+    let mut scored: Vec<(f64, StructureInfo)> = structures
+        .into_iter()
+        .map(|s| {
+            let (mut hot, mut writes, mut acc) = (0u64, 0u64, 0u64);
+            for &p in &s.pages {
+                if let Some(st) = table.get(p) {
+                    hot += st.hotness();
+                    writes += st.writes;
+                    acc += st.hotness();
+                }
+            }
+            let share = writes as f64 / acc.max(1) as f64;
+            // Clearly write-dominated relative to the footprint: balanced
+            // RMW data (fill:writeback ~ 1:1) does not qualify.
+            let low_risk = share >= mean_share * 1.25;
+            let density = hot as f64 / s.pages.len().max(1) as f64;
+            // Annotations target *hot and low-risk* structures only: a
+            // structure must beat the footprint's mean page hotness and be
+            // write-dominated relative to the footprint.
+            let score = if low_risk && density > hotness_bar.max(1.0) {
+                density
+            } else {
+                0.0
+            };
+            (score, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.name.cmp(&b.1.name))
+    });
+
+    let mut set = AnnotationSet {
+        structures: Vec::new(),
+        pinned: HashSet::new(),
+    };
+    for (density, s) in scored {
+        if density <= 0.0 || set.pinned.len() >= capacity_pages {
+            break;
+        }
+        // Pin as much of the structure as fits.
+        let before = set.pinned.len();
+        for &p in &s.pages {
+            if set.pinned.len() >= capacity_pages {
+                break;
+            }
+            set.pinned.insert(p);
+        }
+        if set.pinned.len() > before {
+            set.structures.push((s.benchmark, s.name));
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramp_avf::PageStats;
+    use ramp_trace::MixId;
+
+    #[test]
+    fn structures_cover_footprint() {
+        let w = Workload::Homogeneous(Benchmark::Astar);
+        let s = workload_structures(&w, 1);
+        let total_pages: usize = s.iter().map(|x| x.pages.len()).sum();
+        assert_eq!(total_pages as u64, w.footprint_pages());
+        assert_eq!(s.len(), Benchmark::Astar.profile().regions.len());
+    }
+
+    #[test]
+    fn mix_structures_span_benchmarks() {
+        let w = Workload::Mix(MixId::Mix1);
+        let s = workload_structures(&w, 1);
+        let benches: HashSet<_> = s.iter().map(|x| x.benchmark).collect();
+        assert_eq!(benches.len(), 9);
+    }
+
+    #[test]
+    fn selection_prefers_write_dominated_structures() {
+        let w = Workload::Homogeneous(Benchmark::Astar);
+        let structures = workload_structures(&w, 1);
+        // Synthesize stats: make "path_scratch" pages write-hot, all else
+        // read-only.
+        let mut stats = Vec::new();
+        for s in &structures {
+            for &p in &s.pages {
+                let (reads, writes) = if s.name == "path_scratch" {
+                    (10, 300)
+                } else {
+                    (50, 0)
+                };
+                stats.push(PageStats {
+                    page: p,
+                    reads,
+                    writes,
+                    ace_hbm: 0,
+                    ace_ddr: 0,
+                    avf: 0.1,
+                });
+            }
+        }
+        let table = StatsTable::from_stats(stats, 1000);
+        let sel = select_annotations(&w, &table, 500, 1);
+        assert!(!sel.structures.is_empty());
+        assert_eq!(sel.structures[0].1, "path_scratch");
+        assert!(sel.count() < structures.len(), "should not annotate everything");
+    }
+
+    #[test]
+    fn capacity_bounds_pinning() {
+        let w = Workload::Homogeneous(Benchmark::Astar);
+        let structures = workload_structures(&w, 1);
+        let stats: Vec<PageStats> = structures
+            .iter()
+            .flat_map(|s| s.pages.iter())
+            .map(|&p| PageStats {
+                page: p,
+                reads: 1,
+                writes: 10,
+                ace_hbm: 0,
+                ace_ddr: 0,
+                avf: 0.0,
+            })
+            .collect();
+        let table = StatsTable::from_stats(stats, 1000);
+        let sel = select_annotations(&w, &table, 100, 1);
+        assert!(sel.pinned.len() <= 100);
+    }
+}

@@ -1,0 +1,143 @@
+//! System configuration (Table 1) and its scaled simulation counterpart.
+//!
+//! The paper simulates 16 GB DDR + 1 GB HBM with multi-GB workloads; RAMP
+//! runs the same architecture at 1/64 capacity scale so the full experiment
+//! suite completes in minutes (all reported results are *ratios*, which
+//! survive uniform scaling — DESIGN.md §2). Hardware-cost arithmetic
+//! (Sections 6.3/6.4) always uses the full-scale constants.
+
+use ramp_avf::SerModel;
+use ramp_cache::HierarchyConfig;
+
+/// Full-scale Table 1 capacities, used by the hardware-cost model.
+pub mod full_scale {
+    /// HBM capacity in bytes (1 GiB).
+    pub const HBM_BYTES: u64 = 1 << 30;
+    /// DDR capacity in bytes (16 GiB).
+    pub const DDR_BYTES: u64 = 16 << 30;
+    /// HBM pages (262,144).
+    pub const HBM_PAGES: u64 = HBM_BYTES / 4096;
+    /// Total pages across the 17 GiB HMA (4.25 M).
+    pub const TOTAL_PAGES: u64 = (HBM_BYTES + DDR_BYTES) / 4096;
+}
+
+/// Complete configuration of one simulated system.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of cores (Table 1: 16).
+    pub cores: usize,
+    /// Issue width per core (Table 1: 4-wide).
+    pub issue_width: u32,
+    /// Maximum outstanding demand misses per core (ROB-limited MLP).
+    pub mshrs_per_core: usize,
+    /// HBM capacity in pages (scaled: 4096 pages = 16 MiB).
+    pub hbm_capacity_pages: u64,
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Per-core instruction budget of one run.
+    pub insts_per_core: u64,
+    /// Root seed for trace generation.
+    pub seed: u64,
+    /// Full-Counter migration interval in cycles (the scaled "100 ms";
+    /// sized so a default run spans ~10-20 intervals, as the paper's
+    /// simpoints span many 100 ms intervals).
+    pub fc_interval_cycles: u64,
+    /// MEA migration interval in cycles (the scaled "50 us": much shorter
+    /// than the FC interval, migrating at most 32 pages at a time).
+    pub mea_interval_cycles: u64,
+    /// Maximum page swaps per FC interval. Scaled from the paper's ~47k
+    /// migrations per 100 ms interval on 262k HBM pages to keep the
+    /// migration-traffic share of memory bandwidth comparable.
+    pub max_swaps_per_interval: usize,
+    /// Maximum pages the MEA performance unit migrates into HBM per MEA
+    /// interval (MemPod moves at most 32 per 50 us at full scale; scaled
+    /// to keep the same migration-bandwidth share).
+    pub mea_max_pages_per_interval: usize,
+    /// Soft-error-rate model (uncorrected FIT per GiB per memory).
+    pub ser_model: SerModel,
+}
+
+impl SystemConfig {
+    /// The scaled Table 1 system used by every experiment.
+    pub fn table1_scaled() -> Self {
+        SystemConfig {
+            cores: 16,
+            issue_width: 4,
+            mshrs_per_core: 16,
+            hbm_capacity_pages: 4096,
+            hierarchy: HierarchyConfig::table1_scaled(),
+            insts_per_core: 5_000_000,
+            seed: 0x52414d50, // "RAMP"
+            fc_interval_cycles: 400_000,
+            mea_interval_cycles: 50_000,
+            max_swaps_per_interval: 32,
+            mea_max_pages_per_interval: 4,
+            ser_model: SerModel::calibrated(),
+        }
+    }
+
+    /// A fast variant for unit tests: fewer cores and instructions.
+    pub fn smoke_test() -> Self {
+        SystemConfig {
+            cores: 4,
+            insts_per_core: 150_000,
+            hbm_capacity_pages: 512,
+            fc_interval_cycles: 60_000,
+            mea_interval_cycles: 6_000,
+            ..Self::table1_scaled()
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is degenerate (zero cores, zero capacity,
+    /// MEA interval not shorter than the FC interval, ...).
+    pub fn validate(&self) {
+        assert!(self.cores > 0 && self.cores <= 64);
+        assert!(self.issue_width > 0);
+        assert!(self.mshrs_per_core > 0);
+        assert!(self.hbm_capacity_pages > 0);
+        assert!(self.insts_per_core > 0);
+        assert!(
+            self.mea_interval_cycles < self.fc_interval_cycles,
+            "MEA interval must be much shorter than the FC interval (\u{a7}6.4.3)"
+        );
+        assert!(self.max_swaps_per_interval > 0);
+        assert!(self.mea_max_pages_per_interval > 0);
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::table1_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_validates() {
+        SystemConfig::table1_scaled().validate();
+        SystemConfig::smoke_test().validate();
+    }
+
+    #[test]
+    fn full_scale_constants_match_paper() {
+        assert_eq!(full_scale::HBM_PAGES, 262_144);
+        assert_eq!(full_scale::TOTAL_PAGES, 4_456_448); // "4.25M pages"
+    }
+
+    #[test]
+    #[should_panic(expected = "MEA interval")]
+    fn mea_interval_must_be_shorter() {
+        let cfg = SystemConfig {
+            mea_interval_cycles: 5_000_000,
+            ..SystemConfig::table1_scaled()
+        };
+        cfg.validate();
+    }
+}

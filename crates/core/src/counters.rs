@@ -1,0 +1,192 @@
+//! Per-page activity counters for the migration mechanisms (Section 6).
+//!
+//! The performance-focused HMA baseline keeps one raw access counter per
+//! page; the reliability-aware Full-Counter mechanism splits it into
+//! separate read and write counters so both hotness (R+W) and risk (Wr/Rd)
+//! can be measured at run time. Counters are 8-bit *saturating* (the
+//! paper's hardware-cost analysis assumes 8-bit counters that do not wrap;
+//! Section 6.3); the Cross-Counter reliability unit uses 16-bit counters
+//! for HBM pages only (Section 6.4.2).
+
+use std::collections::HashMap;
+
+use ramp_sim::units::{AccessKind, PageId};
+
+/// Per-interval read/write counters over an arbitrary page population.
+#[derive(Clone, Debug)]
+pub struct FullCounters {
+    counts: HashMap<PageId, (u32, u32)>,
+    saturation: u32,
+}
+
+impl FullCounters {
+    /// Counters saturating at `saturation` (255 for the 8-bit FC design,
+    /// 65535 for the 16-bit Cross-Counter reliability unit).
+    pub fn new(saturation: u32) -> Self {
+        assert!(saturation > 0);
+        FullCounters {
+            counts: HashMap::new(),
+            saturation,
+        }
+    }
+
+    /// The FC mechanism's 8-bit counters.
+    pub fn fc_8bit() -> Self {
+        Self::new(255)
+    }
+
+    /// The Cross-Counter reliability unit's 16-bit counters.
+    pub fn cc_16bit() -> Self {
+        Self::new(65_535)
+    }
+
+    /// Records one memory access to `page`.
+    pub fn record(&mut self, page: PageId, kind: AccessKind) {
+        let e = self.counts.entry(page).or_insert((0, 0));
+        match kind {
+            AccessKind::Read => e.0 = (e.0 + 1).min(self.saturation),
+            AccessKind::Write => e.1 = (e.1 + 1).min(self.saturation),
+        }
+    }
+
+    /// `(reads, writes)` for `page` this interval.
+    pub fn get(&self, page: PageId) -> (u32, u32) {
+        self.counts.get(&page).copied().unwrap_or((0, 0))
+    }
+
+    /// Total accesses (reads + writes) for `page`.
+    pub fn hotness(&self, page: PageId) -> u32 {
+        let (r, w) = self.get(page);
+        r + w
+    }
+
+    /// Run-time Wr ratio of `page` (writes / reads, reads floored at 1).
+    pub fn wr_ratio(&self, page: PageId) -> f64 {
+        let (r, w) = self.get(page);
+        w as f64 / r.max(1) as f64
+    }
+
+    /// Mean hotness over pages accessed this interval (the paper's dynamic
+    /// threshold, Section 6.1 "Hotness Threshold").
+    pub fn mean_hotness(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts
+            .values()
+            .map(|&(r, w)| (r + w) as f64)
+            .sum::<f64>()
+            / self.counts.len() as f64
+    }
+
+    /// Mean Wr ratio over pages accessed this interval.
+    pub fn mean_wr_ratio(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts
+            .values()
+            .map(|&(r, w)| w as f64 / r.max(1) as f64)
+            .sum::<f64>()
+            / self.counts.len() as f64
+    }
+
+    /// Write share `w / (r + w)` of `page` (0 for untouched pages): the
+    /// bounded form of the Wr-ratio risk proxy used for run-time
+    /// thresholding, robust against the heavy tail of write-only pages.
+    pub fn write_share(&self, page: PageId) -> f64 {
+        let (r, w) = self.get(page);
+        if r + w == 0 {
+            0.0
+        } else {
+            w as f64 / (r + w) as f64
+        }
+    }
+
+    /// Mean write share over pages accessed this interval (the run-time
+    /// risk threshold of Section 6.2: pages below it are read-dominated,
+    /// i.e. high-risk).
+    pub fn mean_write_share(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts
+            .values()
+            .map(|&(r, w)| w as f64 / (r + w).max(1) as f64)
+            .sum::<f64>()
+            / self.counts.len() as f64
+    }
+
+    /// Iterator over `(page, reads, writes)` for pages touched this
+    /// interval.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, u32, u32)> + '_ {
+        self.counts.iter().map(|(&p, &(r, w))| (p, r, w))
+    }
+
+    /// Number of pages with activity this interval.
+    pub fn touched(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Clears all counters for the next interval.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut c = FullCounters::fc_8bit();
+        c.record(PageId(1), AccessKind::Read);
+        c.record(PageId(1), AccessKind::Read);
+        c.record(PageId(1), AccessKind::Write);
+        assert_eq!(c.get(PageId(1)), (2, 1));
+        assert_eq!(c.hotness(PageId(1)), 3);
+        assert_eq!(c.get(PageId(2)), (0, 0));
+    }
+
+    #[test]
+    fn saturates_without_wrapping() {
+        let mut c = FullCounters::new(3);
+        for _ in 0..100 {
+            c.record(PageId(1), AccessKind::Write);
+        }
+        assert_eq!(c.get(PageId(1)), (0, 3));
+    }
+
+    #[test]
+    fn thresholds_are_means() {
+        let mut c = FullCounters::fc_8bit();
+        for _ in 0..10 {
+            c.record(PageId(1), AccessKind::Read);
+        }
+        for _ in 0..2 {
+            c.record(PageId(2), AccessKind::Write);
+        }
+        assert!((c.mean_hotness() - 6.0).abs() < 1e-12);
+        // Page 1 ratio 0/10 -> 0; page 2 ratio 2/1 -> 2. Mean = 1.
+        assert!((c.mean_wr_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_interval() {
+        let mut c = FullCounters::fc_8bit();
+        c.record(PageId(9), AccessKind::Read);
+        assert_eq!(c.touched(), 1);
+        c.reset();
+        assert_eq!(c.touched(), 0);
+        assert_eq!(c.hotness(PageId(9)), 0);
+    }
+
+    #[test]
+    fn wr_ratio_handles_zero_reads() {
+        let mut c = FullCounters::fc_8bit();
+        c.record(PageId(1), AccessKind::Write);
+        c.record(PageId(1), AccessKind::Write);
+        assert_eq!(c.wr_ratio(PageId(1)), 2.0);
+    }
+}

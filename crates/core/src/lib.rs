@@ -1,0 +1,60 @@
+//! Reliability-aware data placement for heterogeneous memory architectures.
+//!
+//! This crate is the paper's primary contribution: given a system that
+//! pairs fast, low-reliability die-stacked memory (HBM, SEC-DED) with
+//! slower, high-reliability DDR (ChipKill), decide *which pages live
+//! where* so that performance and soft-error rate are balanced.
+//!
+//! * [`placement`] — profile-guided static policies: performance-focused,
+//!   reliability-focused, balanced, and the Wr / Wr² AVF-proxy heuristics
+//!   (Sections 4.2-5.4).
+//! * [`migration`] — dynamic mechanisms: performance-focused Full
+//!   Counters, reliability-aware Full Counters, and the low-cost MEA +
+//!   Cross-Counter design (Section 6).
+//! * [`annotate`] — program-annotation-based pinning (Section 7).
+//! * [`system`] / [`runner`] — the full-system simulator tying the trace
+//!   generators, cache hierarchy, DRAM timing models, page map and AVF
+//!   tracker together, plus one-call experiment entry points.
+//! * [`hwcost`] — the Section 6.3/6.4 hardware-cost arithmetic at full
+//!   (unscaled) capacity.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ramp_core::config::SystemConfig;
+//! use ramp_core::placement::PlacementPolicy;
+//! use ramp_core::runner::{profile_workload, run_static};
+//! use ramp_trace::{Benchmark, Workload};
+//!
+//! let cfg = SystemConfig::smoke_test();
+//! let wl = Workload::Homogeneous(Benchmark::Astar);
+//! let profile = profile_workload(&cfg, &wl);
+//! let wr2 = run_static(&cfg, &wl, PlacementPolicy::Wr2Ratio, &profile.table);
+//! println!("IPC {:.3}, SER {:.2}x DDR-only", wr2.ipc, wr2.ser_vs_ddr_only());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod annotate;
+pub mod config;
+pub mod counters;
+pub mod hwcost;
+pub mod mea;
+pub mod migration;
+pub mod pagemap;
+pub mod placement;
+pub mod runner;
+pub mod system;
+
+pub use annotate::{select_annotations, AnnotationSet};
+pub use config::SystemConfig;
+pub use counters::FullCounters;
+pub use mea::MeaTracker;
+pub use migration::{MigrationEngine, MigrationScheme, Move};
+pub use pagemap::PageMap;
+pub use placement::PlacementPolicy;
+pub use runner::{
+    profile_workload, run_annotated, run_annotated_with_migration, run_migration, run_static,
+};
+pub use system::{RunResult, SystemSim};

@@ -1,0 +1,473 @@
+//! Dynamic migration mechanisms (Section 6).
+//!
+//! Three engines, all interval-based:
+//!
+//! * **Performance-focused Full Counters** ([`MigrationScheme::PerfFc`],
+//!   Section 6.1, modeled on Meswani et al. HPCA'15): raw access counters
+//!   per page; every FC interval, DDR pages hotter than the interval's mean
+//!   hotness swap with the coldest HBM pages.
+//! * **Reliability-aware Full Counters** ([`MigrationScheme::RelFc`],
+//!   Section 6.2): the counters split into reads and writes; hot *and*
+//!   low-risk (high Wr ratio) DDR pages swap in, cold *or* high-risk HBM
+//!   pages swap out.
+//! * **Cross Counters** ([`MigrationScheme::CrossCounter`], Section 6.4):
+//!   a 32-entry MEA performance unit migrates globally hot pages into HBM
+//!   every MEA interval; a 16-bit Full-Counter reliability unit tracks only
+//!   HBM pages and flags high-risk residents for eviction every FC
+//!   interval.
+
+use std::collections::HashSet;
+
+use ramp_dram::MemoryKind;
+use ramp_sim::units::{AccessKind, PageId};
+
+use crate::counters::FullCounters;
+use crate::mea::MeaTracker;
+
+/// Which dynamic mechanism a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MigrationScheme {
+    /// Raw-access-count migration (the state-of-the-art baseline).
+    PerfFc,
+    /// Reliability-aware Full-Counter migration.
+    RelFc,
+    /// MEA + HBM-only risk counters (the low-cost mechanism).
+    CrossCounter,
+}
+
+impl MigrationScheme {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationScheme::PerfFc => "perf-fc",
+            MigrationScheme::RelFc => "rel-fc",
+            MigrationScheme::CrossCounter => "cross-counter",
+        }
+    }
+}
+
+impl std::fmt::Display for MigrationScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single page-move directive produced at an interval boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// The page to move.
+    pub page: PageId,
+    /// Destination memory.
+    pub to: MemoryKind,
+}
+
+/// Interval-driven migration state machine.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    scheme: MigrationScheme,
+    /// FC activity counters: all pages for the FC schemes, HBM pages only
+    /// for Cross Counters (the reliability unit).
+    counters: FullCounters,
+    mea: MeaTracker,
+    /// HBM pages flagged high-risk, awaiting eviction (Cross Counters).
+    pending_high_risk: Vec<PageId>,
+    /// Total page moves directed so far.
+    pub migrations: u64,
+}
+
+impl MigrationEngine {
+    /// Creates an engine for `scheme`.
+    pub fn new(scheme: MigrationScheme) -> Self {
+        let counters = match scheme {
+            MigrationScheme::CrossCounter => FullCounters::cc_16bit(),
+            _ => FullCounters::fc_8bit(),
+        };
+        MigrationEngine {
+            scheme,
+            counters,
+            mea: MeaTracker::mempod(),
+            pending_high_risk: Vec::new(),
+            migrations: 0,
+        }
+    }
+
+    /// The engine's scheme.
+    pub fn scheme(&self) -> MigrationScheme {
+        self.scheme
+    }
+
+    /// Records one demand memory access (migration traffic is excluded).
+    pub fn on_mem_access(&mut self, page: PageId, kind: AccessKind, resident: MemoryKind) {
+        match self.scheme {
+            MigrationScheme::PerfFc | MigrationScheme::RelFc => {
+                self.counters.record(page, kind);
+            }
+            MigrationScheme::CrossCounter => match resident {
+                MemoryKind::Ddr => self.mea.record(page),
+                MemoryKind::Hbm => self.counters.record(page, kind),
+            },
+        }
+    }
+
+    /// Runs the MEA-interval logic (Cross Counters only; a no-op for the
+    /// FC schemes). `hbm_pages` is the current HBM residency, `pinned`
+    /// pages are immune to eviction.
+    pub fn on_mea_interval(
+        &mut self,
+        hbm_pages: &[PageId],
+        hbm_free: u64,
+        pinned: &HashSet<PageId>,
+        max_in: usize,
+    ) -> Vec<Move> {
+        if self.scheme != MigrationScheme::CrossCounter {
+            return Vec::new();
+        }
+        let hot = self.mea.drain();
+        if hot.is_empty() {
+            return Vec::new();
+        }
+        let hbm_set: HashSet<PageId> = hbm_pages.iter().copied().collect();
+        let incoming: Vec<PageId> = hot
+            .into_iter()
+            .filter(|p| !hbm_set.contains(p))
+            .take(max_in)
+            .collect();
+        // Victims: pending high-risk pages first, then the coldest HBM
+        // pages by the reliability unit's counters.
+        let mut victims: Vec<PageId> = Vec::new();
+        self.pending_high_risk.retain(|p| hbm_set.contains(p));
+        victims.extend(self.pending_high_risk.iter().copied());
+        let mut cold: Vec<PageId> = hbm_pages
+            .iter()
+            .copied()
+            .filter(|p| !pinned.contains(p) && !self.pending_high_risk.contains(p))
+            .collect();
+        cold.sort_by_key(|&p| (self.counters.hotness(p), p));
+        victims.extend(cold);
+
+        let mut moves = Vec::new();
+        let mut victims = victims.into_iter();
+        let mut free = hbm_free;
+        for page in incoming {
+            if free > 0 {
+                free -= 1;
+            } else {
+                match victims.next() {
+                    Some(v) => {
+                        self.pending_high_risk.retain(|&p| p != v);
+                        moves.push(Move {
+                            page: v,
+                            to: MemoryKind::Ddr,
+                        });
+                    }
+                    None => break,
+                }
+            }
+            moves.push(Move {
+                page,
+                to: MemoryKind::Hbm,
+            });
+        }
+        self.migrations += moves.len() as u64;
+        moves
+    }
+
+    /// Runs the FC-interval logic. `hbm_pages` is the current HBM
+    /// residency; `hbm_free` the free frame count; `pinned` pages are
+    /// immune; `max_moves` bounds the directive list.
+    pub fn on_fc_interval(
+        &mut self,
+        hbm_pages: &[PageId],
+        hbm_free: u64,
+        pinned: &HashSet<PageId>,
+        max_moves: usize,
+    ) -> Vec<Move> {
+        let moves = match self.scheme {
+            MigrationScheme::PerfFc => {
+                self.fc_swaps(hbm_pages, hbm_free, pinned, max_moves, false)
+            }
+            MigrationScheme::RelFc => self.fc_swaps(hbm_pages, hbm_free, pinned, max_moves, true),
+            MigrationScheme::CrossCounter => {
+                // Reliability unit: flag high-risk HBM pages; evict them now
+                // (both units cooperate at FC boundaries, Section 6.4.3).
+                let mean_share = self.counters.mean_write_share();
+                let mut flagged: Vec<PageId> = hbm_pages
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        !pinned.contains(&p)
+                            && self.counters.hotness(p) > 0
+                            && self.counters.write_share(p) < mean_share
+                    })
+                    .collect();
+                flagged.sort_by_key(|&p| {
+                    // Most read-dominated (riskiest) first.
+                    (self.counters.get(p).1, std::cmp::Reverse(self.counters.get(p).0), p)
+                });
+                flagged.truncate(max_moves);
+                let moves: Vec<Move> = flagged
+                    .iter()
+                    .map(|&page| Move {
+                        page,
+                        to: MemoryKind::Ddr,
+                    })
+                    .collect();
+                self.pending_high_risk.clear();
+                self.counters.reset();
+                moves
+            }
+        };
+        self.migrations += moves.len() as u64;
+        moves
+    }
+
+    /// Shared FC swap generation: candidates in from DDR, victims out of
+    /// HBM, paired.
+    fn fc_swaps(
+        &mut self,
+        hbm_pages: &[PageId],
+        hbm_free: u64,
+        pinned: &HashSet<PageId>,
+        max_moves: usize,
+        reliability_aware: bool,
+    ) -> Vec<Move> {
+        let hbm_set: HashSet<PageId> = hbm_pages.iter().copied().collect();
+        // The paper's thresholds: "all pages in slow memory above mean page
+        // hotness" become candidates, so the candidate threshold is the
+        // mean over slow-memory activity; the victim threshold is the mean
+        // over HBM-resident activity.
+        let (mut ddr_sum, mut ddr_n, mut hbm_sum, mut hbm_n) = (0u64, 0u64, 0u64, 0u64);
+        for (p, r, w) in self.counters.iter() {
+            if hbm_set.contains(&p) {
+                hbm_sum += (r + w) as u64;
+                hbm_n += 1;
+            } else {
+                ddr_sum += (r + w) as u64;
+                ddr_n += 1;
+            }
+        }
+        let mean_hot_ddr = ddr_sum as f64 / ddr_n.max(1) as f64;
+        let mean_hot_hbm = hbm_sum as f64 / hbm_n.max(1) as f64;
+        let mean_share = if reliability_aware {
+            self.counters.mean_write_share()
+        } else {
+            0.0
+        };
+
+        // Incoming candidates: hot (and, if reliability-aware, low-risk)
+        // pages currently in DDR.
+        let mut incoming: Vec<(PageId, u32)> = self
+            .counters
+            .iter()
+            .filter(|&(p, r, w)| {
+                !hbm_set.contains(&p)
+                    && (r + w) as f64 > mean_hot_ddr
+                    && (!reliability_aware || (w as f64 / (r + w) as f64) >= mean_share)
+            })
+            .map(|(p, r, w)| (p, r + w))
+            .collect();
+        incoming.sort_by_key(|&(p, h)| (std::cmp::Reverse(h), p));
+
+        // Victims: every non-pinned HBM page, riskiest first (reliability-
+        // aware mode), then coldest. A swap is only performed when it is
+        // strictly beneficial (the incoming page is hotter than the victim)
+        // or the victim is high-risk — reliability wins ties.
+        let mut victims: Vec<(bool, u32, PageId)> = hbm_pages
+            .iter()
+            .copied()
+            .filter(|p| !pinned.contains(p))
+            .map(|p| {
+                let (r, w) = self.counters.get(p);
+                let high_risk = reliability_aware
+                    && (r + w) > 0
+                    && (w as f64 / (r + w) as f64) < mean_share;
+                (high_risk, r + w, p)
+            })
+            .collect();
+        victims.sort_by_key(|&(high_risk, h, p)| (!high_risk, h, p));
+        let _ = mean_hot_hbm; // victim eligibility is pairwise, not mean-based
+
+        let mut moves = Vec::new();
+        let mut victims = victims.into_iter();
+        let mut free = hbm_free;
+        for (page, cand_hot) in incoming {
+            if moves.len() + 2 > max_moves * 2 {
+                break;
+            }
+            if free > 0 {
+                free -= 1;
+            } else {
+                match victims.next() {
+                    Some((high_risk, victim_hot, v)) => {
+                        if !high_risk && victim_hot >= cand_hot {
+                            // Remaining victims are hotter still: stop.
+                            break;
+                        }
+                        moves.push(Move {
+                            page: v,
+                            to: MemoryKind::Ddr,
+                        });
+                    }
+                    None => break,
+                }
+            }
+            moves.push(Move {
+                page,
+                to: MemoryKind::Hbm,
+            });
+        }
+        self.counters.reset();
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: AccessKind = AccessKind::Read;
+    const W: AccessKind = AccessKind::Write;
+
+    fn record_n(e: &mut MigrationEngine, page: u64, kind: AccessKind, n: u32, res: MemoryKind) {
+        for _ in 0..n {
+            e.on_mem_access(PageId(page), kind, res);
+        }
+    }
+
+    #[test]
+    fn perf_fc_swaps_hot_for_cold() {
+        let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
+        // Page 1 in HBM, cold. Page 2 in DDR, hot; page 3 in DDR, cold
+        // (so the slow-memory mean threshold is meaningful).
+        record_n(&mut e, 1, R, 1, MemoryKind::Hbm);
+        record_n(&mut e, 2, R, 50, MemoryKind::Ddr);
+        record_n(&mut e, 3, R, 2, MemoryKind::Ddr);
+        let moves = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 100);
+        assert_eq!(
+            moves,
+            vec![
+                Move {
+                    page: PageId(1),
+                    to: MemoryKind::Ddr
+                },
+                Move {
+                    page: PageId(2),
+                    to: MemoryKind::Hbm
+                },
+            ]
+        );
+        assert_eq!(e.migrations, 2);
+    }
+
+    #[test]
+    fn perf_fc_ignores_risk() {
+        let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
+        // Hot read-dominated (high-risk) DDR page still swaps in.
+        record_n(&mut e, 2, R, 60, MemoryKind::Ddr);
+        record_n(&mut e, 3, R, 2, MemoryKind::Ddr);
+        record_n(&mut e, 1, W, 1, MemoryKind::Hbm);
+        let moves = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 10);
+        assert!(moves.iter().any(|m| m.page == PageId(2) && m.to == MemoryKind::Hbm));
+    }
+
+    #[test]
+    fn rel_fc_rejects_hot_high_risk_candidates() {
+        let mut e = MigrationEngine::new(MigrationScheme::RelFc);
+        // DDR page 2: hot but read-only (high risk) -> must NOT swap in.
+        record_n(&mut e, 2, R, 60, MemoryKind::Ddr);
+        // DDR page 3: hot and write-dominated (low risk) -> swaps in.
+        record_n(&mut e, 3, W, 50, MemoryKind::Ddr);
+        record_n(&mut e, 3, R, 5, MemoryKind::Ddr);
+        // DDR page 4: cold filler so the mean threshold is meaningful.
+        record_n(&mut e, 4, R, 2, MemoryKind::Ddr);
+        // HBM page 1: cold.
+        record_n(&mut e, 1, R, 1, MemoryKind::Hbm);
+        let moves = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 10);
+        assert!(moves.iter().any(|m| m.page == PageId(3) && m.to == MemoryKind::Hbm));
+        assert!(!moves.iter().any(|m| m.page == PageId(2)));
+    }
+
+    #[test]
+    fn rel_fc_evicts_high_risk_residents() {
+        let mut e = MigrationEngine::new(MigrationScheme::RelFc);
+        // HBM page 1: hot but read-dominated -> high risk, evictable.
+        record_n(&mut e, 1, R, 40, MemoryKind::Hbm);
+        // DDR page 2: hot and write-heavy; page 5: cold filler.
+        record_n(&mut e, 2, W, 45, MemoryKind::Ddr);
+        record_n(&mut e, 5, W, 2, MemoryKind::Ddr);
+        let moves = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 10);
+        assert!(moves.contains(&Move {
+            page: PageId(1),
+            to: MemoryKind::Ddr
+        }));
+    }
+
+    #[test]
+    fn pinned_pages_never_evicted() {
+        let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
+        record_n(&mut e, 2, R, 50, MemoryKind::Ddr);
+        let pinned = HashSet::from([PageId(1)]);
+        let moves = e.on_fc_interval(&[PageId(1)], 0, &pinned, 10);
+        assert!(!moves.iter().any(|m| m.page == PageId(1)));
+    }
+
+    #[test]
+    fn cross_counter_mea_brings_hot_pages_in() {
+        let mut e = MigrationEngine::new(MigrationScheme::CrossCounter);
+        record_n(&mut e, 7, R, 40, MemoryKind::Ddr); // MEA-tracked
+        let moves = e.on_mea_interval(&[], 8, &HashSet::new(), 32);
+        assert_eq!(
+            moves,
+            vec![Move {
+                page: PageId(7),
+                to: MemoryKind::Hbm
+            }]
+        );
+    }
+
+    #[test]
+    fn cross_counter_fc_flags_high_risk_hbm_pages() {
+        let mut e = MigrationEngine::new(MigrationScheme::CrossCounter);
+        // HBM page 1 read-dominated (risky), page 2 write-dominated (safe).
+        record_n(&mut e, 1, R, 30, MemoryKind::Hbm);
+        record_n(&mut e, 2, W, 30, MemoryKind::Hbm);
+        let moves = e.on_fc_interval(&[PageId(1), PageId(2)], 0, &HashSet::new(), 10);
+        assert_eq!(
+            moves,
+            vec![Move {
+                page: PageId(1),
+                to: MemoryKind::Ddr
+            }]
+        );
+    }
+
+    #[test]
+    fn cross_counter_evicts_pending_first() {
+        let mut e = MigrationEngine::new(MigrationScheme::CrossCounter);
+        // Make page 9 pending-high-risk via direct state (white-box).
+        e.pending_high_risk.push(PageId(9));
+        record_n(&mut e, 5, R, 20, MemoryKind::Ddr);
+        let moves = e.on_mea_interval(&[PageId(9)], 0, &HashSet::new(), 32);
+        assert_eq!(moves[0].page, PageId(9));
+        assert_eq!(moves[0].to, MemoryKind::Ddr);
+        assert_eq!(moves[1].page, PageId(5));
+    }
+
+    #[test]
+    fn fc_schemes_skip_mea_interval() {
+        let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
+        record_n(&mut e, 2, R, 50, MemoryKind::Ddr);
+        assert!(e.on_mea_interval(&[], 8, &HashSet::new(), 32).is_empty());
+    }
+
+    #[test]
+    fn max_moves_bounds_directives() {
+        let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
+        for p in 0..100u64 {
+            record_n(&mut e, 100 + p, R, 50, MemoryKind::Ddr);
+        }
+        let hbm: Vec<PageId> = (0..100).map(PageId).collect();
+        let moves = e.on_fc_interval(&hbm, 0, &HashSet::new(), 5);
+        assert!(moves.len() <= 10, "got {} moves", moves.len());
+    }
+}

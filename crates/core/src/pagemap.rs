@@ -1,0 +1,252 @@
+//! The page map: which memory each page lives in, and its frame there.
+//!
+//! This is the HMA layer's remap table: virtual pages (the trace address
+//! space) are bound to frames in either HBM or DDR. Frames are what the
+//! DRAM address mappings decode, so migrating a page genuinely changes its
+//! channel/bank/row placement. Freed frames are recycled LIFO.
+
+use std::collections::HashMap;
+
+use ramp_dram::MemoryKind;
+use ramp_sim::units::{LineAddr, PageId, LINES_PER_PAGE};
+
+/// Page-to-frame binding for the two memories.
+#[derive(Debug)]
+pub struct PageMap {
+    map: HashMap<PageId, (MemoryKind, u64)>,
+    free_hbm: Vec<u64>,
+    next_hbm: u64,
+    hbm_capacity: u64,
+    free_ddr: Vec<u64>,
+    next_ddr: u64,
+}
+
+/// Error returned when HBM has no free frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HbmFull;
+
+impl std::fmt::Display for HbmFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no free HBM frames")
+    }
+}
+
+impl std::error::Error for HbmFull {}
+
+impl PageMap {
+    /// Creates an empty map with the given HBM capacity in pages (DDR is
+    /// effectively unbounded at our scale).
+    pub fn new(hbm_capacity_pages: u64) -> Self {
+        PageMap {
+            map: HashMap::new(),
+            free_hbm: Vec::new(),
+            next_hbm: 0,
+            hbm_capacity: hbm_capacity_pages,
+            free_ddr: Vec::new(),
+            next_ddr: 0,
+        }
+    }
+
+    /// Where `page` currently lives (binding it to DDR on first touch).
+    pub fn resolve(&mut self, page: PageId) -> (MemoryKind, u64) {
+        if let Some(&entry) = self.map.get(&page) {
+            return entry;
+        }
+        let frame = self.alloc_ddr();
+        let entry = (MemoryKind::Ddr, frame);
+        self.map.insert(page, entry);
+        entry
+    }
+
+    /// Current binding without allocating.
+    pub fn lookup(&self, page: PageId) -> Option<(MemoryKind, u64)> {
+        self.map.get(&page).copied()
+    }
+
+    /// Frame-level line address for an access to `line_in_page` of `page`.
+    pub fn frame_line(&mut self, page: PageId, line_in_page: usize) -> (MemoryKind, LineAddr) {
+        let (kind, frame) = self.resolve(page);
+        (
+            kind,
+            LineAddr(frame * LINES_PER_PAGE as u64 + line_in_page as u64),
+        )
+    }
+
+    /// Binds `page` into HBM (used for initial placements and pinning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbmFull`] when HBM has no free frames. The page keeps (or
+    /// gets) a DDR binding in that case.
+    pub fn place_in_hbm(&mut self, page: PageId) -> Result<(), HbmFull> {
+        if let Some(&(MemoryKind::Hbm, _)) = self.map.get(&page) {
+            return Ok(());
+        }
+        let frame = self.alloc_hbm().ok_or(HbmFull)?;
+        if let Some((MemoryKind::Ddr, old)) = self.map.insert(page, (MemoryKind::Hbm, frame)) {
+            self.free_ddr.push(old);
+        }
+        Ok(())
+    }
+
+    /// Moves `page` to `to`, recycling its old frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbmFull`] when moving to HBM without free frames.
+    pub fn migrate(&mut self, page: PageId, to: MemoryKind) -> Result<(), HbmFull> {
+        let current = self.resolve(page);
+        if current.0 == to {
+            return Ok(());
+        }
+        match to {
+            MemoryKind::Hbm => {
+                let frame = self.alloc_hbm().ok_or(HbmFull)?;
+                self.map.insert(page, (MemoryKind::Hbm, frame));
+                self.free_ddr.push(current.1);
+            }
+            MemoryKind::Ddr => {
+                let frame = self.alloc_ddr();
+                self.map.insert(page, (MemoryKind::Ddr, frame));
+                self.free_hbm.push(current.1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pages currently resident in HBM.
+    pub fn hbm_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, &(k, _))| k == MemoryKind::Hbm)
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of pages in HBM.
+    pub fn hbm_used(&self) -> u64 {
+        self.map
+            .values()
+            .filter(|&&(k, _)| k == MemoryKind::Hbm)
+            .count() as u64
+    }
+
+    /// Free HBM frames remaining.
+    pub fn hbm_free(&self) -> u64 {
+        self.hbm_capacity - self.hbm_used()
+    }
+
+    /// Total pages bound.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no pages are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn alloc_hbm(&mut self) -> Option<u64> {
+        if let Some(f) = self.free_hbm.pop() {
+            return Some(f);
+        }
+        if self.next_hbm < self.hbm_capacity {
+            let f = self.next_hbm;
+            self.next_hbm += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    fn alloc_ddr(&mut self) -> u64 {
+        if let Some(f) = self.free_ddr.pop() {
+            f
+        } else {
+            let f = self.next_ddr;
+            self.next_ddr += 1;
+            f
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_binds_to_ddr() {
+        let mut pm = PageMap::new(4);
+        let (k, _) = pm.resolve(PageId(10));
+        assert_eq!(k, MemoryKind::Ddr);
+        assert_eq!(pm.hbm_used(), 0);
+    }
+
+    #[test]
+    fn hbm_capacity_enforced() {
+        let mut pm = PageMap::new(2);
+        assert!(pm.place_in_hbm(PageId(1)).is_ok());
+        assert!(pm.place_in_hbm(PageId(2)).is_ok());
+        assert_eq!(pm.place_in_hbm(PageId(3)), Err(HbmFull));
+        assert_eq!(pm.hbm_used(), 2);
+        assert_eq!(pm.hbm_free(), 0);
+    }
+
+    #[test]
+    fn migrate_swaps_memories_and_recycles_frames() {
+        let mut pm = PageMap::new(1);
+        pm.place_in_hbm(PageId(1)).unwrap();
+        let (_, hbm_frame) = pm.lookup(PageId(1)).unwrap();
+        pm.migrate(PageId(1), MemoryKind::Ddr).unwrap();
+        assert_eq!(pm.lookup(PageId(1)).unwrap().0, MemoryKind::Ddr);
+        // The freed HBM frame is reused by the next page.
+        pm.migrate(PageId(2), MemoryKind::Hbm).unwrap();
+        assert_eq!(pm.lookup(PageId(2)).unwrap(), (MemoryKind::Hbm, hbm_frame));
+    }
+
+    #[test]
+    fn migrate_to_same_memory_is_noop() {
+        let mut pm = PageMap::new(1);
+        pm.resolve(PageId(5));
+        let before = pm.lookup(PageId(5)).unwrap();
+        pm.migrate(PageId(5), MemoryKind::Ddr).unwrap();
+        assert_eq!(pm.lookup(PageId(5)).unwrap(), before);
+    }
+
+    #[test]
+    fn frame_lines_distinct_across_pages() {
+        let mut pm = PageMap::new(16);
+        pm.place_in_hbm(PageId(100)).unwrap();
+        pm.place_in_hbm(PageId(200)).unwrap();
+        let (k1, l1) = pm.frame_line(PageId(100), 0);
+        let (k2, l2) = pm.frame_line(PageId(200), 0);
+        assert_eq!(k1, MemoryKind::Hbm);
+        assert_eq!(k2, MemoryKind::Hbm);
+        assert_ne!(l1, l2);
+        let (_, l3) = pm.frame_line(PageId(100), 63);
+        assert_eq!(l3.0 - l1.0, 63);
+    }
+
+    #[test]
+    fn hbm_pages_listing() {
+        let mut pm = PageMap::new(8);
+        pm.place_in_hbm(PageId(3)).unwrap();
+        pm.place_in_hbm(PageId(1)).unwrap();
+        pm.resolve(PageId(2));
+        assert_eq!(pm.hbm_pages(), vec![PageId(1), PageId(3)]);
+        assert_eq!(pm.len(), 3);
+    }
+
+    #[test]
+    fn ddr_page_promoted_to_hbm_frees_ddr_frame() {
+        let mut pm = PageMap::new(4);
+        pm.resolve(PageId(1)); // DDR frame 0
+        pm.place_in_hbm(PageId(1)).unwrap();
+        // New DDR page should reuse the freed frame 0.
+        let (_, frame) = pm.resolve(PageId(2));
+        assert_eq!(frame, 0);
+    }
+}

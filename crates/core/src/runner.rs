@@ -1,0 +1,221 @@
+//! High-level experiment orchestration: profiling passes, static
+//! placements, dynamic migration runs and annotation runs.
+//!
+//! Every paper experiment is some composition of these functions; the
+//! `ramp-bench` binaries only choose workloads, policies and formatting.
+
+use std::collections::HashSet;
+
+use ramp_avf::StatsTable;
+use ramp_sim::units::PageId;
+use ramp_trace::Workload;
+
+use crate::annotate::{select_annotations, AnnotationSet};
+use crate::config::SystemConfig;
+use crate::migration::{MigrationEngine, MigrationScheme};
+use crate::placement::PlacementPolicy;
+use crate::system::{RunResult, SystemSim};
+
+/// Runs the workload on a DDR-only system and returns its page statistics
+/// (the profiling pass that feeds every oracular placement — the paper's
+/// Section 4.2 methodology).
+pub fn profile_workload(cfg: &SystemConfig, workload: &Workload) -> RunResult {
+    SystemSim::new(
+        cfg.clone(),
+        workload,
+        PlacementPolicy::DdrOnly.name(),
+        &HashSet::new(),
+        HashSet::new(),
+        None,
+    )
+    .run()
+}
+
+/// Runs a static placement chosen by `policy` from profiling statistics.
+pub fn run_static(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    policy: PlacementPolicy,
+    profile: &StatsTable,
+) -> RunResult {
+    let initial = policy.select(profile, cfg.hbm_capacity_pages as usize);
+    SystemSim::new(
+        cfg.clone(),
+        workload,
+        policy.name(),
+        &initial,
+        HashSet::new(),
+        None,
+    )
+    .run()
+}
+
+/// Runs a dynamic migration scheme.
+///
+/// Cold-start is eliminated as in the paper (Sections 6.1/6.2): the run
+/// starts from the matching static oracular placement — top-hot for the
+/// performance-focused scheme, hot-and-low-risk for the reliability-aware
+/// ones — derived from `profile`.
+pub fn run_migration(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    scheme: MigrationScheme,
+    profile: &StatsTable,
+) -> RunResult {
+    let capacity = cfg.hbm_capacity_pages as usize;
+    let initial = match scheme {
+        MigrationScheme::PerfFc => PlacementPolicy::PerfFocused.select(profile, capacity),
+        MigrationScheme::RelFc | MigrationScheme::CrossCounter => {
+            // "Top hot and low-risk pages from our static oracular
+            // placement" (Section 6.2); spare capacity is topped up with
+            // the next-best Wr2-ranked pages so HBM does not start idle.
+            let mut set = PlacementPolicy::Balanced.select(profile, capacity);
+            if set.len() < capacity {
+                let mut extra: Vec<_> = PlacementPolicy::Wr2Ratio
+                    .select(profile, capacity)
+                    .difference(&set)
+                    .copied()
+                    .collect();
+                extra.sort();
+                for p in extra {
+                    if set.len() >= capacity {
+                        break;
+                    }
+                    set.insert(p);
+                }
+            }
+            set
+        }
+    };
+    SystemSim::new(
+        cfg.clone(),
+        workload,
+        scheme.name(),
+        &initial,
+        HashSet::new(),
+        Some(MigrationEngine::new(scheme)),
+    )
+    .run()
+}
+
+/// Runs the annotation-based placement of Section 7: profile-selected
+/// structures are pinned in HBM, the remaining capacity is filled with the
+/// hottest non-pinned pages, and no migration runs.
+///
+/// Returns the run result together with the annotation set (whose
+/// [`AnnotationSet::count`] is the Figure 17 metric).
+pub fn run_annotated(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    profile: &StatsTable,
+) -> (RunResult, AnnotationSet) {
+    let capacity = cfg.hbm_capacity_pages as usize;
+    let annotations = select_annotations(workload, profile, capacity, cfg.seed);
+    let mut initial: HashSet<PageId> = annotations.pinned.clone();
+    if initial.len() < capacity {
+        // Fill spare capacity with the hottest non-pinned pages.
+        let extra = PlacementPolicy::PerfFocused.select(profile, capacity);
+        let mut extras: Vec<PageId> = extra.difference(&initial).copied().collect();
+        extras.sort();
+        for p in extras {
+            if initial.len() >= capacity {
+                break;
+            }
+            initial.insert(p);
+        }
+    }
+    let result = SystemSim::new(
+        cfg.clone(),
+        workload,
+        "annotations",
+        &initial,
+        annotations.pinned.clone(),
+        None,
+    )
+    .run();
+    (result, annotations)
+}
+
+/// The paper's Section 7 closing suggestion, implemented as an extension:
+/// annotation-pinned structures *plus* a reliability-aware migration
+/// mechanism managing the remaining capacity. Pinned pages are immune to
+/// migration (the ELF loader marks them), while the engine adapts the rest.
+pub fn run_annotated_with_migration(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    scheme: MigrationScheme,
+    profile: &StatsTable,
+) -> (RunResult, AnnotationSet) {
+    let capacity = cfg.hbm_capacity_pages as usize;
+    let annotations = select_annotations(workload, profile, capacity, cfg.seed);
+    let mut initial: HashSet<PageId> = annotations.pinned.clone();
+    if initial.len() < capacity {
+        let mut extra: Vec<PageId> = PlacementPolicy::Balanced
+            .select(profile, capacity)
+            .difference(&initial)
+            .copied()
+            .collect();
+        extra.sort();
+        for p in extra {
+            if initial.len() >= capacity {
+                break;
+            }
+            initial.insert(p);
+        }
+    }
+    let result = SystemSim::new(
+        cfg.clone(),
+        workload,
+        format!("annotations+{}", scheme.name()),
+        &initial,
+        annotations.pinned.clone(),
+        Some(MigrationEngine::new(scheme)),
+    )
+    .run();
+    (result, annotations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramp_trace::Benchmark;
+
+    #[test]
+    fn full_pipeline_smoke() {
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::Libquantum);
+        let profile = profile_workload(&cfg, &wl);
+        assert!(profile.table.pages().len() > 100);
+
+        let perf = run_static(&cfg, &wl, PlacementPolicy::PerfFocused, &profile.table);
+        assert!(
+            perf.ipc > profile.ipc,
+            "HBM placement should beat DDR-only ({} vs {})",
+            perf.ipc,
+            profile.ipc
+        );
+        assert!(perf.ser_fit >= profile.ser_fit);
+
+        let (ann, set) = run_annotated(&cfg, &wl, &profile.table);
+        assert!(set.count() >= 1);
+        assert!(ann.ipc > 0.0);
+    }
+
+    #[test]
+    fn annotations_plus_migration_extension_runs() {
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::CactusADM);
+        let profile = profile_workload(&cfg, &wl);
+        let (run, set) = run_annotated_with_migration(
+            &cfg,
+            &wl,
+            MigrationScheme::CrossCounter,
+            &profile.table,
+        );
+        assert!(run.ipc > 0.0);
+        // Pinned pages must still be in HBM-heavy use and immune: at least
+        // the annotations were applied.
+        assert!(set.count() >= 1);
+        assert!(run.policy.contains("annotations+cross-counter"));
+    }
+}

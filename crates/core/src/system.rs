@@ -1,0 +1,488 @@
+//! The full-system HMA simulator: 16 trace-driven cores, the cache
+//! hierarchy, two DRAM timing models, the page map, the AVF tracker, and
+//! an optional migration engine, advanced in lock-step.
+//!
+//! The core model is Ramulator-style: non-memory instructions retire at
+//! full issue width; demand fills occupy MSHRs (bounding per-core
+//! memory-level parallelism, the ROB-limited behaviour of Table 1's
+//! 128-entry window); writes are posted. Cores stall when their MSHRs are
+//! exhausted or a controller queue refuses a request — that backpressure
+//! is where HBM's bandwidth advantage becomes IPC.
+
+use std::collections::{HashSet, VecDeque};
+
+use ramp_avf::{AvfTracker, SerModel, StatsTable};
+use ramp_cache::Hierarchy;
+use ramp_dram::{Completion, MemRequest, MemoryKind, MemorySystem};
+use ramp_sim::units::{AccessKind, Cycle, LineAddr, PageId, LINES_PER_PAGE};
+use ramp_trace::{InstanceGen, MemEvent, Workload};
+
+use crate::config::SystemConfig;
+use crate::migration::{MigrationEngine, Move};
+use crate::pagemap::PageMap;
+
+/// Extra latency charged to a core for an L1 miss that hits on-chip (L2).
+const L2_HIT_LATENCY: u64 = 12;
+/// Simulation time step in cycles.
+const CHUNK: u64 = 128;
+/// Core id used for migration traffic (excluded from IPC/AVF accounting).
+const MIGRATION_CORE: usize = usize::MAX;
+
+#[derive(Debug)]
+struct CoreState {
+    gen: InstanceGen,
+    cycle: u64,
+    retired: u64,
+    budget: u64,
+    outstanding: u32,
+    pending: VecDeque<MemEvent>,
+    done: bool,
+    finish: u64,
+}
+
+/// Outcome of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Policy/scheme label.
+    pub policy: String,
+    /// Aggregate IPC: total instructions / makespan cycles.
+    pub ipc: f64,
+    /// Per-core IPC (instructions / per-core finish cycle).
+    pub per_core_ipc: Vec<f64>,
+    /// System soft error rate in FIT (Equation 2 over all pages).
+    pub ser_fit: f64,
+    /// SER of the same run had every page lived in DDR (the baseline
+    /// denominator of Figures 5 and 12).
+    pub ser_ddr_only_fit: f64,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Main-memory accesses per kilo-instruction.
+    pub mpki: f64,
+    /// Demand accesses served by HBM / DDR.
+    pub hbm_accesses: u64,
+    /// Demand accesses served by DDR.
+    pub ddr_accesses: u64,
+    /// Page migrations performed.
+    pub migrations: u64,
+    /// Mean demand-read latency in cycles (HBM, DDR).
+    pub mean_read_latency: (f64, f64),
+    /// Final per-page statistics (hotness, write ratio, AVF).
+    pub table: StatsTable,
+}
+
+impl RunResult {
+    /// SER relative to the DDR-only baseline (e.g. the paper's "287x").
+    pub fn ser_vs_ddr_only(&self) -> f64 {
+        if self.ser_ddr_only_fit == 0.0 {
+            1.0
+        } else {
+            self.ser_fit / self.ser_ddr_only_fit
+        }
+    }
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct SystemSim {
+    cfg: SystemConfig,
+    workload_name: String,
+    policy_name: String,
+    cores: Vec<CoreState>,
+    hierarchy: Hierarchy,
+    hbm: MemorySystem,
+    ddr: MemorySystem,
+    pagemap: PageMap,
+    avf: AvfTracker,
+    engine: Option<MigrationEngine>,
+    pinned: HashSet<PageId>,
+    backlog: VecDeque<(MemoryKind, LineAddr, AccessKind)>,
+    completions: Vec<Completion>,
+    next_id: u64,
+    now: u64,
+    demand_hbm: u64,
+    demand_ddr: u64,
+    footprint: Vec<PageId>,
+}
+
+impl SystemSim {
+    /// Builds a simulator for `workload` with an initial HBM placement and
+    /// optional migration engine.
+    ///
+    /// `initial_hbm` pages are bound into HBM before execution (truncated
+    /// at capacity, deterministically by page id); `pinned` pages are
+    /// additionally immune to migration.
+    pub fn new(
+        cfg: SystemConfig,
+        workload: &Workload,
+        policy_name: impl Into<String>,
+        initial_hbm: &HashSet<PageId>,
+        pinned: HashSet<PageId>,
+        engine: Option<MigrationEngine>,
+    ) -> Self {
+        cfg.validate();
+        let built = workload.build_cores(cfg.seed, cfg.insts_per_core);
+        let mut footprint: Vec<PageId> = Vec::new();
+        for gen in &built {
+            for ri in 0..gen.profile().regions.len() {
+                let (lo, hi) = gen.region_page_range(ri);
+                footprint.extend((lo.index()..hi.index()).map(PageId));
+            }
+        }
+        let cores: Vec<CoreState> = built
+            .into_iter()
+            .map(|gen| CoreState {
+                gen,
+                cycle: 0,
+                retired: 0,
+                budget: cfg.insts_per_core,
+                outstanding: 0,
+                pending: VecDeque::new(),
+                done: false,
+                finish: 0,
+            })
+            .collect();
+        let mut pagemap = PageMap::new(cfg.hbm_capacity_pages);
+        let mut initial: Vec<PageId> = initial_hbm.iter().copied().collect();
+        initial.sort();
+        for p in initial {
+            if pagemap.place_in_hbm(p).is_err() {
+                break;
+            }
+        }
+        SystemSim {
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            hbm: MemorySystem::hbm(),
+            ddr: MemorySystem::ddr3(),
+            pagemap,
+            avf: AvfTracker::new(Cycle::ZERO),
+            engine,
+            pinned,
+            backlog: VecDeque::new(),
+            completions: Vec::new(),
+            next_id: 0,
+            now: 0,
+            demand_hbm: 0,
+            demand_ddr: 0,
+            footprint,
+            workload_name: workload.name().to_string(),
+            policy_name: policy_name.into(),
+            cores,
+            cfg,
+        }
+    }
+
+    fn mem_of(&mut self, kind: MemoryKind) -> &mut MemorySystem {
+        match kind {
+            MemoryKind::Hbm => &mut self.hbm,
+            MemoryKind::Ddr => &mut self.ddr,
+        }
+    }
+
+    /// Drains queued migration copy traffic into the controllers.
+    fn pump_backlog(&mut self) {
+        while let Some(&(mk, line, kind)) = self.backlog.front() {
+            let req = MemRequest {
+                id: self.next_id,
+                line,
+                kind,
+                core: MIGRATION_CORE,
+                arrive: Cycle(self.now),
+            };
+            if !self.mem_of(mk).can_accept(&req) {
+                break;
+            }
+            self.mem_of(mk).enqueue(req).expect("capacity checked");
+            self.next_id += 1;
+            self.backlog.pop_front();
+        }
+    }
+
+    /// Applies migration directives: rebinds pages and queues the copy
+    /// traffic (64 line reads from the old frame + 64 line writes to the
+    /// new frame per page).
+    fn apply_moves(&mut self, moves: Vec<Move>) {
+        for m in moves {
+            let Some((from, old_frame)) = self.pagemap.lookup(m.page) else {
+                continue;
+            };
+            if from == m.to || self.pagemap.migrate(m.page, m.to).is_err() {
+                continue;
+            }
+            let (to, new_frame) = self.pagemap.lookup(m.page).expect("just migrated");
+            for l in 0..LINES_PER_PAGE as u64 {
+                self.backlog.push_back((
+                    from,
+                    LineAddr(old_frame * LINES_PER_PAGE as u64 + l),
+                    AccessKind::Read,
+                ));
+                self.backlog.push_back((
+                    to,
+                    LineAddr(new_frame * LINES_PER_PAGE as u64 + l),
+                    AccessKind::Write,
+                ));
+            }
+        }
+    }
+
+    /// Runs core `i` until the end of the chunk or a stall.
+    fn run_core(&mut self, i: usize, chunk_end: u64, tmp: &mut Vec<MemEvent>) {
+        loop {
+            // Drain this core's pending memory events first.
+            while let Some(ev) = self.cores[i].pending.front().copied() {
+                let page = ev.line.page();
+                let lip = ev.line.line_in_page();
+                let (mk, fline) = self.pagemap.frame_line(page, lip);
+                let at = Cycle(self.cores[i].cycle.max(self.now));
+                let req = MemRequest {
+                    id: self.next_id,
+                    line: fline,
+                    kind: ev.kind,
+                    core: i,
+                    arrive: at,
+                };
+                if !self.mem_of(mk).can_accept(&req) {
+                    // Controller backpressure: stall for the chunk.
+                    self.cores[i].cycle = chunk_end;
+                    return;
+                }
+                self.mem_of(mk).enqueue(req).expect("capacity checked");
+                self.next_id += 1;
+                match mk {
+                    MemoryKind::Hbm => self.demand_hbm += 1,
+                    MemoryKind::Ddr => self.demand_ddr += 1,
+                }
+                self.avf.on_access(page, lip, ev.kind, at, mk);
+                if let Some(e) = &mut self.engine {
+                    e.on_mem_access(page, ev.kind, mk);
+                }
+                if !ev.kind.is_write() {
+                    self.cores[i].outstanding += 1;
+                }
+                self.cores[i].pending.pop_front();
+            }
+            {
+                let c = &mut self.cores[i];
+                if c.done || c.cycle >= chunk_end {
+                    return;
+                }
+                if c.outstanding >= self.cfg.mshrs_per_core as u32 {
+                    // MSHRs exhausted: wait for completions.
+                    c.cycle = chunk_end;
+                    return;
+                }
+                if c.retired >= c.budget {
+                    c.done = true;
+                    c.finish = c.cycle;
+                    return;
+                }
+            }
+            let rec = self.cores[i].gen.next().expect("trace streams are infinite");
+            {
+                let c = &mut self.cores[i];
+                c.retired += rec.instructions();
+                c.cycle += rec.instructions().div_ceil(self.cfg.issue_width as u64);
+            }
+            tmp.clear();
+            let hit = self
+                .hierarchy
+                .access(i, rec.addr.line(), rec.kind, tmp);
+            if !hit && !rec.kind.is_write() {
+                self.cores[i].cycle += L2_HIT_LATENCY;
+            }
+            self.cores[i].pending.extend(tmp.iter().copied());
+        }
+    }
+
+    /// Runs the workload to completion and produces the result.
+    pub fn run(mut self) -> RunResult {
+        let mut tmp = Vec::new();
+        let mut next_fc = self.cfg.fc_interval_cycles;
+        let mut next_mea = self.cfg.mea_interval_cycles;
+        let mut hbm_lat = (0.0f64, 0u64);
+        let mut ddr_lat = (0.0f64, 0u64);
+
+        loop {
+            let chunk_end = self.now + CHUNK;
+            self.pump_backlog();
+            for i in 0..self.cores.len() {
+                self.run_core(i, chunk_end, &mut tmp);
+            }
+            let mut completions = std::mem::take(&mut self.completions);
+            completions.clear();
+            self.hbm.advance(Cycle(chunk_end), &mut completions);
+            let hbm_split = completions.len();
+            self.ddr.advance(Cycle(chunk_end), &mut completions);
+            for (idx, comp) in completions.iter().enumerate() {
+                if comp.core != MIGRATION_CORE && !comp.kind.is_write() {
+                    let c = &mut self.cores[comp.core];
+                    c.outstanding = c.outstanding.saturating_sub(1);
+                    let lat = if idx < hbm_split {
+                        &mut hbm_lat
+                    } else {
+                        &mut ddr_lat
+                    };
+                    lat.0 += comp.latency as f64;
+                    lat.1 += 1;
+                }
+            }
+            self.completions = completions;
+
+            let all_done = self.cores.iter().all(|c| c.done);
+            if !all_done && self.engine.is_some() {
+                if chunk_end >= next_mea {
+                    next_mea += self.cfg.mea_interval_cycles;
+                    let hbm_pages = self.pagemap.hbm_pages();
+                    let free = self.pagemap.hbm_free();
+                    let moves = self
+                        .engine
+                        .as_mut()
+                        .expect("engine present")
+                        .on_mea_interval(
+                            &hbm_pages,
+                            free,
+                            &self.pinned,
+                            self.cfg.mea_max_pages_per_interval,
+                        );
+                    self.apply_moves(moves);
+                }
+                if chunk_end >= next_fc {
+                    next_fc += self.cfg.fc_interval_cycles;
+                    let hbm_pages = self.pagemap.hbm_pages();
+                    let free = self.pagemap.hbm_free();
+                    let max = self.cfg.max_swaps_per_interval;
+                    let moves = self
+                        .engine
+                        .as_mut()
+                        .expect("engine present")
+                        .on_fc_interval(&hbm_pages, free, &self.pinned, max);
+                    self.apply_moves(moves);
+                }
+            }
+
+            self.now = chunk_end;
+            if all_done && self.backlog.is_empty() && self.hbm.is_idle() && self.ddr.is_idle() {
+                break;
+            }
+            // Safety valve: a run must terminate even if something wedges.
+            assert!(
+                self.now < 50_000_000_000,
+                "simulation did not converge (cycle {})",
+                self.now
+            );
+        }
+
+        let makespan = self
+            .cores
+            .iter()
+            .map(|c| c.finish)
+            .max()
+            .unwrap_or(self.now)
+            .max(1);
+        let instructions: u64 = self.cores.iter().map(|c| c.retired).sum();
+        let per_core_ipc: Vec<f64> = self
+            .cores
+            .iter()
+            .map(|c| c.retired as f64 / c.finish.max(1) as f64)
+            .collect();
+        let table = self
+            .avf
+            .finish(Cycle(makespan))
+            .include_untouched(self.footprint.iter().copied());
+        let ser_model: &SerModel = &self.cfg.ser_model;
+        let ser_fit = ser_model.system_ser(&table);
+        let ser_ddr_only_fit = ser_model.ddr_only_ser(&table);
+        let demand_total = self.demand_hbm + self.demand_ddr;
+        RunResult {
+            workload: self.workload_name,
+            policy: self.policy_name,
+            ipc: instructions as f64 / makespan as f64,
+            per_core_ipc,
+            ser_fit,
+            ser_ddr_only_fit,
+            cycles: makespan,
+            instructions,
+            mpki: demand_total as f64 / instructions.max(1) as f64 * 1000.0,
+            hbm_accesses: self.demand_hbm,
+            ddr_accesses: self.demand_ddr,
+            migrations: self.engine.as_ref().map_or(0, |e| e.migrations),
+            mean_read_latency: (
+                if hbm_lat.1 > 0 { hbm_lat.0 / hbm_lat.1 as f64 } else { 0.0 },
+                if ddr_lat.1 > 0 { ddr_lat.0 / ddr_lat.1 as f64 } else { 0.0 },
+            ),
+            table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramp_trace::Benchmark;
+
+    fn smoke_run(policy: &str, initial: HashSet<PageId>) -> RunResult {
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::Astar);
+        SystemSim::new(cfg, &wl, policy, &initial, HashSet::new(), None).run()
+    }
+
+    #[test]
+    fn ddr_only_smoke_run_completes() {
+        let r = smoke_run("ddr-only", HashSet::new());
+        assert!(r.ipc > 0.1, "ipc {}", r.ipc);
+        assert!(r.instructions >= 4 * 150_000);
+        assert_eq!(r.hbm_accesses, 0);
+        assert!(r.ddr_accesses > 0);
+        assert!(r.mpki > 0.0);
+        // DDR-only: SER equals the DDR-only baseline.
+        assert!((r.ser_vs_ddr_only() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = smoke_run("x", HashSet::new());
+        let b = smoke_run("x", HashSet::new());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.ser_fit, b.ser_fit);
+        assert_eq!(a.hbm_accesses, b.hbm_accesses);
+    }
+
+    #[test]
+    fn hbm_placement_attracts_traffic_and_raises_ser() {
+        // Place the first pages of every core's footprint in HBM.
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::Astar);
+        let mut initial = HashSet::new();
+        for gen in wl.build_cores(cfg.seed, 1) {
+            let base = gen.base_page().index();
+            for p in 0..128 {
+                initial.insert(PageId(base + p));
+            }
+        }
+        let r = SystemSim::new(cfg, &wl, "some-hbm", &initial, HashSet::new(), None).run();
+        assert!(r.hbm_accesses > 0, "HBM must see traffic");
+        assert!(r.ser_vs_ddr_only() >= 1.0, "HBM residency cannot lower SER");
+    }
+
+    #[test]
+    fn migration_engine_moves_pages() {
+        use crate::migration::{MigrationEngine, MigrationScheme};
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::Libquantum);
+        let engine = MigrationEngine::new(MigrationScheme::PerfFc);
+        let r = SystemSim::new(
+            cfg,
+            &wl,
+            "perf-fc",
+            &HashSet::new(),
+            HashSet::new(),
+            Some(engine),
+        )
+        .run();
+        assert!(r.migrations > 0, "expected migrations");
+        assert!(r.hbm_accesses > 0, "migrated pages must serve traffic");
+    }
+}

@@ -1,0 +1,176 @@
+//! Physical address interleaving.
+//!
+//! RAMP uses a line-interleaved RoBaCoCh mapping: consecutive cache lines
+//! rotate across channels (maximizing stream bandwidth), then fill a DRAM
+//! row's worth of columns in one bank, then rotate banks, then rows — the
+//! same default Ramulator uses for bandwidth-bound studies.
+
+use ramp_sim::units::LineAddr;
+
+use crate::timing::Organization;
+
+/// A decoded DRAM coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel (ranks are folded into banks; Table 1
+    /// uses one rank per channel).
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (line within the row).
+    pub col: u64,
+}
+
+/// Interleaving policy: which address bits select the channel and bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Interleave {
+    /// Channel from the lowest line bits (maximum stream bandwidth) —
+    /// the default used by all experiments.
+    #[default]
+    ChannelFirst,
+    /// Bank from the lowest line bits, channel above the row: consecutive
+    /// lines share a channel. Kept as an ablation (`cargo bench`
+    /// `dram/mapping_*`) to show why channel-first wins for streams.
+    BankFirst,
+}
+
+/// Line-interleaved address mapping for one memory organization.
+#[derive(Clone, Copy, Debug)]
+pub struct AddressMapping {
+    org: Organization,
+    interleave: Interleave,
+}
+
+impl AddressMapping {
+    /// Creates a channel-first mapping for `org`.
+    pub fn new(org: Organization) -> Self {
+        AddressMapping {
+            org,
+            interleave: Interleave::ChannelFirst,
+        }
+    }
+
+    /// Creates a mapping with an explicit interleaving policy.
+    pub fn with_interleave(org: Organization, interleave: Interleave) -> Self {
+        AddressMapping { org, interleave }
+    }
+
+    /// The organization this mapping decodes for.
+    pub fn organization(&self) -> &Organization {
+        &self.org
+    }
+
+    /// Decodes a global line address into a DRAM coordinate.
+    ///
+    /// The *frame* line address is expected to already be relative to this
+    /// memory (the HMA layer remaps pages to per-memory frames).
+    pub fn decode(&self, line: LineAddr) -> DramCoord {
+        let channels = self.org.channels as u64;
+        let banks = (self.org.banks * self.org.ranks) as u64;
+        let lpr = self.org.lines_per_row;
+
+        match self.interleave {
+            Interleave::ChannelFirst => {
+                let channel = (line.0 % channels) as usize;
+                let in_channel = line.0 / channels;
+                let col = in_channel % lpr;
+                let bank = ((in_channel / lpr) % banks) as usize;
+                let row = in_channel / (lpr * banks);
+                DramCoord {
+                    channel,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+            Interleave::BankFirst => {
+                let col = line.0 % lpr;
+                let rest = line.0 / lpr;
+                let bank = (rest % banks) as usize;
+                let rest = rest / banks;
+                let channel = (rest % channels) as usize;
+                let row = rest / channels;
+                DramCoord {
+                    channel,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_lines_rotate_channels() {
+        let m = AddressMapping::new(Organization::hbm());
+        let c0 = m.decode(LineAddr(0));
+        let c1 = m.decode(LineAddr(1));
+        let c8 = m.decode(LineAddr(8));
+        assert_eq!(c0.channel, 0);
+        assert_eq!(c1.channel, 1);
+        assert_eq!(c8.channel, 0);
+        assert_eq!(c8.col, c0.col + 1);
+    }
+
+    #[test]
+    fn rows_fill_before_bank_rotation() {
+        let org = Organization::ddr3();
+        let m = AddressMapping::new(org);
+        // Within one channel, lines_per_row consecutive in-channel lines
+        // share a row; the next one moves to the next bank.
+        let lines_per_row_global = org.lines_per_row * org.channels as u64;
+        let a = m.decode(LineAddr(0));
+        let b = m.decode(LineAddr(lines_per_row_global - org.channels as u64));
+        let c = m.decode(LineAddr(lines_per_row_global));
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(c.bank, a.bank + 1);
+        assert_eq!(c.row, a.row);
+    }
+
+    #[test]
+    fn decode_is_injective_over_a_window() {
+        let m = AddressMapping::new(Organization::hbm());
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..100_000u64 {
+            let c = m.decode(LineAddr(l));
+            assert!(
+                seen.insert((c.channel, c.bank, c.row, c.col)),
+                "collision at line {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn bank_first_is_injective_and_in_bounds() {
+        let org = Organization::hbm();
+        let m = AddressMapping::with_interleave(org, Interleave::BankFirst);
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..50_000u64 {
+            let c = m.decode(LineAddr(l));
+            assert!(c.channel < org.channels && c.bank < org.banks && c.col < org.lines_per_row);
+            assert!(seen.insert((c.channel, c.bank, c.row, c.col)));
+        }
+        // Consecutive lines share a channel under bank-first.
+        assert_eq!(m.decode(LineAddr(0)).channel, m.decode(LineAddr(1)).channel);
+    }
+
+    #[test]
+    fn coordinates_in_bounds() {
+        let org = Organization::hbm();
+        let m = AddressMapping::new(org);
+        for l in (0..1_000_000u64).step_by(997) {
+            let c = m.decode(LineAddr(l));
+            assert!(c.channel < org.channels);
+            assert!(c.bank < org.banks * org.ranks);
+            assert!(c.col < org.lines_per_row);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Memory requests and completions.
+
+use ramp_sim::units::{AccessKind, Cycle, LineAddr};
+
+/// A request presented to a memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique id assigned by the issuer; completions echo it.
+    pub id: u64,
+    /// The *frame* line address within this memory (already remapped by the
+    /// HMA layer).
+    pub line: LineAddr,
+    /// Read (demand fill) or write (posted writeback).
+    pub kind: AccessKind,
+    /// Issuing core (for per-core statistics); `usize::MAX` for controller-
+    /// generated traffic such as migrations.
+    pub core: usize,
+    /// Cycle the request entered the controller queue.
+    pub arrive: Cycle,
+}
+
+/// A finished request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Cycle the last data beat transferred.
+    pub finish: Cycle,
+    /// Queue + service latency in cycles.
+    pub latency: u64,
+    /// Issuing core copied from the request.
+    pub core: usize,
+}
+
+/// Error returned when a controller queue is full; the caller must stall
+/// and retry (this is the bandwidth backpressure path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory controller queue full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_is_an_error() {
+        let e: Box<dyn std::error::Error> = Box::new(QueueFull);
+        assert_eq!(e.to_string(), "memory controller queue full");
+    }
+
+    #[test]
+    fn request_fields_round_trip() {
+        let r = MemRequest {
+            id: 7,
+            line: LineAddr(3),
+            kind: AccessKind::Read,
+            core: 4,
+            arrive: Cycle(100),
+        };
+        assert_eq!(r.id, 7);
+        assert!(!r.kind.is_write());
+    }
+}

@@ -1,0 +1,146 @@
+//! GF(2^8) arithmetic for the ChipKill Reed-Solomon code.
+//!
+//! Uses the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d) with
+//! generator α = 2, via log/antilog tables built at construction.
+
+/// GF(256) field with precomputed log/exp tables.
+#[derive(Clone, Debug)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Builds the field tables.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// α raised to `p` (mod 255).
+    #[inline]
+    pub fn alpha_pow(&self, p: usize) -> u8 {
+        self.exp[p % 255]
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[255 + self.log[a as usize] as usize - self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        self.div(1, a)
+    }
+
+    /// Discrete logarithm base α (only defined for non-zero elements).
+    #[inline]
+    pub fn log_of(&self, a: u8) -> Option<usize> {
+        if a == 0 {
+            None
+        } else {
+            Some(self.log[a as usize] as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_agrees_with_schoolbook() {
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut r = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    r ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= 0x1d;
+                }
+                b >>= 1;
+            }
+            r
+        }
+        let f = Gf256::new();
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(5) {
+                assert_eq!(f.mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let f = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn alpha_powers_cycle() {
+        let f = Gf256::new();
+        assert_eq!(f.alpha_pow(0), 1);
+        assert_eq!(f.alpha_pow(1), 2);
+        assert_eq!(f.alpha_pow(255), 1);
+        // α is primitive: first 255 powers are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..255 {
+            assert!(seen.insert(f.alpha_pow(p)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        Gf256::new().div(1, 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Hsiao (72,64) single-error-correct / double-error-detect code.
+//!
+//! This is the odd-weight-column SEC-DED code used by the paper's HBM
+//! (Table 1, "SEC-DED \[21\]" citing Hsiao 1970). The parity-check matrix H
+//! has 72 distinct odd-weight 8-bit columns: the 8 weight-1 columns protect
+//! the check bits themselves (identity part), and the 64 data columns are
+//! the 56 weight-3 columns plus 8 weight-5 columns — the minimum-total-
+//! weight construction from Hsiao's paper.
+//!
+//! Properties (verified by the tests and property tests):
+//!
+//! * any single-bit error yields a syndrome equal to its column (odd
+//!   weight) and is corrected;
+//! * any double-bit error yields a non-zero even-weight syndrome and is
+//!   detected but not corrected;
+//! * wider errors may alias (silent corruption) — exactly the weakness the
+//!   paper exploits HBM's FIT modes against.
+
+/// Number of data bits per codeword.
+pub const DATA_BITS: usize = 64;
+/// Number of check bits per codeword.
+pub const CHECK_BITS: usize = 8;
+/// Total codeword length.
+pub const CODE_BITS: usize = DATA_BITS + CHECK_BITS;
+
+/// Decoding outcome for a received 72-bit word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Zero syndrome: the word is accepted as-is.
+    Clean,
+    /// A single-bit error was (apparently) corrected at this codeword bit.
+    Corrected {
+        /// Bit position in `0..CODE_BITS` (data bits first).
+        bit: usize,
+    },
+    /// Non-zero syndrome that is no column of H: detected uncorrectable.
+    Detected,
+}
+
+/// The Hsiao (72,64) code with precomputed column table.
+#[derive(Clone, Debug)]
+pub struct Hsiao7264 {
+    /// `columns[i]` is the 8-bit syndrome of an error in codeword bit `i`
+    /// (bits `0..64` are data, `64..72` are check bits).
+    columns: [u8; CODE_BITS],
+    /// Maps a syndrome value to the codeword bit it identifies, or `None`.
+    syndrome_to_bit: [Option<u8>; 256],
+}
+
+impl Default for Hsiao7264 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hsiao7264 {
+    /// Builds the code (deterministic construction).
+    pub fn new() -> Self {
+        let mut columns = [0u8; CODE_BITS];
+        // Data columns: all 56 weight-3 patterns, then the first 8 weight-5
+        // patterns, in increasing numeric order (a fixed, documented order).
+        let mut idx = 0;
+        for w in [3u32, 5] {
+            for v in 1u16..256 {
+                let v = v as u8;
+                if v.count_ones() == w {
+                    if idx < DATA_BITS {
+                        columns[idx] = v;
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(idx, DATA_BITS);
+        // Check-bit columns: identity.
+        for i in 0..CHECK_BITS {
+            columns[DATA_BITS + i] = 1 << i;
+        }
+        let mut syndrome_to_bit = [None; 256];
+        for (i, &c) in columns.iter().enumerate() {
+            debug_assert!(syndrome_to_bit[c as usize].is_none(), "duplicate column");
+            syndrome_to_bit[c as usize] = Some(i as u8);
+        }
+        Hsiao7264 {
+            columns,
+            syndrome_to_bit,
+        }
+    }
+
+    /// Computes the 8 check bits for a 64-bit data word.
+    pub fn encode(&self, data: u64) -> u8 {
+        // check = P * data where column i of P is columns[i].
+        let mut check = 0u8;
+        let mut d = data;
+        let mut i = 0;
+        while d != 0 {
+            let tz = d.trailing_zeros() as usize;
+            i += tz;
+            check ^= self.columns[i];
+            d >>= tz;
+            d >>= 1;
+            i += 1;
+        }
+        check
+    }
+
+    /// Syndrome of a received `(data, check)` pair.
+    pub fn syndrome(&self, data: u64, check: u8) -> u8 {
+        self.encode(data) ^ check
+    }
+
+    /// Decodes a received word, applying single-bit correction.
+    ///
+    /// Returns the outcome and the (possibly corrected) data word.
+    pub fn decode(&self, data: u64, check: u8) -> (DecodeOutcome, u64) {
+        let s = self.syndrome(data, check);
+        if s == 0 {
+            return (DecodeOutcome::Clean, data);
+        }
+        match self.syndrome_to_bit[s as usize] {
+            Some(bit) => {
+                let bit = bit as usize;
+                let corrected = if bit < DATA_BITS {
+                    data ^ (1u64 << bit)
+                } else {
+                    data // check-bit error: data unaffected
+                };
+                (DecodeOutcome::Corrected { bit }, corrected)
+            }
+            None => (DecodeOutcome::Detected, data),
+        }
+    }
+
+    /// Classifies an *error pattern* (set of flipped codeword bits) against
+    /// the ground truth: what would the decoder do, and is the result
+    /// correct data?
+    ///
+    /// `error` is a 72-bit mask (bit i of the `u128` = codeword bit i).
+    pub fn classify_error(&self, error: u128) -> ErrorClass {
+        if error == 0 {
+            return ErrorClass::NoError;
+        }
+        let data_err = (error & ((1u128 << DATA_BITS) - 1)) as u64;
+        let check_err = ((error >> DATA_BITS) & 0xff) as u8;
+        // Received word for all-zero data (linear code: WLOG).
+        let check_of_zero = self.encode(0);
+        let (outcome, corrected) = self.decode(data_err, check_of_zero ^ check_err);
+        match outcome {
+            DecodeOutcome::Clean => {
+                if data_err == 0 && check_err == 0 {
+                    ErrorClass::NoError
+                } else {
+                    // Error equals a codeword: undetectable corruption.
+                    ErrorClass::SilentCorruption
+                }
+            }
+            DecodeOutcome::Corrected { .. } => {
+                if corrected == 0 {
+                    ErrorClass::Corrected
+                } else {
+                    ErrorClass::SilentCorruption // miscorrection
+                }
+            }
+            DecodeOutcome::Detected => ErrorClass::DetectedUncorrectable,
+        }
+    }
+}
+
+/// Ground-truth classification of an injected error pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// No bits were flipped.
+    NoError,
+    /// The decoder returned the original data.
+    Corrected,
+    /// The decoder flagged an uncorrectable error (DUE).
+    DetectedUncorrectable,
+    /// The decoder accepted or "corrected" to wrong data (SDC).
+    SilentCorruption,
+}
+
+impl ErrorClass {
+    /// `true` for outcomes the system experiences as an uncorrected error
+    /// (both detected-uncorrectable and silent corruption).
+    pub fn is_uncorrected(self) -> bool {
+        matches!(
+            self,
+            ErrorClass::DetectedUncorrectable | ErrorClass::SilentCorruption
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_distinct_and_odd_weight() {
+        let c = Hsiao7264::new();
+        let mut seen = std::collections::HashSet::new();
+        for &col in &c.columns {
+            assert_eq!(col.count_ones() % 2, 1, "column weight must be odd");
+            assert!(seen.insert(col), "duplicate column");
+        }
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        let c = Hsiao7264::new();
+        for data in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            let check = c.encode(data);
+            let (o, d) = c.decode(data, check);
+            assert_eq!(o, DecodeOutcome::Clean);
+            assert_eq!(d, data);
+        }
+    }
+
+    #[test]
+    fn all_single_bit_errors_corrected() {
+        let c = Hsiao7264::new();
+        let data = 0x0123_4567_89ab_cdefu64;
+        let check = c.encode(data);
+        for bit in 0..CODE_BITS {
+            let (rd, rc) = if bit < DATA_BITS {
+                (data ^ (1 << bit), check)
+            } else {
+                (data, check ^ (1 << (bit - DATA_BITS)))
+            };
+            let (o, d) = c.decode(rd, rc);
+            assert_eq!(o, DecodeOutcome::Corrected { bit }, "bit {bit}");
+            assert_eq!(d, data, "bit {bit} not restored");
+        }
+    }
+
+    #[test]
+    fn all_double_bit_errors_detected() {
+        let c = Hsiao7264::new();
+        for i in 0..CODE_BITS {
+            for j in (i + 1)..CODE_BITS {
+                let err = (1u128 << i) | (1u128 << j);
+                assert_eq!(
+                    c.classify_error(err),
+                    ErrorClass::DetectedUncorrectable,
+                    "double error ({i},{j}) not detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_error_class_is_corrected() {
+        let c = Hsiao7264::new();
+        for i in 0..CODE_BITS {
+            assert_eq!(c.classify_error(1u128 << i), ErrorClass::Corrected);
+        }
+    }
+
+    #[test]
+    fn wide_errors_are_uncorrected() {
+        let c = Hsiao7264::new();
+        // An 8-bit adjacent burst (one x8 device's contribution, or an HBM
+        // sub-word failure) must not be silently accepted as clean+correct.
+        let mut uncorrected = 0;
+        for start in 0..(DATA_BITS - 8) {
+            let err = 0xffu128 << start;
+            if c.classify_error(err).is_uncorrected() {
+                uncorrected += 1;
+            }
+        }
+        // The vast majority of byte bursts defeat SEC-DED.
+        assert!(uncorrected > 50, "only {uncorrected} bursts uncorrected");
+    }
+
+    #[test]
+    fn classify_no_error() {
+        assert_eq!(Hsiao7264::new().classify_error(0), ErrorClass::NoError);
+    }
+}

@@ -1,0 +1,9 @@
+//! Error-correcting codes: Hsiao SEC-DED and symbol-based ChipKill.
+
+pub mod chipkill;
+pub mod gf256;
+pub mod hsiao;
+
+pub use chipkill::ChipKill;
+pub use gf256::Gf256;
+pub use hsiao::{DecodeOutcome, ErrorClass, Hsiao7264};

@@ -1,0 +1,153 @@
+//! Field-measured DRAM FIT rates.
+//!
+//! The paper feeds FaultSim with transient-fault FIT rates from the AMD
+//! field study of the ORNL Jaguar system (Sridharan & Liberty, SC'12,
+//! ~2.69 M DRAM devices over 11 months). The per-device transient rates
+//! below are the published per-mode numbers (FIT = failures per 10^9
+//! device-hours). HBM rates are derived from the DDR rates with a density
+//! multiplier plus a TSV failure mode, per the substitution note in
+//! DESIGN.md (die-stacked parts have higher raw fault rates and failure
+//! modes that planar DDR lacks; Nair et al. \[43,44\]).
+
+/// A transient-fault mode at DRAM-device granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultMode {
+    /// One bit flips.
+    SingleBit,
+    /// A handful of bits within one device word.
+    SingleWord,
+    /// One bit-line: a single bit position across every row.
+    SingleColumn,
+    /// One word-line: every bit of one device row.
+    SingleRow,
+    /// A full bank.
+    SingleBank,
+    /// Multiple banks of one device.
+    MultiBank,
+    /// A rank-wide fault (shared command/address circuitry).
+    MultiRank,
+    /// A through-silicon-via data-lane fault (die-stacked parts only).
+    TsvLane,
+}
+
+impl FaultMode {
+    /// All modes, in the order used by the FIT table.
+    pub const ALL: [FaultMode; 8] = [
+        FaultMode::SingleBit,
+        FaultMode::SingleWord,
+        FaultMode::SingleColumn,
+        FaultMode::SingleRow,
+        FaultMode::SingleBank,
+        FaultMode::MultiBank,
+        FaultMode::MultiRank,
+        FaultMode::TsvLane,
+    ];
+}
+
+impl std::fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultMode::SingleBit => "single-bit",
+            FaultMode::SingleWord => "single-word",
+            FaultMode::SingleColumn => "single-column",
+            FaultMode::SingleRow => "single-row",
+            FaultMode::SingleBank => "single-bank",
+            FaultMode::MultiBank => "multi-bank",
+            FaultMode::MultiRank => "multi-rank",
+            FaultMode::TsvLane => "tsv-lane",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Transient FIT per device for every fault mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitRates {
+    rates: [f64; 8],
+}
+
+impl FitRates {
+    /// The SC'12 Jaguar field-study transient rates for planar DDR devices
+    /// (FIT per device).
+    pub fn jaguar_ddr() -> Self {
+        let mut rates = [0.0; 8];
+        rates[0] = 14.2; // single-bit
+        rates[1] = 1.4; // single-word
+        rates[2] = 1.4; // single-column
+        rates[3] = 0.2; // single-row
+        rates[4] = 0.8; // single-bank
+        rates[5] = 0.3; // multi-bank
+        rates[6] = 0.9; // multi-rank
+        rates[7] = 0.0; // no TSVs in planar parts
+        FitRates { rates }
+    }
+
+    /// Die-stacked (HBM) rates: DDR rates scaled by `density_multiplier`
+    /// plus a TSV-lane mode at `tsv_fit` FIT per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density_multiplier < 1.0` or `tsv_fit < 0.0`.
+    pub fn die_stacked(density_multiplier: f64, tsv_fit: f64) -> Self {
+        assert!(density_multiplier >= 1.0, "stacked parts are denser");
+        assert!(tsv_fit >= 0.0);
+        let mut rates = Self::jaguar_ddr().rates;
+        for r in &mut rates {
+            *r *= density_multiplier;
+        }
+        rates[7] = tsv_fit;
+        FitRates { rates }
+    }
+
+    /// FIT for one mode.
+    pub fn rate(&self, mode: FaultMode) -> f64 {
+        self.rates[mode as usize]
+    }
+
+    /// Total FIT per device across modes.
+    pub fn total(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Iterator over `(mode, fit)` pairs with non-zero rates.
+    pub fn iter(&self) -> impl Iterator<Item = (FaultMode, f64)> + '_ {
+        FaultMode::ALL
+            .into_iter()
+            .map(move |m| (m, self.rate(m)))
+            .filter(|&(_, r)| r > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaguar_rates_match_field_study() {
+        let f = FitRates::jaguar_ddr();
+        assert_eq!(f.rate(FaultMode::SingleBit), 14.2);
+        assert_eq!(f.rate(FaultMode::TsvLane), 0.0);
+        assert!((f.total() - 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn die_stacked_scales_and_adds_tsv() {
+        let f = FitRates::die_stacked(2.0, 1.5);
+        assert_eq!(f.rate(FaultMode::SingleBit), 28.4);
+        assert_eq!(f.rate(FaultMode::TsvLane), 1.5);
+        assert!(f.total() > FitRates::jaguar_ddr().total() * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "denser")]
+    fn sub_unity_multiplier_rejected() {
+        FitRates::die_stacked(0.5, 0.0);
+    }
+
+    #[test]
+    fn iter_skips_zero_modes() {
+        let modes: Vec<_> = FitRates::jaguar_ddr().iter().map(|(m, _)| m).collect();
+        assert_eq!(modes.len(), 7);
+        assert!(!modes.contains(&FaultMode::TsvLane));
+    }
+}

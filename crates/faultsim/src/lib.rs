@@ -1,0 +1,36 @@
+//! Event-based DRAM fault and ECC simulation for RAMP (FaultSim substitute).
+//!
+//! The paper quantifies each memory's vulnerability with FaultSim (Nair et
+//! al., TACO'15) driven by field-measured FIT rates from a large-scale AMD
+//! study (Sridharan & Liberty, SC'12). This crate rebuilds that pipeline:
+//!
+//! * [`fit`] — the published per-device transient FIT rates, plus derived
+//!   die-stacked rates (density multiplier + TSV fault mode);
+//! * [`ecc`] — bit-exact Hsiao (72,64) SEC-DED and a GF(256) Reed-Solomon
+//!   single-ChipKill decoder;
+//! * [`montecarlo`] — FaultSim-style Monte-Carlo trials that inject faults
+//!   by mode, apply the ECC and classify outcomes as corrected, detected-
+//!   uncorrectable or silent corruption.
+//!
+//! Its headline product is the uncorrected-error FIT per GiB of each
+//! memory, consumed by the SER model in `ramp-avf` (Equation 2).
+//!
+//! ```
+//! use ramp_faultsim::{run_monte_carlo, RasConfig};
+//! use ramp_sim::SimRng;
+//!
+//! let out = run_monte_carlo(&RasConfig::hbm_secded(), 1_000, &mut SimRng::from_seed(1));
+//! assert_eq!(out.trials, 1_000);
+//! assert!(out.survival_probability() <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ecc;
+pub mod fit;
+pub mod montecarlo;
+
+pub use ecc::{ChipKill, ErrorClass, Hsiao7264};
+pub use fit::{FaultMode, FitRates};
+pub use montecarlo::{run_monte_carlo, EccScheme, RasConfig, RasOutcome};

@@ -1,0 +1,367 @@
+//! FaultSim-style Monte-Carlo reliability estimation.
+//!
+//! Each trial simulates one rank over a mission: faults arrive as Poisson
+//! processes per mode (rates from the field-study FIT table), persist until
+//! the next scrub, and are evaluated against the configured ECC — directly
+//! exercising the bit-exact [`crate::ecc::hsiao::Hsiao7264`] decoder for
+//! SEC-DED memories and the symbol-based [`crate::ecc::chipkill::ChipKill`]
+//! decoder for ChipKill memories, exactly like FaultSim's event-based
+//! evaluation (Nair et al., TACO'15). The paper runs 100 K trials for
+//! SEC-DED and 1 M for ChipKill; the defaults match.
+//!
+//! The output of interest is the **uncorrected-error FIT per GB** of each
+//! memory, which the SER model (in `ramp-avf`) multiplies by per-page AVF
+//! (Equation 2 of the paper).
+
+use ramp_sim::rng::SimRng;
+
+use crate::ecc::chipkill::{ChipKill, TOTAL_SYMBOLS};
+use crate::ecc::hsiao::{ErrorClass, Hsiao7264};
+use crate::fit::{FaultMode, FitRates};
+
+/// Which error-correction scheme a memory uses (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EccScheme {
+    /// Hsiao (72,64) SEC-DED — the HBM configuration.
+    SecDed,
+    /// Symbol-based single-ChipKill — the DDRx configuration.
+    ChipKill,
+}
+
+/// Reliability configuration of one memory.
+#[derive(Clone, Copy, Debug)]
+pub struct RasConfig {
+    /// ECC scheme protecting the memory.
+    pub ecc: EccScheme,
+    /// Per-device transient FIT rates.
+    pub fit: FitRates,
+    /// DRAM devices per rank (36 x4 parts for ChipKill DDR; the stacked
+    /// die count for HBM).
+    pub devices_per_rank: usize,
+    /// Capacity of one rank in GiB (normalizes FIT to per-GB).
+    pub capacity_per_rank_gb: f64,
+    /// Patrol-scrub interval in hours (transient faults are cleaned up at
+    /// the next scrub).
+    pub scrub_interval_hours: f64,
+    /// Mission length of one trial in hours.
+    pub mission_hours: f64,
+}
+
+impl RasConfig {
+    /// Table 1 DDR: 36 x4 devices per rank, 8 GiB ranks, ChipKill.
+    pub fn ddr_chipkill() -> Self {
+        RasConfig {
+            ecc: EccScheme::ChipKill,
+            fit: FitRates::jaguar_ddr(),
+            devices_per_rank: 36,
+            capacity_per_rank_gb: 8.0,
+            scrub_interval_hours: 24.0,
+            mission_hours: 8760.0,
+        }
+    }
+
+    /// Table 1 HBM: a 4-die stack behind one channel pair, 1 GiB total
+    /// treated as 4 x 0.25 GiB device-ranks, SEC-DED, 2.5x raw-FIT density
+    /// multiplier plus a 1.5 FIT TSV-lane mode.
+    pub fn hbm_secded() -> Self {
+        RasConfig {
+            ecc: EccScheme::SecDed,
+            fit: FitRates::die_stacked(2.5, 1.5),
+            devices_per_rank: 1,
+            capacity_per_rank_gb: 0.25,
+            scrub_interval_hours: 24.0,
+            mission_hours: 8760.0,
+        }
+    }
+}
+
+/// Monte-Carlo outcome tallies and derived rates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RasOutcome {
+    /// Trials simulated.
+    pub trials: u64,
+    /// Faults injected in total.
+    pub faults: u64,
+    /// Faults fully corrected by the ECC.
+    pub corrected: u64,
+    /// Detected-uncorrectable events (DUE).
+    pub detected_ue: u64,
+    /// Silent corruptions (miscorrection or undetected).
+    pub silent_ue: u64,
+    /// Trials that experienced at least one uncorrected error.
+    pub failed_trials: u64,
+    /// Mission hours per trial (copied from the config).
+    pub mission_hours: f64,
+    /// Rank capacity in GiB (copied from the config).
+    pub capacity_per_rank_gb: f64,
+}
+
+impl RasOutcome {
+    /// Uncorrected events per trial.
+    pub fn uncorrected_per_trial(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            (self.detected_ue + self.silent_ue) as f64 / self.trials as f64
+        }
+    }
+
+    /// Probability a rank survives one mission without uncorrected errors.
+    pub fn survival_probability(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            1.0 - self.failed_trials as f64 / self.trials as f64
+        }
+    }
+
+    /// Uncorrected-error FIT per rank (events per 10^9 rank-hours).
+    pub fn fit_uncorrected_per_rank(&self) -> f64 {
+        if self.trials == 0 || self.mission_hours == 0.0 {
+            0.0
+        } else {
+            self.uncorrected_per_trial() / self.mission_hours * 1e9
+        }
+    }
+
+    /// Uncorrected-error FIT per GiB.
+    pub fn fit_uncorrected_per_gb(&self) -> f64 {
+        if self.capacity_per_rank_gb == 0.0 {
+            0.0
+        } else {
+            self.fit_uncorrected_per_rank() / self.capacity_per_rank_gb
+        }
+    }
+}
+
+/// One active (unscrubbed) fault.
+#[derive(Clone, Copy, Debug)]
+struct ActiveFault {
+    device: usize,
+    /// Fraction of the device's ECC words the fault touches.
+    coverage: f64,
+    expires_at: f64,
+}
+
+/// Words per device (2 Gb part contributing 8 bits per codeword).
+const WORDS_PER_DEVICE: f64 = (1u64 << 28) as f64;
+
+/// Per-mode fraction of a device's words covered by one fault.
+fn coverage(mode: FaultMode) -> f64 {
+    match mode {
+        FaultMode::SingleBit | FaultMode::SingleWord => 1.0 / WORDS_PER_DEVICE,
+        FaultMode::SingleColumn => 1.0 / 1024.0,
+        FaultMode::SingleRow => 1.0 / 262_144.0,
+        FaultMode::SingleBank => 1.0 / 8.0,
+        FaultMode::MultiBank => 0.5,
+        FaultMode::MultiRank => 0.5,
+        FaultMode::TsvLane => 1.0 / 32.0,
+    }
+}
+
+/// Runs `trials` independent rank-mission simulations.
+pub fn run_monte_carlo(cfg: &RasConfig, trials: u64, rng: &mut SimRng) -> RasOutcome {
+    let hsiao = Hsiao7264::new();
+    let chipkill = ChipKill::new();
+    let mut out = RasOutcome {
+        trials,
+        mission_hours: cfg.mission_hours,
+        capacity_per_rank_gb: cfg.capacity_per_rank_gb,
+        ..RasOutcome::default()
+    };
+
+    for _ in 0..trials {
+        let mut failed = false;
+        // Draw all fault arrivals for this mission.
+        let mut events: Vec<(f64, FaultMode, usize)> = Vec::new();
+        for (mode, fit) in cfg.fit.iter() {
+            let lambda = fit * 1e-9 * cfg.mission_hours * cfg.devices_per_rank as f64;
+            let n = rng.poisson(lambda);
+            for _ in 0..n {
+                let t = rng.unit() * cfg.mission_hours;
+                let dev = rng.below(cfg.devices_per_rank as u64) as usize;
+                events.push((t, mode, dev));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        out.faults += events.len() as u64;
+
+        let mut active: Vec<ActiveFault> = Vec::new();
+        for (t, mode, dev) in events {
+            active.retain(|f| f.expires_at > t);
+            // Single-fault effect.
+            let class = match cfg.ecc {
+                EccScheme::SecDed => classify_secded_single(&hsiao, mode, rng),
+                EccScheme::ChipKill => classify_chipkill_single(&chipkill, mode, dev, rng),
+            };
+            match class {
+                ErrorClass::Corrected | ErrorClass::NoError => out.corrected += 1,
+                ErrorClass::DetectedUncorrectable => {
+                    out.detected_ue += 1;
+                    failed = true;
+                }
+                ErrorClass::SilentCorruption => {
+                    out.silent_ue += 1;
+                    failed = true;
+                }
+            }
+            // Double-fault interaction with still-active faults.
+            let cov = coverage(mode);
+            if class == ErrorClass::Corrected || class == ErrorClass::NoError {
+                for f in &active {
+                    let same_device = f.device == dev;
+                    if same_device {
+                        // Same-device overlaps merge into a wider error in
+                        // the same symbol/word provider; for ChipKill the
+                        // symbol still corrects, for SEC-DED the merged
+                        // pattern usually already failed at injection.
+                        continue;
+                    }
+                    let expected_overlap = f.coverage * cov * WORDS_PER_DEVICE;
+                    let p = expected_overlap.min(1.0);
+                    if rng.chance(p) {
+                        // Two devices corrupt the same codeword.
+                        out.detected_ue += 1;
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            let next_scrub = (t / cfg.scrub_interval_hours).floor() * cfg.scrub_interval_hours
+                + cfg.scrub_interval_hours;
+            active.push(ActiveFault {
+                device: dev,
+                coverage: cov,
+                expires_at: next_scrub,
+            });
+        }
+        if failed {
+            out.failed_trials += 1;
+        }
+    }
+    out
+}
+
+/// Error pattern of one fault mode within a 72-bit SEC-DED word supplied
+/// entirely by the (single) stacked die.
+fn classify_secded_single(hsiao: &Hsiao7264, mode: FaultMode, rng: &mut SimRng) -> ErrorClass {
+    let mask: u128 = match mode {
+        FaultMode::SingleBit | FaultMode::SingleColumn => {
+            // One bit per affected word.
+            1u128 << rng.below(72)
+        }
+        FaultMode::SingleWord => {
+            // A few bits within one word.
+            let n = 2 + rng.below(3);
+            let mut m = 0u128;
+            for _ in 0..n {
+                m |= 1u128 << rng.below(72);
+            }
+            m
+        }
+        FaultMode::SingleRow | FaultMode::SingleBank | FaultMode::MultiBank
+        | FaultMode::MultiRank => {
+            // A whole device row: an aligned 8-bit burst of the word.
+            let byte = rng.below(9);
+            0xffu128 << (8 * byte)
+        }
+        FaultMode::TsvLane => {
+            // A 4-bit data lane stuck across the burst.
+            let lane = rng.below(18);
+            0xfu128 << (4 * lane)
+        }
+    };
+    hsiao.classify_error(mask)
+}
+
+/// Error pattern of one fault mode against the ChipKill code: every
+/// single-device mode corrupts exactly one symbol (possibly in many words);
+/// the per-word classification is what matters.
+fn classify_chipkill_single(
+    ck: &ChipKill,
+    mode: FaultMode,
+    dev: usize,
+    rng: &mut SimRng,
+) -> ErrorClass {
+    let symbol = dev % TOTAL_SYMBOLS;
+    match mode {
+        FaultMode::MultiRank => {
+            // Command/address fault: corrupts the same symbol position in
+            // both ranks; still one symbol per codeword.
+            let v = 1 + rng.below(255) as u8;
+            ck.classify_chip_failure(symbol, v)
+        }
+        _ => {
+            let v = 1 + rng.below(255) as u8;
+            ck.classify_chip_failure(symbol, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chipkill_corrects_almost_everything() {
+        let cfg = RasConfig::ddr_chipkill();
+        let mut rng = SimRng::from_seed(7);
+        let out = run_monte_carlo(&cfg, 200_000, &mut rng);
+        assert!(out.faults > 500, "expected some faults, got {}", out.faults);
+        let unc_ratio = (out.detected_ue + out.silent_ue) as f64 / out.faults as f64;
+        assert!(
+            unc_ratio < 0.01,
+            "ChipKill uncorrected ratio {unc_ratio} too high"
+        );
+    }
+
+    #[test]
+    fn secded_fails_on_large_granularity_modes() {
+        let cfg = RasConfig::hbm_secded();
+        let mut rng = SimRng::from_seed(9);
+        let out = run_monte_carlo(&cfg, 500_000, &mut rng);
+        assert!(out.detected_ue + out.silent_ue > 0, "SEC-DED must fail sometimes");
+        // Single-bit faults dominate arrivals and are all corrected, so the
+        // corrected count must also be substantial.
+        assert!(out.corrected > 0);
+    }
+
+    #[test]
+    fn hbm_per_gb_uncorrected_fit_exceeds_ddr() {
+        let mut rng = SimRng::from_seed(11);
+        let hbm = run_monte_carlo(&RasConfig::hbm_secded(), 500_000, &mut rng);
+        let ddr = run_monte_carlo(&RasConfig::ddr_chipkill(), 100_000, &mut rng);
+        let h = hbm.fit_uncorrected_per_gb();
+        let d = ddr.fit_uncorrected_per_gb();
+        assert!(h > 1.0, "HBM FIT/GB {h} too low");
+        assert!(h > d * 100.0, "HBM ({h}) vs DDR ({d}) gap too small");
+    }
+
+    #[test]
+    fn outcome_rates_consistent() {
+        let mut o = RasOutcome {
+            trials: 100,
+            detected_ue: 5,
+            silent_ue: 5,
+            failed_trials: 9,
+            mission_hours: 1000.0,
+            capacity_per_rank_gb: 2.0,
+            ..RasOutcome::default()
+        };
+        assert!((o.uncorrected_per_trial() - 0.1).abs() < 1e-12);
+        assert!((o.survival_probability() - 0.91).abs() < 1e-12);
+        assert!((o.fit_uncorrected_per_rank() - 1e5).abs() < 1e-6);
+        assert!((o.fit_uncorrected_per_gb() - 5e4).abs() < 1e-6);
+        o.trials = 0;
+        assert_eq!(o.uncorrected_per_trial(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RasConfig::hbm_secded();
+        let a = run_monte_carlo(&cfg, 2_000, &mut SimRng::from_seed(3));
+        let b = run_monte_carlo(&cfg, 2_000, &mut SimRng::from_seed(3));
+        assert_eq!(a.detected_ue, b.detected_ue);
+        assert_eq!(a.faults, b.faults);
+    }
+}

@@ -1,0 +1,155 @@
+//! A deterministic discrete-event queue.
+//!
+//! The DRAM controllers and migration engines schedule future work on an
+//! [`EventQueue`]. Events firing at the same cycle are delivered in
+//! insertion order (a monotonically increasing sequence number breaks ties),
+//! which keeps whole-system simulation runs bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::units::Cycle;
+
+/// A time-ordered queue of events of type `T`.
+///
+/// ```
+/// use ramp_sim::event::EventQueue;
+/// use ramp_sim::units::Cycle;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(10), "b");
+/// q.schedule(Cycle(5), "a");
+/// q.schedule(Cycle(10), "c");
+/// assert_eq!(q.pop(), Some((Cycle(5), "a")));
+/// assert_eq!(q.pop(), Some((Cycle(10), "b"))); // FIFO among same-cycle events
+/// assert_eq!(q.pop(), Some((Cycle(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Cycle of the earliest pending event, if any.
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        if self.next_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(3), 30);
+        q.schedule(Cycle(1), 10);
+        q.schedule(Cycle(3), 31);
+        q.schedule(Cycle(2), 20);
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            vec![
+                (Cycle(1), 10),
+                (Cycle(2), 20),
+                (Cycle(3), 30),
+                (Cycle(3), 31)
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), 'a');
+        q.schedule(Cycle(8), 'b');
+        assert_eq!(q.pop_due(Cycle(4)), None);
+        assert_eq!(q.pop_due(Cycle(5)), Some((Cycle(5), 'a')));
+        assert_eq!(q.pop_due(Cycle(100)), Some((Cycle(8), 'b')));
+        assert_eq!(q.pop_due(Cycle(100)), None);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        q.schedule(Cycle(0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+    }
+}

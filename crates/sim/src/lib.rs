@@ -1,0 +1,39 @@
+//! Shared simulation infrastructure for the RAMP workspace.
+//!
+//! This crate holds the small, dependency-free building blocks every other
+//! RAMP crate uses:
+//!
+//! * [`units`] — strongly-typed addresses, pages, cache lines and cycle
+//!   counts, plus the geometry constants (page size, line size) the whole
+//!   simulator agrees on.
+//! * [`stats`] — online statistics, Pearson correlation, histograms and
+//!   geometric means used by the experiment harness.
+//! * [`event`] — a deterministic discrete-event queue.
+//! * [`rng`] — seeded random-number plumbing (every random decision in RAMP
+//!   flows from a single root seed) and a Zipf sampler for skewed page
+//!   popularity.
+//!
+//! # Example
+//!
+//! ```
+//! use ramp_sim::units::{Addr, PAGE_SIZE};
+//! use ramp_sim::stats::pearson;
+//!
+//! let a = Addr(0x1234_5678);
+//! assert_eq!(a.page().index() * PAGE_SIZE as u64, a.page_base().0);
+//!
+//! let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+//! assert!((r - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use units::{Addr, Cycle, LineAddr, PageId};

@@ -1,0 +1,353 @@
+//! Statistics helpers used by the experiment harness.
+//!
+//! Everything here is small, allocation-light and deterministic: online
+//! mean/variance ([`OnlineStats`]), Pearson correlation (used for the
+//! hotness-AVF and write-ratio-AVF correlations of Figures 6 and 9),
+//! fixed-bin histograms (Figure 9b) and geometric means (cross-workload
+//! IPC/SER summaries).
+
+/// Online mean / variance / min / max accumulator (Welford's algorithm).
+///
+/// ```
+/// use ramp_sim::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// elements, or either sample has zero variance (correlation undefined).
+///
+/// ```
+/// use ramp_sim::stats::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]).unwrap();
+/// assert!((r + 1.0).abs() < 1e-12);
+/// assert!(pearson(&[1.0], &[1.0]).is_none());
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Geometric mean of a sample of positive values.
+///
+/// Returns `None` if the slice is empty or any value is non-positive.
+/// Used for cross-workload IPC and SER ratio summaries, matching common
+/// architecture-paper practice.
+///
+/// ```
+/// use ramp_sim::stats::geomean;
+/// assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Arithmetic mean of a sample; `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)`.
+///
+/// Out-of-range observations are clamped into the first/last bin, so every
+/// pushed value is counted (matching how Figure 9b bins write ratios).
+///
+/// ```
+/// use ramp_sim::stats::Histogram;
+/// let mut h = Histogram::new(0.0, 1.0, 5);
+/// h.push(0.05);
+/// h.push(0.99);
+/// h.push(2.0); // clamped into the last bin
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation (clamped into range).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator over `(bin_lo, bin_hi, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
+    }
+}
+
+/// Returns the indices that sort `values` in descending order.
+///
+/// Ties break by ascending index so the order is fully deterministic.
+/// This is the primitive behind every "top-N hottest pages" selection.
+///
+/// ```
+/// use ramp_sim::stats::rank_descending;
+/// assert_eq!(rank_descending(&[1.0, 3.0, 2.0, 3.0]), vec![1, 3, 2, 0]);
+/// ```
+pub fn rank_descending(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// A percentile of a sample via nearest-rank on a sorted copy.
+///
+/// `q` is in `[0, 1]`. Returns `None` for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
+    Some(v[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineStats = data.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn pearson_basic_cases() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        // Zero variance -> undefined.
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        // Mismatched lengths -> undefined.
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        // Symmetric pattern with zero covariance.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-5.0);
+        h.push(50.0);
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        let bins: Vec<_> = h.iter().collect();
+        assert_eq!(bins.len(), 10);
+        assert!((bins[0].0 - 0.0).abs() < 1e-12);
+        assert!((bins[9].1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn rank_descending_with_ties() {
+        let r = rank_descending(&[5.0, 5.0, 1.0]);
+        assert_eq!(r, vec![0, 1, 2]);
+        assert!(rank_descending(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [3.0, 1.0, 2.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+        assert_eq!(percentile(&xs, 1.0), Some(5.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+}

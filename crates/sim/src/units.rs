@@ -1,0 +1,327 @@
+//! Strongly-typed units shared across the simulator.
+//!
+//! The whole workspace agrees on a fixed memory geometry: 4 KiB pages made of
+//! 64 B cache lines, matching the paper's AVF granularity (page-level
+//! placement decisions, line-level ACE tracking).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of a memory page in bytes (4 KiB, the placement granularity).
+pub const PAGE_SIZE: usize = 4096;
+/// Size of a cache line in bytes (64 B, the access and AVF granularity).
+pub const LINE_SIZE: usize = 64;
+/// Number of cache lines per page.
+pub const LINES_PER_PAGE: usize = PAGE_SIZE / LINE_SIZE;
+/// Number of bits in a page (used by the AVF denominator of Equation 1).
+pub const PAGE_BITS: u64 = (PAGE_SIZE as u64) * 8;
+
+/// A byte address in the simulated physical address space.
+///
+/// `Addr` is a transparent newtype over `u64`; arithmetic helpers derive the
+/// page and line containing the address.
+///
+/// ```
+/// use ramp_sim::units::{Addr, PAGE_SIZE};
+/// let a = Addr(PAGE_SIZE as u64 + 100);
+/// assert_eq!(a.page().index(), 1);
+/// assert_eq!(a.line_in_page(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The page containing this address.
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// The cache line containing this address (global line number).
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_SIZE as u64)
+    }
+
+    /// Index of the line within its page (`0..LINES_PER_PAGE`).
+    #[inline]
+    pub fn line_in_page(self) -> usize {
+        ((self.0 % PAGE_SIZE as u64) / LINE_SIZE as u64) as usize
+    }
+
+    /// First byte address of the page containing this address.
+    #[inline]
+    pub fn page_base(self) -> Addr {
+        Addr(self.0 - self.0 % PAGE_SIZE as u64)
+    }
+
+    /// First byte address of the line containing this address.
+    #[inline]
+    pub fn line_base(self) -> Addr {
+        Addr(self.0 - self.0 % LINE_SIZE as u64)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+/// A 4 KiB page number (physical address divided by [`PAGE_SIZE`]).
+///
+/// Pages are the unit of placement and migration decisions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The raw page index.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Base byte address of this page.
+    #[inline]
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// Address of the `line`-th cache line of this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= LINES_PER_PAGE`.
+    #[inline]
+    pub fn line_addr(self, line: usize) -> Addr {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of page");
+        Addr(self.0 * PAGE_SIZE as u64 + (line * LINE_SIZE) as u64)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageId({})", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A global 64 B cache-line number (physical address divided by [`LINE_SIZE`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The page containing this line.
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId(self.0 / LINES_PER_PAGE as u64)
+    }
+
+    /// Index of the line within its page.
+    #[inline]
+    pub fn line_in_page(self) -> usize {
+        (self.0 % LINES_PER_PAGE as u64) as usize
+    }
+
+    /// Base byte address of this line.
+    #[inline]
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * LINE_SIZE as u64)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({})", self.0)
+    }
+}
+
+/// A CPU-clock cycle count.
+///
+/// All timing in RAMP is expressed in CPU cycles (the paper's 3.2 GHz core
+/// clock); memory controllers convert to their own bus clock internally.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Zero cycles (simulation start).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two cycle counts.
+    #[inline]
+    pub fn max(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.max(rhs.0))
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+/// Whether a memory access reads or writes its cache line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A read (demand load or instruction fetch miss / fill).
+    Read,
+    /// A write (store writeback to memory).
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_and_line_round_trip() {
+        let a = Addr(3 * PAGE_SIZE as u64 + 5 * LINE_SIZE as u64 + 7);
+        assert_eq!(a.page(), PageId(3));
+        assert_eq!(a.line_in_page(), 5);
+        assert_eq!(a.page_base(), Addr(3 * PAGE_SIZE as u64));
+        assert_eq!(a.line_base(), Addr(3 * PAGE_SIZE as u64 + 5 * LINE_SIZE as u64));
+        assert_eq!(a.page_offset(), 5 * LINE_SIZE + 7);
+    }
+
+    #[test]
+    fn page_line_addr() {
+        let p = PageId(10);
+        assert_eq!(p.line_addr(0), p.base_addr());
+        assert_eq!(p.line_addr(63).line_in_page(), 63);
+        assert_eq!(p.line_addr(63).page(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn page_line_addr_out_of_range_panics() {
+        PageId(0).line_addr(LINES_PER_PAGE);
+    }
+
+    #[test]
+    fn line_addr_navigation() {
+        let l = LineAddr(LINES_PER_PAGE as u64 * 2 + 3);
+        assert_eq!(l.page(), PageId(2));
+        assert_eq!(l.line_in_page(), 3);
+        assert_eq!(l.base_addr().line(), l);
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle(10);
+        let b = Cycle(4);
+        assert_eq!(a + b, Cycle(14));
+        assert_eq!(a - b, Cycle(6));
+        assert_eq!(b.saturating_sub(a), Cycle::ZERO);
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += 5;
+        assert_eq!(c, Cycle(15));
+    }
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(PAGE_BITS, 4096 * 8);
+    }
+
+    #[test]
+    fn debug_impls_nonempty() {
+        assert!(!format!("{:?}", Addr(0)).is_empty());
+        assert!(!format!("{:?}", PageId(0)).is_empty());
+        assert!(!format!("{:?}", Cycle(0)).is_empty());
+        assert_eq!(format!("{}", AccessKind::Read), "R");
+        assert_eq!(format!("{}", AccessKind::Write), "W");
+    }
+}

@@ -1,0 +1,347 @@
+//! The per-core trace generator.
+//!
+//! An [`InstanceGen`] replays one benchmark instance: an infinite,
+//! deterministic stream of [`TraceRecord`]s driven by the benchmark's
+//! [`RegionSpec`]s. Sixteen instances (one per core) make up a workload.
+
+use ramp_sim::rng::SimRng;
+use ramp_sim::units::{AccessKind, Addr, PageId, LINE_SIZE, PAGE_SIZE};
+
+use crate::profile::BenchProfile;
+use crate::record::TraceRecord;
+use crate::region::{RegionSpec, RegionState};
+
+/// How often (in generated accesses) phase-dependent region weights are
+/// refreshed. Phases change slowly relative to this.
+const WEIGHT_REFRESH: u64 = 1024;
+
+/// A deterministic generator for one benchmark instance on one core.
+///
+/// The generator is an infinite iterator; the system simulator drains it
+/// until the core reaches its instruction budget.
+///
+/// ```
+/// use ramp_trace::{Benchmark, InstanceGen};
+/// let mut gen = InstanceGen::new(Benchmark::Astar.profile(), 0, 42, 1_000_000);
+/// let rec = gen.next().unwrap();
+/// assert!(gen.footprint_pages() > 0);
+/// assert!(rec.addr.page().index() >= gen.base_page().index());
+/// ```
+#[derive(Debug)]
+pub struct InstanceGen {
+    profile: BenchProfile,
+    /// Base page of this instance's private address space.
+    base_page: PageId,
+    /// Per-region (spec index, first page offset within the instance).
+    region_bases: Vec<u64>,
+    states: Vec<RegionState>,
+    rng: SimRng,
+    /// Instructions generated so far (gaps + memory ops).
+    insts: u64,
+    /// Instruction budget used as the denominator for phase progress.
+    horizon: u64,
+    /// Pending store of a read-modify-write pair.
+    pending: Option<TraceRecord>,
+    /// Cached cumulative region weights (refreshed every `WEIGHT_REFRESH`).
+    cum_weights: Vec<f64>,
+    accesses_since_refresh: u64,
+}
+
+impl InstanceGen {
+    /// Creates a generator for `profile` on `core`, seeded from `seed`.
+    ///
+    /// `horizon` is the instruction budget of the run; it only affects
+    /// phase-progress computation (`Phase::Init`), not the stream length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no regions or a zero total weight.
+    pub fn new(profile: BenchProfile, core: usize, seed: u64, horizon: u64) -> Self {
+        assert!(!profile.regions.is_empty(), "profile without regions");
+        let mut rng = SimRng::from_seed(seed).child_indexed("instance", core as u64);
+        let mut region_bases = Vec::with_capacity(profile.regions.len());
+        let mut offset = 0u64;
+        for r in &profile.regions {
+            assert!(r.pages > 0, "region {} has zero pages", r.name);
+            region_bases.push(offset);
+            offset += r.pages;
+        }
+        let states: Vec<RegionState> = profile
+            .regions
+            .iter()
+            .map(|r| RegionState::new(r, &mut rng))
+            .collect();
+        // Cores get disjoint 16 GiB virtual slots so copies never share pages.
+        let base_page = PageId((core as u64) << 22);
+        let mut gen = InstanceGen {
+            profile,
+            base_page,
+            region_bases,
+            states,
+            rng,
+            insts: 0,
+            horizon: horizon.max(1),
+            pending: None,
+            cum_weights: Vec::new(),
+            accesses_since_refresh: 0,
+        };
+        gen.refresh_weights();
+        gen
+    }
+
+    /// The benchmark profile this instance replays.
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    /// First page of this instance's private address space.
+    pub fn base_page(&self) -> PageId {
+        self.base_page
+    }
+
+    /// Total pages this instance can touch.
+    pub fn footprint_pages(&self) -> u64 {
+        self.profile.regions.iter().map(|r| r.pages).sum()
+    }
+
+    /// Instructions generated so far.
+    pub fn instructions(&self) -> u64 {
+        self.insts
+    }
+
+    /// The page range `[start, end)` of the region with the given spec
+    /// index, in global page numbers.
+    pub fn region_page_range(&self, region_idx: usize) -> (PageId, PageId) {
+        let start = self.base_page.index() + self.region_bases[region_idx];
+        let end = start + self.profile.regions[region_idx].pages;
+        (PageId(start), PageId(end))
+    }
+
+    fn refresh_weights(&mut self) {
+        let progress = (self.insts as f64 / self.horizon as f64).min(1.0);
+        let insts = self.insts;
+        self.cum_weights.clear();
+        let mut acc = 0.0;
+        for r in &self.profile.regions {
+            acc += r.phase.effective_weight(r.weight, progress, insts);
+            self.cum_weights.push(acc);
+        }
+        // If every region is dormant (possible between periodic phases),
+        // fall back to phase-independent weights so the stream never stalls.
+        if acc == 0.0 {
+            let mut acc = 0.0;
+            self.cum_weights.clear();
+            for r in &self.profile.regions {
+                acc += r.weight * f64::from(u8::from(matches!(r.phase, crate::region::Phase::Always)));
+                self.cum_weights.push(acc);
+            }
+            if acc == 0.0 {
+                // Degenerate profile: use raw weights.
+                let mut acc = 0.0;
+                self.cum_weights.clear();
+                for r in &self.profile.regions {
+                    acc += r.weight;
+                    self.cum_weights.push(acc);
+                }
+                assert!(acc > 0.0, "profile has zero total weight");
+            }
+        }
+    }
+
+    fn pick_region(&mut self) -> usize {
+        let total = *self.cum_weights.last().expect("non-empty");
+        let u = self.rng.unit() * total;
+        match self
+            .cum_weights
+            .binary_search_by(|w| w.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => (i + 1).min(self.cum_weights.len() - 1),
+            Err(i) => i.min(self.cum_weights.len() - 1),
+        }
+    }
+
+    fn sample_gap(&mut self) -> u32 {
+        let mean = self.profile.gap_mean;
+        let spread = self.profile.gap_spread;
+        if spread == 0 {
+            return mean;
+        }
+        let lo = mean.saturating_sub(spread);
+        lo + self.rng.below(2 * spread as u64 + 1) as u32
+    }
+
+    fn make_record(&mut self, region_idx: usize, kind: AccessKind, line_off: u64) -> TraceRecord {
+        let gap = self.sample_gap();
+        let region_base_lines =
+            (self.base_page.index() + self.region_bases[region_idx]) * (PAGE_SIZE / LINE_SIZE) as u64;
+        let addr = Addr((region_base_lines + line_off) * LINE_SIZE as u64);
+        let pc = 0x0040_0000 + (region_idx as u64) * 0x100 + u64::from(kind.is_write()) * 4;
+        self.insts += gap as u64 + 1;
+        TraceRecord {
+            inst_gap: gap,
+            pc,
+            addr,
+            kind,
+        }
+    }
+}
+
+impl Iterator for InstanceGen {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if let Some(pending) = self.pending.take() {
+            // The paired store of an RMW visit; account for its gap.
+            self.insts += pending.inst_gap as u64 + 1;
+            return Some(pending);
+        }
+        self.accesses_since_refresh += 1;
+        if self.accesses_since_refresh >= WEIGHT_REFRESH {
+            self.accesses_since_refresh = 0;
+            self.refresh_weights();
+        }
+        let idx = self.pick_region();
+        let spec: &RegionSpec = &self.profile.regions[idx];
+        let paired = spec.paired_rmw;
+        let progress = (self.insts as f64 / self.horizon as f64).min(1.0);
+        let write_frac = spec.phase.effective_write_frac(spec.write_frac, progress);
+        let line_off = {
+            // Split borrows: state and rng are distinct fields.
+            let insts = self.insts;
+            let (states, rng) = (&mut self.states, &mut self.rng);
+            states[idx].next_line(&self.profile.regions[idx], rng, insts)
+        };
+        if paired {
+            let load = self.make_record(idx, AccessKind::Read, line_off);
+            // Queue the store without yet accounting its instructions.
+            let mut store = TraceRecord {
+                inst_gap: self.sample_gap().min(2),
+                pc: load.pc + 8,
+                addr: load.addr,
+                kind: AccessKind::Write,
+            };
+            store.inst_gap = store.inst_gap.min(2); // RMW store follows closely
+            self.pending = Some(store);
+            Some(load)
+        } else {
+            let is_write = self.rng.chance(write_frac);
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            Some(self.make_record(idx, kind, line_off))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchProfile;
+    use crate::region::RegionSpec;
+
+    fn tiny_profile() -> BenchProfile {
+        BenchProfile {
+            name: "tiny",
+            regions: vec![
+                RegionSpec::lookup("tab", 8, 1.0, 0.8),
+                RegionSpec::stream_out("out", 4, 0.5),
+                RegionSpec::init_data("init", 4, 4.0, 0.05),
+            ],
+            gap_mean: 3,
+            gap_spread: 1,
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<_> = InstanceGen::new(tiny_profile(), 1, 7, 100_000)
+            .take(500)
+            .collect();
+        let b: Vec<_> = InstanceGen::new(tiny_profile(), 1, 7, 100_000)
+            .take(500)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_cores_disjoint_address_spaces() {
+        let a = InstanceGen::new(tiny_profile(), 0, 7, 100_000);
+        let b = InstanceGen::new(tiny_profile(), 1, 7, 100_000);
+        let a_pages: Vec<_> = a
+            .take(200)
+            .map(|r| r.addr.page())
+            .collect();
+        let b_end = b.base_page().index();
+        assert!(a_pages.iter().all(|p| p.index() < b_end));
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let mut gen = InstanceGen::new(tiny_profile(), 2, 9, 100_000);
+        let base = gen.base_page().index();
+        let fp = gen.footprint_pages();
+        for _ in 0..20_000 {
+            let r = gen.next().unwrap();
+            let p = r.addr.page().index();
+            assert!(p >= base && p < base + fp, "page {p} outside footprint");
+        }
+    }
+
+    #[test]
+    fn init_region_goes_quiet() {
+        let mut gen = InstanceGen::new(tiny_profile(), 0, 11, 200_000);
+        let (init_lo, init_hi) = gen.region_page_range(2);
+        let mut early_hits = 0;
+        let mut late_hits = 0;
+        for _ in 0..50_000 {
+            let r = gen.next().unwrap();
+            let p = r.addr.page();
+            let in_init = p >= init_lo && p < init_hi;
+            if gen.instructions() < 10_000 {
+                early_hits += u32::from(in_init);
+            } else if gen.instructions() > 100_000 {
+                late_hits += u32::from(in_init);
+            }
+        }
+        assert!(early_hits > 0, "init region silent at start");
+        assert_eq!(late_hits, 0, "init region active after its phase");
+    }
+
+    #[test]
+    fn rmw_pairs_are_adjacent_same_line() {
+        let profile = BenchProfile {
+            name: "rmw",
+            regions: vec![RegionSpec::stream_rmw("grid", 4, 1.0, 1)],
+            gap_mean: 2,
+            gap_spread: 0,
+        };
+        let recs: Vec<_> = InstanceGen::new(profile, 0, 3, 10_000).take(100).collect();
+        for pair in recs.chunks(2) {
+            assert_eq!(pair[0].kind, AccessKind::Read);
+            assert_eq!(pair[1].kind, AccessKind::Write);
+            assert_eq!(pair[0].addr, pair[1].addr);
+        }
+    }
+
+    #[test]
+    fn instruction_accounting_matches_records() {
+        let mut gen = InstanceGen::new(tiny_profile(), 0, 5, 100_000);
+        let mut total = 0u64;
+        for _ in 0..1000 {
+            total += gen.next().unwrap().instructions();
+        }
+        assert_eq!(total, gen.instructions());
+    }
+
+    #[test]
+    fn region_page_ranges_are_contiguous() {
+        let gen = InstanceGen::new(tiny_profile(), 0, 5, 100);
+        let (a0, a1) = gen.region_page_range(0);
+        let (b0, b1) = gen.region_page_range(1);
+        assert_eq!(a1, b0);
+        assert_eq!(a1.index() - a0.index(), 8);
+        assert_eq!(b1.index() - b0.index(), 4);
+    }
+}

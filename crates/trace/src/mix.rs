@@ -1,0 +1,272 @@
+//! Workloads: homogeneous 16-copy runs and the five datacenter mixes of
+//! Table 2.
+
+use crate::gen::InstanceGen;
+use crate::profile::Benchmark;
+
+/// Number of cores in the evaluated system (Table 1).
+pub const CORES: usize = 16;
+
+/// One of the five mixed workloads of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum MixId {
+    Mix1,
+    Mix2,
+    Mix3,
+    Mix4,
+    Mix5,
+}
+
+impl MixId {
+    /// All five mixes.
+    pub const ALL: [MixId; 5] = [MixId::Mix1, MixId::Mix2, MixId::Mix3, MixId::Mix4, MixId::Mix5];
+
+    /// The mix's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixId::Mix1 => "mix1",
+            MixId::Mix2 => "mix2",
+            MixId::Mix3 => "mix3",
+            MixId::Mix4 => "mix4",
+            MixId::Mix5 => "mix5",
+        }
+    }
+
+    /// `(benchmark, copies)` pairs exactly as listed in Table 2.
+    pub fn composition(self) -> &'static [(Benchmark, usize)] {
+        use Benchmark::*;
+        match self {
+            MixId::Mix1 => &[
+                (Mcf, 3),
+                (Lbm, 2),
+                (Milc, 2),
+                (Omnetpp, 1),
+                (Astar, 2),
+                (Sphinx, 1),
+                (Soplex, 2),
+                (Libquantum, 2),
+                (Gcc, 1),
+            ],
+            MixId::Mix2 => &[
+                (Mcf, 2),
+                (Lbm, 3),
+                (Soplex, 3),
+                (DealII, 3),
+                (GemsFDTD, 2),
+                (Bzip, 1),
+                (CactusADM, 2),
+            ],
+            MixId::Mix3 => &[
+                (Omnetpp, 2),
+                (Astar, 1),
+                (Sphinx, 2),
+                (DealII, 1),
+                (Libquantum, 1),
+                (Leslie3d, 2),
+                (Gcc, 2),
+                (GemsFDTD, 2),
+                (Bzip, 1),
+                (CactusADM, 2),
+            ],
+            MixId::Mix4 => &[
+                (Mcf, 1),
+                (Lbm, 1),
+                (Milc, 1),
+                (Soplex, 3),
+                (DealII, 1),
+                (Libquantum, 3),
+                (Leslie3d, 1),
+                (Gcc, 1),
+                (GemsFDTD, 1),
+                (Bzip, 2),
+                (CactusADM, 1),
+            ],
+            MixId::Mix5 => &[
+                (DealII, 3),
+                (Leslie3d, 3),
+                (GemsFDTD, 1),
+                (Bzip, 3),
+                (Bwaves, 1),
+                (CactusADM, 5),
+            ],
+        }
+    }
+
+    /// The 16 per-core benchmark assignments.
+    pub fn assignments(self) -> Vec<Benchmark> {
+        let mut v = Vec::with_capacity(CORES);
+        for &(b, n) in self.composition() {
+            for _ in 0..n {
+                v.push(b);
+            }
+        }
+        v
+    }
+}
+
+impl std::fmt::Display for MixId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 16-core workload: either 16 copies of one benchmark or a Table 2 mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 16 independent copies of one benchmark (no page sharing).
+    Homogeneous(Benchmark),
+    /// One of the five datacenter mixes.
+    Mix(MixId),
+}
+
+impl Workload {
+    /// The nine homogeneous workloads the paper evaluates (seven SPEC plus
+    /// the two DoE proxy apps).
+    pub const HOMOGENEOUS: [Workload; 9] = [
+        Workload::Homogeneous(Benchmark::Astar),
+        Workload::Homogeneous(Benchmark::CactusADM),
+        Workload::Homogeneous(Benchmark::Lbm),
+        Workload::Homogeneous(Benchmark::Mcf),
+        Workload::Homogeneous(Benchmark::Milc),
+        Workload::Homogeneous(Benchmark::Soplex),
+        Workload::Homogeneous(Benchmark::Libquantum),
+        Workload::Homogeneous(Benchmark::XSBench),
+        Workload::Homogeneous(Benchmark::Lulesh),
+    ];
+
+    /// All 14 evaluated workloads: 9 homogeneous + 5 mixes.
+    pub fn all() -> Vec<Workload> {
+        let mut v: Vec<Workload> = Self::HOMOGENEOUS.to_vec();
+        v.extend(MixId::ALL.into_iter().map(Workload::Mix));
+        v
+    }
+
+    /// The workload's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Homogeneous(b) => b.name(),
+            Workload::Mix(m) => m.name(),
+        }
+    }
+
+    /// Parses a workload name (benchmark or `mixN`).
+    pub fn from_name(name: &str) -> Option<Workload> {
+        if let Some(b) = Benchmark::from_name(name) {
+            return Some(Workload::Homogeneous(b));
+        }
+        MixId::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .map(Workload::Mix)
+    }
+
+    /// Per-core benchmark assignments (always 16 entries).
+    pub fn assignments(&self) -> Vec<Benchmark> {
+        match self {
+            Workload::Homogeneous(b) => vec![*b; CORES],
+            Workload::Mix(m) => m.assignments(),
+        }
+    }
+
+    /// The distinct benchmarks participating in this workload.
+    pub fn distinct_benchmarks(&self) -> Vec<Benchmark> {
+        let mut v = self.assignments();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Builds the 16 per-core trace generators.
+    ///
+    /// `seed` makes the whole workload deterministic; `horizon` is the
+    /// per-core instruction budget (used for phase progress).
+    pub fn build_cores(&self, seed: u64, horizon: u64) -> Vec<InstanceGen> {
+        self.assignments()
+            .into_iter()
+            .enumerate()
+            .map(|(core, b)| InstanceGen::new(b.profile(), core, seed, horizon))
+            .collect()
+    }
+
+    /// Total footprint over all 16 instances, in pages.
+    pub fn footprint_pages(&self) -> u64 {
+        self.assignments()
+            .iter()
+            .map(|b| b.profile().footprint_pages())
+            .sum()
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mix_has_sixteen_cores() {
+        for m in MixId::ALL {
+            assert_eq!(m.assignments().len(), CORES, "{m} is not 16 cores");
+        }
+    }
+
+    #[test]
+    fn mix1_matches_table2() {
+        let a = MixId::Mix1.assignments();
+        let mcf = a.iter().filter(|&&b| b == Benchmark::Mcf).count();
+        let astar = a.iter().filter(|&&b| b == Benchmark::Astar).count();
+        assert_eq!(mcf, 3);
+        assert_eq!(astar, 2);
+    }
+
+    #[test]
+    fn fourteen_workloads_total() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 14);
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn build_cores_is_deterministic_and_disjoint() {
+        let w = Workload::Mix(MixId::Mix1);
+        let mut cores = w.build_cores(1234, 1_000_000);
+        assert_eq!(cores.len(), CORES);
+        // Address spaces disjoint across cores.
+        let bases: Vec<_> = cores.iter().map(|c| c.base_page().index()).collect();
+        for i in 1..bases.len() {
+            assert!(bases[i] > bases[i - 1]);
+        }
+        let r1 = cores[0].next().unwrap();
+        let mut cores2 = w.build_cores(1234, 1_000_000);
+        assert_eq!(cores2[0].next().unwrap(), r1);
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in Workload::all() {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert!(Workload::from_name("mix9").is_none());
+    }
+
+    #[test]
+    fn mix_footprints_are_plausible() {
+        for m in MixId::ALL {
+            let fp = Workload::Mix(m).footprint_pages();
+            // 16 instances of ~700-1600 pages each.
+            assert!(fp > 8_000 && fp < 40_000, "{m} footprint {fp}");
+        }
+    }
+
+    #[test]
+    fn distinct_benchmarks_mix1() {
+        let d = Workload::Mix(MixId::Mix1).distinct_benchmarks();
+        assert_eq!(d.len(), 9);
+    }
+}

@@ -1,0 +1,449 @@
+//! Benchmark profiles: 15 SPEC CPU2006 programs plus the two DoE proxy
+//! applications (XSBench, LULESH) used by the paper.
+//!
+//! Each profile is a synthetic stand-in for the PinPlay/SimPoint trace of
+//! the real program (see DESIGN.md's substitution table). Every profile is
+//! written against a normalized traffic budget of ~100 weight units:
+//!
+//! * a **resident** working set (stack/locals) absorbs 84-94 % of memory
+//!   instructions and stays on chip — this sets the benchmark's MPKI class
+//!   (the x-axis ordering of Figures 7/8);
+//! * **hot structures** (lookup tables, RMW grids, write streams, scratch
+//!   buffers) take most of the remaining traffic and produce the hot page
+//!   population, mixing high-risk (read-over-time) and low-risk
+//!   (write-dominated) pages;
+//! * **input data** is written during initialization and *read back
+//!   slowly* for the rest of the run, plus standalone slow scans — the
+//!   large cold-but-vulnerable population that dominates real footprints'
+//!   AVF mass and keeps the paper's SER ratios finite.
+//!
+//! The compositions are tuned (see `ramp-bench --bin calibrate`) so the
+//! workloads reproduce the paper's characteristics: mean memory AVF
+//! ordered from astar (lowest) to milc (~highest), hot-and-low-risk
+//! populations spanning single digits to ~40 % of the footprint, negative
+//! write-ratio/AVF correlation, and lbm as the uniform-hotness outlier.
+//! Capacities are 1/64-scale relative to the paper's 17 GB machine
+//! (DESIGN.md §2).
+
+use crate::region::RegionSpec;
+
+/// A synthetic benchmark: a name plus its region composition and
+/// memory-instruction density.
+#[derive(Clone, Debug)]
+pub struct BenchProfile {
+    /// Benchmark name (matches the paper's workload labels).
+    pub name: &'static str,
+    /// Data-structure regions, laid out contiguously per instance.
+    pub regions: Vec<RegionSpec>,
+    /// Mean number of non-memory instructions between memory accesses.
+    pub gap_mean: u32,
+    /// Half-width of the uniform jitter applied to `gap_mean`.
+    pub gap_spread: u32,
+}
+
+impl BenchProfile {
+    /// Total pages an instance of this profile can touch.
+    pub fn footprint_pages(&self) -> u64 {
+        self.regions.iter().map(|r| r.pages).sum()
+    }
+}
+
+/// The benchmarks evaluated in the paper (Table 2 plus the two DoE proxy
+/// apps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Mcf,
+    Lbm,
+    Milc,
+    Omnetpp,
+    Astar,
+    Sphinx,
+    Soplex,
+    DealII,
+    Libquantum,
+    Leslie3d,
+    Gcc,
+    GemsFDTD,
+    Bzip,
+    Bwaves,
+    CactusADM,
+    XSBench,
+    Lulesh,
+}
+
+impl Benchmark {
+    /// All 17 benchmarks.
+    pub const ALL: [Benchmark; 17] = [
+        Benchmark::Mcf,
+        Benchmark::Lbm,
+        Benchmark::Milc,
+        Benchmark::Omnetpp,
+        Benchmark::Astar,
+        Benchmark::Sphinx,
+        Benchmark::Soplex,
+        Benchmark::DealII,
+        Benchmark::Libquantum,
+        Benchmark::Leslie3d,
+        Benchmark::Gcc,
+        Benchmark::GemsFDTD,
+        Benchmark::Bzip,
+        Benchmark::Bwaves,
+        Benchmark::CactusADM,
+        Benchmark::XSBench,
+        Benchmark::Lulesh,
+    ];
+
+    /// The benchmark's display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mcf => "mcf",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Milc => "milc",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::Astar => "astar",
+            Benchmark::Sphinx => "sphinx",
+            Benchmark::Soplex => "soplex",
+            Benchmark::DealII => "dealII",
+            Benchmark::Libquantum => "libquantum",
+            Benchmark::Leslie3d => "leslie3d",
+            Benchmark::Gcc => "gcc",
+            Benchmark::GemsFDTD => "GemsFDTD",
+            Benchmark::Bzip => "bzip",
+            Benchmark::Bwaves => "bwaves",
+            Benchmark::CactusADM => "cactusADM",
+            Benchmark::XSBench => "xsbench",
+            Benchmark::Lulesh => "lulesh",
+        }
+    }
+
+    /// Parses a paper-style benchmark name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the benchmark's synthetic profile.
+    pub fn profile(self) -> BenchProfile {
+        match self {
+            // ---- latency-sensitive, low-AVF group ---------------------
+            Benchmark::Astar => BenchProfile {
+                name: "astar",
+                regions: vec![
+                    RegionSpec::resident("search_stack", 8, 96.0),
+                    RegionSpec::hot_buffer("open_list", 90, 1.43, 0.93),
+                    RegionSpec::lookup("node_map", 40, 0.59, 0.9),
+                    RegionSpec::stream_out("path_scratch", 110, 0.91),
+                    RegionSpec::stream_read("map_metadata", 390, 2.0, 1),
+                    RegionSpec::input_data("graph_init", 614, 6.0, 0.04, 3.0),
+                ],
+                gap_mean: 7,
+                gap_spread: 2,
+            },
+            Benchmark::Bzip => BenchProfile {
+                name: "bzip",
+                regions: vec![
+                    RegionSpec::resident("sort_stack", 8, 94.5),
+                    RegionSpec::hot_buffer("work_buf", 150, 1.56, 0.93),
+                    RegionSpec::stream_out("output_block", 120, 0.85),
+                    RegionSpec::stream_read("input_block", 390, 0.85, 1),
+                    RegionSpec::lookup("huffman_tables", 10, 0.65, 0.5),
+                    RegionSpec::input_data("dict_init", 320, 6.0, 0.04, 1.30),
+                ],
+                gap_mean: 6,
+                gap_spread: 2,
+            },
+            Benchmark::Gcc => BenchProfile {
+                name: "gcc",
+                regions: vec![
+                    RegionSpec::resident("parse_stack", 8, 95.0),
+                    RegionSpec::hot_buffer("ast_nodes", 180, 1.30, 0.9),
+                    RegionSpec::lookup("symbol_table", 36, 0.52, 1.0),
+                    RegionSpec::stream_read("rtl_templates", 330, 0.78, 1),
+                    RegionSpec::stream_out("ir_stream", 160, 1.04),
+                    RegionSpec::input_data("source_init", 314, 6.0, 0.04, 1.17),
+                ],
+                gap_mean: 6,
+                gap_spread: 2,
+            },
+            Benchmark::DealII => BenchProfile {
+                name: "dealII",
+                regions: vec![
+                    RegionSpec::resident("assembly_locals", 8, 94.5),
+                    RegionSpec::hot_buffer("solution_vecs", 170, 1.43, 0.92),
+                    RegionSpec::stream_rmw("sparse_matrix", 36, 0.65, 1),
+                    RegionSpec::lookup("dof_map", 28, 0.45, 0.8),
+                    RegionSpec::stream_read("quadrature_tables", 330, 0.85, 1),
+                    RegionSpec::input_data("mesh_init", 516, 6.0, 0.04, 1.17),
+                ],
+                gap_mean: 5,
+                gap_spread: 2,
+            },
+            Benchmark::Omnetpp => BenchProfile {
+                name: "omnetpp",
+                regions: vec![
+                    RegionSpec::resident("sim_kernel", 8, 93.0),
+                    RegionSpec::hot_buffer("event_heap", 150, 1.69, 0.9),
+                    RegionSpec::hot_buffer("msg_pool", 210, 1.30, 0.95),
+                    RegionSpec::stream_read("topology", 360, 0.91, 1),
+                    RegionSpec::stream_out("stats_log", 150, 0.98),
+                    RegionSpec::input_data("net_init", 300, 6.0, 0.04, 1.30),
+                ],
+                gap_mean: 5,
+                gap_spread: 2,
+            },
+            Benchmark::Sphinx => BenchProfile {
+                name: "sphinx",
+                regions: vec![
+                    RegionSpec::resident("search_beams", 8, 93.5),
+                    RegionSpec::lookup("acoustic_model", 52, 0.85, 0.7),
+                    RegionSpec::hot_buffer("feature_buf", 130, 2.2, 0.92),
+                    RegionSpec::stream_read("dictionary", 360, 0.91, 1),
+                    RegionSpec::stream_out("lattice_out", 130, 1.5),
+                    RegionSpec::input_data("model_init", 500, 6.0, 0.04, 1.37),
+                ],
+                gap_mean: 5,
+                gap_spread: 2,
+            },
+            // ---- medium group -----------------------------------------
+            Benchmark::CactusADM => {
+                // Many small strided grid blocks: write-dominated in-place
+                // updates, giving the large population of small hot-and-
+                // low-risk structures behind Figure 17's 39 annotations and
+                // the striding patterns MEA tracking likes.
+                let mut regions = vec![RegionSpec::resident("adm_locals", 8, 92.5)];
+                for i in 0..40u32 {
+                    let mut r = RegionSpec::stream_out(format!("grid_block_{i:02}"), 18, 0.09);
+                    r.pattern = crate::region::Pattern::Stream { stride_lines: 4 };
+                    r.write_frac = 0.85;
+                    regions.push(r);
+                }
+                regions.push(RegionSpec::lookup("adm_metric", 30, 0.72, 0.6));
+                regions.push(RegionSpec::stream_read("horizon_data", 420, 2.6, 1));
+                regions.push(RegionSpec::input_data("spacetime_init", 450, 6.0, 0.04, 3.2));
+                BenchProfile {
+                    name: "cactusADM",
+                    regions,
+                    gap_mean: 4,
+                    gap_spread: 1,
+                }
+            }
+            Benchmark::Soplex => BenchProfile {
+                name: "soplex",
+                regions: vec![
+                    RegionSpec::resident("pivot_locals", 8, 93.5),
+                    RegionSpec::lookup("matrix_cols", 110, 1.49, 0.5),
+                    RegionSpec::hot_buffer("basis_factors", 180, 2.6, 0.93),
+                    RegionSpec::stream_rmw("rhs_vectors", 30, 0.39, 1),
+                    RegionSpec::stream_out("solution_log", 130, 1.3),
+                    RegionSpec::stream_read("bounds_tables", 480, 2.2, 1),
+                    RegionSpec::input_data("lp_init", 480, 6.0, 0.04, 2.8),
+                ],
+                gap_mean: 4,
+                gap_spread: 1,
+            },
+            Benchmark::Lulesh => BenchProfile {
+                name: "lulesh",
+                regions: vec![
+                    RegionSpec::resident("elem_locals", 8, 93.0),
+                    RegionSpec::stream_rmw("nodal_coords", 170, 1.37, 1),
+                    RegionSpec::stream_out("elem_forces", 150, 2.1),
+                    RegionSpec::lookup("connectivity", 76, 0.59, 0.4),
+                    RegionSpec::stream_read("region_tables", 480, 0.91, 1),
+                    RegionSpec::input_data("domain_init", 500, 6.0, 0.04, 1.23),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            // ---- bandwidth-intensive, high-AVF group ------------------
+            Benchmark::Libquantum => BenchProfile {
+                name: "libquantum",
+                regions: vec![
+                    RegionSpec::resident("gate_locals", 6, 90.5),
+                    RegionSpec::stream_rmw("qureg_state", 340, 3.38, 1),
+                    RegionSpec::stream_out("gate_log", 170, 2.6),
+                    RegionSpec::stream_read("state_snapshots", 570, 1.56, 1),
+                    RegionSpec::input_data("qureg_init", 540, 6.0, 0.03, 1.56),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::Leslie3d => BenchProfile {
+                name: "leslie3d",
+                regions: vec![
+                    RegionSpec::resident("cell_locals", 6, 90.5),
+                    RegionSpec::stream_rmw("flow_field", 330, 2.99, 1),
+                    RegionSpec::stream_read("boundary", 540, 1.43, 1),
+                    RegionSpec::stream_out("flux_out", 110, 2.6),
+                    RegionSpec::input_data("grid_init", 750, 6.0, 0.03, 1.62),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::GemsFDTD => BenchProfile {
+                name: "GemsFDTD",
+                regions: vec![
+                    RegionSpec::resident("update_locals", 6, 90.5),
+                    RegionSpec::stream_rmw("e_field", 200, 1.69, 1),
+                    RegionSpec::stream_rmw("h_field", 200, 1.69, 1),
+                    RegionSpec::stream_read("excitation_tables", 570, 1.43, 1),
+                    RegionSpec::stream_out("far_field", 90, 2.1),
+                    RegionSpec::input_data("fdtd_init", 690, 6.0, 0.03, 1.62),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::Lbm => BenchProfile {
+                name: "lbm",
+                // The Figure 4 outlier: dominant uniform RMW sweeps, almost
+                // no hot & low-risk pages.
+                regions: vec![
+                    RegionSpec::resident("site_locals", 6, 90.0),
+                    RegionSpec::stream_rmw("lattice_a", 220, 2.73, 1),
+                    RegionSpec::stream_rmw("lattice_b", 220, 2.73, 1),
+                    RegionSpec::stream_read("obstacle_map", 480, 1.30, 1),
+                    RegionSpec::input_data("lattice_init", 704, 6.0, 0.03, 1.56),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::Mcf => BenchProfile {
+                name: "mcf",
+                regions: vec![
+                    RegionSpec::resident("simplex_locals", 6, 90.5),
+                    RegionSpec::lookup_rw("node_array", 420, 2.21, 0.4, 0.1),
+                    RegionSpec::lookup("arc_array", 340, 1.43, 0.3),
+                    RegionSpec::hot_buffer("basket_scratch", 100, 1.4, 0.92),
+                    RegionSpec::stream_out("tree_log", 180, 1.9),
+                    RegionSpec::stream_read("cost_tables", 630, 1.37, 1),
+                    RegionSpec::input_data("network_init", 900, 6.0, 0.03, 1.56),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::Bwaves => BenchProfile {
+                name: "bwaves",
+                regions: vec![
+                    RegionSpec::resident("solver_locals", 6, 90.5),
+                    RegionSpec::stream_rmw("wave_blocks", 420, 3.12, 1),
+                    RegionSpec::stream_read("stencil_coeffs", 600, 1.49, 1),
+                    RegionSpec::input_data("cube_init", 990, 6.0, 0.03, 1.56),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::Milc => BenchProfile {
+                name: "milc",
+                // Uniform access counts (alpha = 0) and the highest AVF.
+                regions: vec![
+                    RegionSpec::resident("su3_locals", 6, 90.0),
+                    RegionSpec::lookup_rw("su3_links", 470, 2.34, 0.0, 0.05),
+                    RegionSpec::stream_rmw("momenta", 200, 1.17, 1),
+                    RegionSpec::stream_out("staples_out", 110, 1.4),
+                    RegionSpec::stream_read("gauge_history", 630, 1.43, 1),
+                    RegionSpec::input_data("lattice_init", 920, 6.0, 0.03, 1.49),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+            Benchmark::XSBench => BenchProfile {
+                name: "xsbench",
+                regions: vec![
+                    RegionSpec::resident("lookup_locals", 6, 91.0),
+                    RegionSpec::lookup("nuclide_grid", 580, 2.47, 0.3),
+                    RegionSpec::lookup("unionized_idx", 60, 0.72, 0.9),
+                    RegionSpec::stream_out("tally_results", 210, 2.0),
+                    RegionSpec::stream_read("mat_specs", 630, 1.30, 1),
+                    RegionSpec::input_data("grid_init", 1000, 6.0, 0.03, 1.56),
+                ],
+                gap_mean: 3,
+                gap_spread: 1,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_construct_and_are_nonempty() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(!p.regions.is_empty(), "{b} has no regions");
+            assert!(p.footprint_pages() > 100, "{b} footprint too small");
+            assert!(p.footprint_pages() < 4000, "{b} footprint too large");
+            let total_weight: f64 = p.regions.iter().map(|r| r.weight).sum();
+            assert!(total_weight > 0.0);
+            assert_eq!(p.name, b.name());
+        }
+    }
+
+    #[test]
+    fn traffic_budgets_are_normalized() {
+        // Every profile's always-active weight should be near the 100-unit
+        // budget the tuning methodology assumes.
+        use crate::region::Phase;
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            let active: f64 = p
+                .regions
+                .iter()
+                .filter(|r| matches!(r.phase, Phase::Always))
+                .map(|r| r.weight)
+                .sum();
+            assert!(
+                (80.0..115.0).contains(&active),
+                "{b} active weight {active}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("CACTUSadm"), Some(Benchmark::CactusADM));
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cactus_has_many_structures() {
+        let p = Benchmark::CactusADM.profile();
+        assert!(p.regions.len() >= 40, "cactusADM needs many structures");
+    }
+
+    #[test]
+    fn every_profile_has_input_data_scan() {
+        use crate::region::Phase;
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(
+                p.regions
+                    .iter()
+                    .any(|r| matches!(r.phase, Phase::InitThenScan { .. })),
+                "{b} lacks an input-data region"
+            );
+        }
+    }
+
+    #[test]
+    fn region_names_unique_within_profile() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            let mut names: Vec<_> = p.regions.iter().map(|r| r.name.clone()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), p.regions.len(), "{b} duplicate region names");
+        }
+    }
+}

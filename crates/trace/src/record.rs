@@ -1,0 +1,95 @@
+//! Trace record types.
+//!
+//! RAMP distinguishes two trace levels, mirroring the paper's toolchain:
+//!
+//! * [`TraceRecord`] — a *CPU-level* memory instruction (what PinPlay would
+//!   emit): the number of intervening non-memory instructions, a program
+//!   counter, the accessed address and the access kind. These are fed into
+//!   the cache hierarchy.
+//! * [`MemEvent`] — a *memory-level* access (what survives cache filtering):
+//!   a cache-line fill read or a dirty writeback. These are what the DRAM
+//!   controllers and the AVF tracker consume.
+
+use ramp_sim::units::{AccessKind, Addr, LineAddr};
+
+/// One CPU-level memory instruction from a workload trace.
+///
+/// `inst_gap` is the number of non-memory instructions executed since the
+/// previous memory instruction; the core model retires those at full issue
+/// width before handling the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Non-memory instructions preceding this access.
+    pub inst_gap: u32,
+    /// Program counter of the memory instruction (synthetic but stable per
+    /// region, so PC-based predictors could be layered on top).
+    pub pc: u64,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl TraceRecord {
+    /// Total instructions this record accounts for (the gap plus itself).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.inst_gap as u64 + 1
+    }
+}
+
+/// One main-memory access (post cache filtering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemEvent {
+    /// The cache line accessed.
+    pub line: LineAddr,
+    /// `Read` for a demand fill, `Write` for a dirty writeback.
+    pub kind: AccessKind,
+    /// Core that caused the access (the writeback inherits the evicting
+    /// core).
+    pub core: usize,
+}
+
+impl MemEvent {
+    /// Convenience constructor for a fill read.
+    pub fn read(line: LineAddr, core: usize) -> Self {
+        MemEvent {
+            line,
+            kind: AccessKind::Read,
+            core,
+        }
+    }
+
+    /// Convenience constructor for a writeback.
+    pub fn write(line: LineAddr, core: usize) -> Self {
+        MemEvent {
+            line,
+            kind: AccessKind::Write,
+            core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_instruction_accounting() {
+        let r = TraceRecord {
+            inst_gap: 9,
+            pc: 0x400000,
+            addr: Addr(64),
+            kind: AccessKind::Read,
+        };
+        assert_eq!(r.instructions(), 10);
+    }
+
+    #[test]
+    fn mem_event_constructors() {
+        let l = LineAddr(5);
+        assert_eq!(MemEvent::read(l, 2).kind, AccessKind::Read);
+        assert_eq!(MemEvent::write(l, 2).kind, AccessKind::Write);
+        assert_eq!(MemEvent::read(l, 2).core, 2);
+    }
+}

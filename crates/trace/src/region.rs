@@ -1,0 +1,500 @@
+//! Data-structure regions: the building blocks of synthetic benchmarks.
+//!
+//! Each benchmark profile is composed of a handful of named *regions*, one
+//! per program data structure (the same granularity at which Section 7 of
+//! the paper applies program annotations). A region owns a contiguous range
+//! of pages in its instance's address space and describes *how* the program
+//! touches it: access pattern, activity phase, store fraction and
+//! read-modify-write pairing.
+//!
+//! The combination of these knobs — after cache filtering — produces the
+//! memory-level behaviours the paper's analysis rests on:
+//!
+//! | archetype | memory-level traffic | hotness | AVF (risk) |
+//! |---|---|---|---|
+//! | write-only stream (`stream_out`) | writebacks only | hot | ~0 (low) |
+//! | read-only lookup (`lookup`) | fills, re-read over time | hot | high |
+//! | streaming RMW (`stream_rmw`) | fill + writeback per sweep | hot | sweep-gap dominated |
+//! | write-heavy buffer (`hot_buffer`) | mostly writebacks | hot | low |
+//! | init-only data (`init_data`) | one writeback burst | cold | ~0 |
+//! | archival reads (`archive`) | sparse fills | cold | high |
+
+use ramp_sim::rng::{SimRng, Zipf};
+
+/// Instructions per popularity phase: the lower-ranked part of each Zipf
+/// region's popularity mapping is re-scrambled every phase, modeling the
+/// working-set drift that makes dynamic migration worthwhile (Section 6.1
+/// observes the top-hot set "changes considerably from interval to
+/// interval"). The top quarter of ranks stays pinned so profile-guided
+/// static placement retains its oracular advantage.
+pub const POPULARITY_PHASE_INSTS: u64 = 600_000;
+
+/// Fraction of top ranks whose page mapping never drifts.
+const STABLE_RANK_FRACTION: f64 = 0.25;
+
+/// How accesses are distributed over a region's lines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pattern {
+    /// Zipf-skewed page popularity with exponent `alpha` (uniform line
+    /// within the page). `alpha = 0` is uniform-random.
+    Zipf {
+        /// Skew exponent; larger concentrates traffic on fewer pages.
+        alpha: f64,
+    },
+    /// Sequential sweep through the region's lines with the given stride,
+    /// wrapping around. Stride > 1 models strided grid walks (cactusADM).
+    Stream {
+        /// Distance in cache lines between consecutive accesses.
+        stride_lines: u32,
+    },
+    /// Uniformly random line (dependent pointer chasing).
+    Random,
+}
+
+/// When during execution a region is active.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Phase {
+    /// Active for the whole run.
+    Always,
+    /// Active only during the first `frac` of the run (initialization).
+    Init {
+        /// Fraction of the run during which the region is touched.
+        frac: f64,
+    },
+    /// Active during a `duty` fraction at the start of every `period`
+    /// instructions (periodic phases: checkpoints, rebuilds).
+    Periodic {
+        /// Phase period in instructions.
+        period: u64,
+        /// Active fraction of each period, in `(0, 1]`.
+        duty: f64,
+    },
+    /// Written during the first `frac` of the run, then *read back* slowly
+    /// for the rest of the run with `scan_weight` instead of the region's
+    /// base weight. This is program input data: initialized once, consumed
+    /// gradually — the paper's large cold-but-vulnerable page population
+    /// (each sparse read makes a long interval ACE).
+    InitThenScan {
+        /// Fraction of the run spent initializing (writes).
+        frac: f64,
+        /// Absolute weight of the read-back scan after initialization.
+        scan_weight: f64,
+    },
+}
+
+impl Phase {
+    /// Multiplier applied to the region weight at the given point of the
+    /// run (`progress` in `[0,1]`, `insts` the absolute instruction count).
+    pub fn activity(&self, progress: f64, insts: u64) -> f64 {
+        match *self {
+            Phase::Always => 1.0,
+            Phase::Init { frac } => {
+                if progress < frac {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Phase::Periodic { period, duty } => {
+                if period == 0 {
+                    return 0.0;
+                }
+                let pos = (insts % period) as f64 / period as f64;
+                if pos < duty {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Phase::InitThenScan { frac, .. } => {
+                // The weight itself is swapped in `effective_weight`; the
+                // activity multiplier stays 1 in both phases.
+                let _ = frac;
+                1.0
+            }
+        }
+    }
+
+    /// The region weight to use at this point of the run, given the
+    /// region's base weight.
+    pub fn effective_weight(&self, base: f64, progress: f64, insts: u64) -> f64 {
+        match *self {
+            Phase::InitThenScan { frac, scan_weight } => {
+                if progress < frac {
+                    base
+                } else {
+                    scan_weight
+                }
+            }
+            _ => base * self.activity(progress, insts),
+        }
+    }
+
+    /// The effective store probability: [`Phase::InitThenScan`] regions
+    /// write during initialization and read afterwards.
+    pub fn effective_write_frac(&self, base: f64, progress: f64) -> f64 {
+        match *self {
+            Phase::InitThenScan { frac, .. } => {
+                if progress < frac {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => base,
+        }
+    }
+}
+
+/// A named data-structure region within a benchmark profile.
+#[derive(Clone, Debug)]
+pub struct RegionSpec {
+    /// Structure name (used by program annotations, Figure 17).
+    pub name: String,
+    /// Region size in pages.
+    pub pages: u64,
+    /// Relative share of the benchmark's memory instructions while active.
+    pub weight: f64,
+    /// Line-selection pattern.
+    pub pattern: Pattern,
+    /// Activity phase.
+    pub phase: Phase,
+    /// Probability that an access is a store.
+    pub write_frac: f64,
+    /// If set, every visit issues a load immediately followed by a store to
+    /// the same line (read-modify-write), overriding `write_frac`.
+    pub paired_rmw: bool,
+}
+
+impl RegionSpec {
+    /// A read-mostly, Zipf-skewed lookup structure (hot and high-risk).
+    pub fn lookup(name: impl Into<String>, pages: u64, weight: f64, alpha: f64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Zipf { alpha },
+            phase: Phase::Always,
+            write_frac: 0.0,
+            paired_rmw: false,
+        }
+    }
+
+    /// A read-mostly lookup with a small store fraction.
+    pub fn lookup_rw(
+        name: impl Into<String>,
+        pages: u64,
+        weight: f64,
+        alpha: f64,
+        write_frac: f64,
+    ) -> Self {
+        RegionSpec {
+            write_frac,
+            ..Self::lookup(name, pages, weight, alpha)
+        }
+    }
+
+    /// A write-dominated output stream (hot and low-risk: almost all
+    /// writebacks, with a small read-back fraction so its pages have low
+    /// but non-zero AVF, as in the paper's Figure 4 scatter).
+    pub fn stream_out(name: impl Into<String>, pages: u64, weight: f64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Stream { stride_lines: 1 },
+            phase: Phase::Always,
+            write_frac: 0.97,
+            paired_rmw: false,
+        }
+    }
+
+    /// A streaming read-modify-write sweep (lbm/GemsFDTD-style grids).
+    pub fn stream_rmw(name: impl Into<String>, pages: u64, weight: f64, stride_lines: u32) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Stream { stride_lines },
+            phase: Phase::Always,
+            write_frac: 0.0,
+            paired_rmw: true,
+        }
+    }
+
+    /// A read-only streaming sweep (scans of constant data).
+    pub fn stream_read(name: impl Into<String>, pages: u64, weight: f64, stride_lines: u32) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Stream { stride_lines },
+            phase: Phase::Always,
+            write_frac: 0.0,
+            paired_rmw: false,
+        }
+    }
+
+    /// A small, intensely-reused scratch buffer with a high store fraction
+    /// (hot and low-risk).
+    pub fn hot_buffer(name: impl Into<String>, pages: u64, weight: f64, write_frac: f64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Zipf { alpha: 0.8 },
+            phase: Phase::Always,
+            write_frac,
+            paired_rmw: false,
+        }
+    }
+
+    /// A tiny, cache-resident working set (stack frames, loop-local
+    /// buffers): huge access weight, almost no main-memory traffic. This is
+    /// what separates latency-sensitive low-MPKI programs from
+    /// bandwidth-bound ones.
+    pub fn resident(name: impl Into<String>, pages: u64, weight: f64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Zipf { alpha: 0.6 },
+            phase: Phase::Always,
+            write_frac: 0.5,
+            paired_rmw: false,
+        }
+    }
+
+    /// Initialization data: written during the first `frac` of the run and
+    /// never touched again (cold and low-risk).
+    pub fn init_data(name: impl Into<String>, pages: u64, weight: f64, frac: f64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Stream { stride_lines: 1 },
+            phase: Phase::Init { frac },
+            write_frac: 1.0,
+            paired_rmw: false,
+        }
+    }
+
+    /// Program input data: written during the first `frac` of the run,
+    /// then read back slowly (weight `scan_weight`) for the remainder —
+    /// cold and high-risk, the dominant AVF mass of real footprints.
+    pub fn input_data(
+        name: impl Into<String>,
+        pages: u64,
+        init_weight: f64,
+        frac: f64,
+        scan_weight: f64,
+    ) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight: init_weight,
+            pattern: Pattern::Stream { stride_lines: 1 },
+            phase: Phase::InitThenScan { frac, scan_weight },
+            write_frac: 1.0,
+            paired_rmw: false,
+        }
+    }
+
+    /// Rarely-read archival data (cold and high-risk: each sparse read makes
+    /// the whole preceding interval ACE).
+    pub fn archive(name: impl Into<String>, pages: u64, weight: f64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Random,
+            phase: Phase::Always,
+            write_frac: 0.0,
+            paired_rmw: false,
+        }
+    }
+
+    /// Periodically-written checkpoint/log data.
+    pub fn checkpoint(name: impl Into<String>, pages: u64, weight: f64, period: u64) -> Self {
+        RegionSpec {
+            name: name.into(),
+            pages,
+            weight,
+            pattern: Pattern::Stream { stride_lines: 1 },
+            phase: Phase::Periodic { period, duty: 0.1 },
+            write_frac: 1.0,
+            paired_rmw: false,
+        }
+    }
+
+    /// Total lines in the region.
+    pub fn lines(&self) -> u64 {
+        self.pages * ramp_sim::units::LINES_PER_PAGE as u64
+    }
+}
+
+/// Mutable per-region generation state.
+#[derive(Debug)]
+pub(crate) struct RegionState {
+    cursor: u64,
+    zipf: Option<Zipf>,
+    page_perm_seed: u64,
+}
+
+impl RegionState {
+    pub(crate) fn new(spec: &RegionSpec, rng: &mut SimRng) -> Self {
+        let zipf = match spec.pattern {
+            Pattern::Zipf { alpha } => Some(Zipf::new(spec.pages as usize, alpha)),
+            _ => None,
+        };
+        RegionState {
+            cursor: 0,
+            zipf,
+            page_perm_seed: rng.next_u64(),
+        }
+    }
+
+    /// Picks the next line offset (in lines, relative to the region base).
+    ///
+    /// `insts` is the instance's instruction count, which drives popularity
+    /// drift for Zipf regions.
+    pub(crate) fn next_line(&mut self, spec: &RegionSpec, rng: &mut SimRng, insts: u64) -> u64 {
+        let lines = spec.lines();
+        debug_assert!(lines > 0);
+        match spec.pattern {
+            Pattern::Zipf { .. } => {
+                let rank = self.zipf.as_ref().expect("zipf state").sample(rng) as u64;
+                // Scramble rank -> page so popular pages are spread over the
+                // region instead of clustered at its start. Ranks below the
+                // stable core drift to new pages every popularity phase.
+                let stable = ((spec.pages as f64) * STABLE_RANK_FRACTION) as u64;
+                let seed = if rank < stable.max(1) {
+                    self.page_perm_seed
+                } else {
+                    let epoch = insts / POPULARITY_PHASE_INSTS;
+                    self.page_perm_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                };
+                let page = scramble(rank, seed, spec.pages);
+                page * ramp_sim::units::LINES_PER_PAGE as u64
+                    + rng.below(ramp_sim::units::LINES_PER_PAGE as u64)
+            }
+            Pattern::Stream { stride_lines } => {
+                let line = self.cursor;
+                self.cursor = (self.cursor + stride_lines.max(1) as u64) % lines;
+                // When the stride wraps exactly onto the start, nudge by one
+                // so all lines are eventually covered.
+                if self.cursor == 0 && stride_lines as u64 > 1 && lines % stride_lines as u64 == 0 {
+                    self.cursor = (line + 1) % lines;
+                }
+                line
+            }
+            Pattern::Random => rng.below(lines),
+        }
+    }
+}
+
+/// Maps a Zipf rank to a pseudo-random (but fixed) page index in `0..n`.
+fn scramble(rank: u64, seed: u64, n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let mut x = rank.wrapping_add(seed);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    // A fixed affine permutation would be bijective; a hash mod n is not,
+    // but collisions merely merge two popularity ranks, which is harmless
+    // for a popularity model. Keep determinism and spread.
+    x % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramp_sim::units::LINES_PER_PAGE;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(99)
+    }
+
+    #[test]
+    fn phase_activity() {
+        assert_eq!(Phase::Always.activity(0.99, 123), 1.0);
+        let init = Phase::Init { frac: 0.1 };
+        assert_eq!(init.activity(0.05, 0), 1.0);
+        assert_eq!(init.activity(0.5, 0), 0.0);
+        let per = Phase::Periodic {
+            period: 100,
+            duty: 0.2,
+        };
+        assert_eq!(per.activity(0.0, 10), 1.0);
+        assert_eq!(per.activity(0.0, 50), 0.0);
+        assert_eq!(per.activity(0.0, 110), 1.0);
+    }
+
+    #[test]
+    fn stream_covers_all_lines_in_order() {
+        let spec = RegionSpec::stream_out("s", 2, 1.0);
+        let mut st = RegionState::new(&spec, &mut rng());
+        let mut r = rng();
+        let n = spec.lines();
+        let seen: Vec<u64> = (0..n).map(|_| st.next_line(&spec, &mut r, 0)).collect();
+        let expect: Vec<u64> = (0..n).collect();
+        assert_eq!(seen, expect);
+        // wraps
+        assert_eq!(st.next_line(&spec, &mut r, 0), 0);
+    }
+
+    #[test]
+    fn strided_stream_stays_in_bounds() {
+        let spec = RegionSpec::stream_rmw("g", 3, 1.0, 7);
+        let mut st = RegionState::new(&spec, &mut rng());
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let l = st.next_line(&spec, &mut r, 0);
+            assert!(l < spec.lines());
+        }
+    }
+
+    #[test]
+    fn zipf_region_is_skewed_and_in_bounds() {
+        let spec = RegionSpec::lookup("t", 64, 1.0, 1.1);
+        let mut st = RegionState::new(&spec, &mut rng());
+        let mut r = rng();
+        let mut page_counts = vec![0u64; 64];
+        for _ in 0..50_000 {
+            let l = st.next_line(&spec, &mut r, 0);
+            assert!(l < spec.lines());
+            page_counts[(l / LINES_PER_PAGE as u64) as usize] += 1;
+        }
+        let mut sorted = page_counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Heavily skewed: the hottest page should dominate the median page.
+        assert!(sorted[0] > sorted[32] * 4);
+    }
+
+    #[test]
+    fn random_region_in_bounds() {
+        let spec = RegionSpec::archive("a", 5, 0.1);
+        let mut st = RegionState::new(&spec, &mut rng());
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(st.next_line(&spec, &mut r, 0) < spec.lines());
+        }
+    }
+
+    #[test]
+    fn archetype_constructors_have_expected_shape() {
+        assert!(RegionSpec::stream_out("o", 4, 1.0).write_frac > 0.9);
+        assert!(RegionSpec::stream_rmw("g", 4, 1.0, 1).paired_rmw);
+        assert_eq!(RegionSpec::lookup("l", 4, 1.0, 0.5).write_frac, 0.0);
+        assert!(matches!(
+            RegionSpec::init_data("i", 4, 1.0, 0.05).phase,
+            Phase::Init { .. }
+        ));
+        assert!(matches!(
+            RegionSpec::checkpoint("c", 4, 1.0, 1000).phase,
+            Phase::Periodic { .. }
+        ));
+    }
+}

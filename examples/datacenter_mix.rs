@@ -1,0 +1,43 @@
+//! Datacenter scenario: the paper's mix1 workload (Table 2) under dynamic
+//! reliability-aware migration with Cross Counters — the low-cost
+//! mechanism a cloud operator would deploy when job mixes are unknown
+//! ahead of time.
+//!
+//! Run with: `cargo run --release --example datacenter_mix`
+
+use ramp::core::config::SystemConfig;
+use ramp::core::hwcost;
+use ramp::core::migration::MigrationScheme;
+use ramp::core::runner::{profile_workload, run_migration};
+use ramp::trace::{MixId, Workload};
+
+fn main() {
+    let mut cfg = SystemConfig::table1_scaled();
+    cfg.insts_per_core = 500_000;
+
+    let workload = Workload::Mix(MixId::Mix1);
+    println!("profiling {workload} (9 SPEC benchmarks on 16 cores)...");
+    let profile = profile_workload(&cfg, &workload);
+
+    for scheme in [
+        MigrationScheme::PerfFc,
+        MigrationScheme::RelFc,
+        MigrationScheme::CrossCounter,
+    ] {
+        let run = run_migration(&cfg, &workload, scheme, &profile.table);
+        println!(
+            "{:<14} IPC {:.2} ({:.2}x DDR-only)  SER {:>7.1}x DDR-only  {} migrations",
+            scheme.name(),
+            run.ipc,
+            run.ipc / profile.ipc,
+            run.ser_vs_ddr_only(),
+            run.migrations,
+        );
+    }
+
+    println!(
+        "\nhardware cost at full scale: FC {} vs Cross Counters {}",
+        hwcost::human_bytes(hwcost::reliability_fc_bytes()),
+        hwcost::human_bytes(hwcost::cross_counter_total_bytes()),
+    );
+}

@@ -1,0 +1,34 @@
+//! HPC scenario: a DoE proxy application (LULESH) using program
+//! annotations — the zero-hardware-cost mechanism of Section 7. The
+//! example shows the profile-guided annotation selection, which structures
+//! get pinned, and the resulting performance/reliability point.
+//!
+//! Run with: `cargo run --release --example hpc_annotations`
+
+use ramp::core::config::SystemConfig;
+use ramp::core::placement::PlacementPolicy;
+use ramp::core::runner::{profile_workload, run_annotated, run_static};
+use ramp::trace::{Benchmark, Workload};
+
+fn main() {
+    let mut cfg = SystemConfig::table1_scaled();
+    cfg.insts_per_core = 500_000;
+
+    let workload = Workload::Homogeneous(Benchmark::Lulesh);
+    println!("profiling {workload}...");
+    let profile = profile_workload(&cfg, &workload);
+    let perf = run_static(&cfg, &workload, PlacementPolicy::PerfFocused, &profile.table);
+
+    let (run, annotations) = run_annotated(&cfg, &workload, &profile.table);
+    println!("annotated structures ({} total):", annotations.count());
+    for (bench, name) in &annotations.structures {
+        println!("  #[hbm] {bench}::{name}");
+    }
+    println!(
+        "\nannotations: IPC {:.2} ({:.1}% vs perf-focused), SER reduced {:.2}x",
+        run.ipc,
+        (1.0 - run.ipc / perf.ipc) * 100.0,
+        perf.ser_fit / run.ser_fit.max(f64::MIN_POSITIVE),
+    );
+    println!("pinned pages: {}", annotations.pinned.len());
+}

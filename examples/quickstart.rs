@@ -1,0 +1,47 @@
+//! Quickstart: profile a workload, compare placement policies, print the
+//! performance/reliability trade-off.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ramp::core::config::SystemConfig;
+use ramp::core::placement::PlacementPolicy;
+use ramp::core::runner::{profile_workload, run_static};
+use ramp::trace::{Benchmark, Workload};
+
+fn main() {
+    // A reduced instruction budget so the example finishes in about a
+    // minute; the default (SystemConfig::table1_scaled()) runs 5M
+    // instructions per core for sharper statistics.
+    let mut cfg = SystemConfig::table1_scaled();
+    cfg.insts_per_core = 1_500_000;
+
+    let workload = Workload::Homogeneous(Benchmark::Soplex);
+    println!("profiling {workload} on a DDR-only system...");
+    let profile = profile_workload(&cfg, &workload);
+    println!(
+        "  DDR-only: IPC {:.2}, MPKI {:.1}, mean page AVF {:.2}%, {} pages\n",
+        profile.ipc,
+        profile.mpki,
+        profile.table.mean_avf() * 100.0,
+        profile.table.pages().len(),
+    );
+
+    println!("{:<14} {:>8} {:>12} {:>16}", "policy", "IPC", "vs DDR-only", "SER vs DDR-only");
+    for policy in [
+        PlacementPolicy::PerfFocused,
+        PlacementPolicy::RelFocused,
+        PlacementPolicy::Balanced,
+        PlacementPolicy::WrRatio,
+        PlacementPolicy::Wr2Ratio,
+    ] {
+        let run = run_static(&cfg, &workload, policy, &profile.table);
+        println!(
+            "{:<14} {:>8.2} {:>11.2}x {:>15.1}x",
+            policy.name(),
+            run.ipc,
+            run.ipc / profile.ipc,
+            run.ser_vs_ddr_only(),
+        );
+    }
+    println!("\nThe Wr2 heuristic should sit near perf-focused IPC at a fraction of its SER.");
+}

@@ -1,0 +1,62 @@
+//! # RAMP — Reliability-Aware Memory Placement
+//!
+//! A from-scratch Rust reproduction of *"Reliability-Aware Data Placement
+//! for Heterogeneous Memory Architecture"* (Gupta et al., HPCA 2018),
+//! including every substrate the paper's evaluation depends on: a
+//! cycle-level DRAM timing simulator (Ramulator substitute), a multicore
+//! cache hierarchy (Moola substitute), a fault/ECC Monte-Carlo simulator
+//! with bit-exact SEC-DED and ChipKill decoders (FaultSim substitute),
+//! synthetic SPEC-like workload generation (PinPlay substitute), page-level
+//! AVF tracking, and the paper's placement, migration and annotation
+//! mechanisms.
+//!
+//! This facade crate re-exports the workspace's public API; see the README
+//! for the architecture overview and `ramp-bench` for the per-figure
+//! experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ramp::core::config::SystemConfig;
+//! use ramp::core::placement::PlacementPolicy;
+//! use ramp::core::runner::{profile_workload, run_static};
+//! use ramp::trace::{Benchmark, Workload};
+//!
+//! // Profile a 16-copy astar workload on a DDR-only system...
+//! let cfg = SystemConfig::smoke_test();
+//! let wl = Workload::Homogeneous(Benchmark::Astar);
+//! let profile = profile_workload(&cfg, &wl);
+//!
+//! // ...then place hot & low-risk pages in HBM with the Wr2 heuristic.
+//! let run = run_static(&cfg, &wl, PlacementPolicy::Wr2Ratio, &profile.table);
+//! println!(
+//!     "IPC {:.2} ({}x DDR-only), SER {:.1}x DDR-only",
+//!     run.ipc,
+//!     run.ipc / profile.ipc,
+//!     run.ser_vs_ddr_only()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+/// Shared simulation infrastructure: units, statistics, events, RNG.
+pub use ramp_sim as sim;
+
+/// Synthetic workloads: benchmark profiles, Table 2 mixes, trace streams.
+pub use ramp_trace as trace;
+
+/// The multicore cache hierarchy (Moola substitute).
+pub use ramp_cache as cache;
+
+/// Cycle-level DRAM timing models for DDR3 and HBM (Ramulator substitute).
+pub use ramp_dram as dram;
+
+/// DRAM fault injection and ECC evaluation (FaultSim substitute).
+pub use ramp_faultsim as faultsim;
+
+/// AVF tracking, quadrant analysis and the SER model.
+pub use ramp_avf as avf;
+
+/// The paper's contribution: placement policies, migration engines,
+/// annotations, and the full-system simulator.
+pub use ramp_core as core;

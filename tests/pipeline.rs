@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the full trace → cache → HMA → AVF → SER
+//! pipeline, policy-ordering invariants, and determinism.
+
+use std::collections::HashSet;
+
+use ramp::core::config::SystemConfig;
+use ramp::core::migration::MigrationScheme;
+use ramp::core::placement::PlacementPolicy;
+use ramp::core::runner::{profile_workload, run_annotated, run_migration, run_static};
+use ramp::trace::{Benchmark, MixId, Workload};
+
+fn cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::table1_scaled();
+    cfg.insts_per_core = 250_000;
+    cfg
+}
+
+#[test]
+fn perf_placement_beats_ddr_only_and_costs_reliability() {
+    let cfg = cfg();
+    let wl = Workload::Homogeneous(Benchmark::Libquantum);
+    let ddr = profile_workload(&cfg, &wl);
+    let perf = run_static(&cfg, &wl, PlacementPolicy::PerfFocused, &ddr.table);
+    assert!(perf.ipc > ddr.ipc * 1.2, "perf placement must boost IPC");
+    assert!(
+        perf.ser_vs_ddr_only() > 10.0,
+        "hot pages in HBM must raise SER substantially (got {:.1}x)",
+        perf.ser_vs_ddr_only()
+    );
+}
+
+#[test]
+fn policy_reliability_ordering_holds() {
+    // SER: perf-focused >= wr2 >= balanced-ish >= rel-focused (the paper's
+    // Figure 7-11 ordering, allowing wr2/balanced to tie).
+    let cfg = cfg();
+    let wl = Workload::Mix(MixId::Mix1);
+    let ddr = profile_workload(&cfg, &wl);
+    let perf = run_static(&cfg, &wl, PlacementPolicy::PerfFocused, &ddr.table);
+    let wr2 = run_static(&cfg, &wl, PlacementPolicy::Wr2Ratio, &ddr.table);
+    let rel = run_static(&cfg, &wl, PlacementPolicy::RelFocused, &ddr.table);
+
+    assert!(perf.ser_fit >= wr2.ser_fit, "wr2 must not exceed perf SER");
+    assert!(wr2.ser_fit >= rel.ser_fit, "rel-focused must have lowest SER");
+    assert!(
+        perf.ipc >= rel.ipc,
+        "rel-focused must not beat perf-focused IPC"
+    );
+}
+
+#[test]
+fn wr2_outperforms_wr_in_ipc() {
+    // The Wr2 ratio's extra hotness weighting is the whole point of
+    // Section 5.4.2.
+    let cfg = cfg();
+    let wl = Workload::Homogeneous(Benchmark::Mcf);
+    let ddr = profile_workload(&cfg, &wl);
+    let wr = run_static(&cfg, &wl, PlacementPolicy::WrRatio, &ddr.table);
+    let wr2 = run_static(&cfg, &wl, PlacementPolicy::Wr2Ratio, &ddr.table);
+    assert!(
+        wr2.ipc >= wr.ipc * 0.95,
+        "wr2 ({}) should be at least on par with wr ({})",
+        wr2.ipc,
+        wr.ipc
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = cfg();
+    let wl = Workload::Homogeneous(Benchmark::Astar);
+    let a = profile_workload(&cfg, &wl);
+    let b = profile_workload(&cfg, &wl);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert!((a.ser_fit - b.ser_fit).abs() < 1e-18);
+    assert_eq!(a.table.pages().len(), b.table.pages().len());
+}
+
+#[test]
+fn migration_schemes_run_and_reduce_ser_vs_perf_migration() {
+    let mut cfg = cfg();
+    cfg.insts_per_core = 400_000;
+    let wl = Workload::Homogeneous(Benchmark::Milc);
+    let ddr = profile_workload(&cfg, &wl);
+    let perf = run_migration(&cfg, &wl, MigrationScheme::PerfFc, &ddr.table);
+    let rel = run_migration(&cfg, &wl, MigrationScheme::RelFc, &ddr.table);
+    let cc = run_migration(&cfg, &wl, MigrationScheme::CrossCounter, &ddr.table);
+    assert!(rel.ser_fit <= perf.ser_fit, "rel-FC must cut SER vs perf-FC");
+    assert!(cc.ser_fit <= perf.ser_fit, "CC must cut SER vs perf-FC");
+    assert!(cc.migrations > 0, "cross counters must migrate");
+}
+
+#[test]
+fn annotations_pin_structures_and_cut_ser() {
+    let cfg = cfg();
+    let wl = Workload::Homogeneous(Benchmark::CactusADM);
+    let ddr = profile_workload(&cfg, &wl);
+    let perf = run_static(&cfg, &wl, PlacementPolicy::PerfFocused, &ddr.table);
+    let (run, set) = run_annotated(&cfg, &wl, &ddr.table);
+    assert!(set.count() >= 1, "at least one annotation");
+    assert!(
+        set.count() <= 60,
+        "annotation counts stay in Figure 17's range"
+    );
+    assert!(run.ser_fit <= perf.ser_fit * 1.05, "annotations must not raise SER");
+}
+
+#[test]
+fn footprint_is_fully_accounted() {
+    let cfg = cfg();
+    let wl = Workload::Homogeneous(Benchmark::Gcc);
+    let r = profile_workload(&cfg, &wl);
+    // The stats table covers the entire footprint (untouched pages with
+    // zero stats), so Figure 2/4 denominators match the paper's.
+    assert_eq!(r.table.pages().len() as u64, wl.footprint_pages());
+    let untouched = r.table.pages().iter().filter(|s| s.hotness() == 0).count();
+    assert!(untouched > 0, "some pages should be untouched in a short run");
+}
+
+#[test]
+fn mixes_follow_table2() {
+    for mix in MixId::ALL {
+        let wl = Workload::Mix(mix);
+        assert_eq!(wl.assignments().len(), 16);
+    }
+    // Spot-check mix5 (the only one with bwaves).
+    let counts = MixId::Mix5.assignments();
+    assert_eq!(
+        counts.iter().filter(|&&b| b == Benchmark::Bwaves).count(),
+        1
+    );
+    assert_eq!(
+        counts
+            .iter()
+            .filter(|&&b| b == Benchmark::CactusADM)
+            .count(),
+        5
+    );
+}
+
+#[test]
+fn ddr_only_never_touches_hbm() {
+    let cfg = cfg();
+    let wl = Workload::Homogeneous(Benchmark::Bzip);
+    let r = profile_workload(&cfg, &wl);
+    assert_eq!(r.hbm_accesses, 0);
+    assert!(r.ddr_accesses > 0);
+    assert!((r.ser_vs_ddr_only() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn placement_respects_hbm_capacity() {
+    let cfg = cfg();
+    let wl = Workload::Mix(MixId::Mix2);
+    let ddr = profile_workload(&cfg, &wl);
+    for policy in [
+        PlacementPolicy::PerfFocused,
+        PlacementPolicy::RelFocused,
+        PlacementPolicy::Balanced,
+        PlacementPolicy::WrRatio,
+        PlacementPolicy::Wr2Ratio,
+    ] {
+        let sel: HashSet<_> = policy.select(&ddr.table, cfg.hbm_capacity_pages as usize);
+        assert!(
+            sel.len() as u64 <= cfg.hbm_capacity_pages,
+            "{policy} exceeded capacity"
+        );
+    }
+}
