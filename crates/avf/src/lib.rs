@@ -15,8 +15,8 @@ pub mod ser;
 pub mod tracker;
 
 pub use analysis::{
-    hotness_avf_correlation, hottest_pages, top_hot_page_ids, writeratio_avf_correlation,
-    Quadrant, QuadrantAnalysis,
+    hotness_avf_correlation, hottest_pages, top_hot_page_ids, writeratio_avf_correlation, Quadrant,
+    QuadrantAnalysis,
 };
 pub use ser::SerModel;
 pub use tracker::{AvfTracker, PageStats, StatsTable};

@@ -3,8 +3,7 @@
 //! `cargo bench` exercises the whole pipeline. The full per-figure
 //! harnesses are the `ramp-bench` binaries (see DESIGN.md's index).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use ramp_bench::microbench::{bench, black_box};
 use ramp_core::config::SystemConfig;
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
@@ -21,31 +20,28 @@ fn tiny_cfg() -> SystemConfig {
     cfg
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let cfg = tiny_cfg();
     let wl = Workload::Homogeneous(Benchmark::Soplex);
     let profile = profile_workload(&cfg, &wl);
 
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("profile_ddr_only", |b| {
-        b.iter(|| black_box(profile_workload(&cfg, &wl)))
+    bench("experiments/profile_ddr_only", || {
+        black_box(profile_workload(&cfg, &wl));
     });
-    g.bench_function("static_wr2", |b| {
-        b.iter(|| black_box(run_static(&cfg, &wl, PlacementPolicy::Wr2Ratio, &profile.table)))
+    bench("experiments/static_wr2", || {
+        black_box(run_static(
+            &cfg,
+            &wl,
+            PlacementPolicy::Wr2Ratio,
+            &profile.table,
+        ));
     });
-    g.bench_function("migration_cross_counter", |b| {
-        b.iter(|| {
-            black_box(run_migration(
-                &cfg,
-                &wl,
-                MigrationScheme::CrossCounter,
-                &profile.table,
-            ))
-        })
+    bench("experiments/migration_cross_counter", || {
+        black_box(run_migration(
+            &cfg,
+            &wl,
+            MigrationScheme::CrossCounter,
+            &profile.table,
+        ));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

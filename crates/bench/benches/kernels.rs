@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks over the simulator's hot kernels and the
-//! design choices DESIGN.md calls out (ablations).
+//! Micro-benchmarks over the simulator's hot kernels and the design
+//! choices DESIGN.md calls out (ablations). Std-only: driven by
+//! `ramp_bench::microbench` (`harness = false`), no criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use ramp_bench::microbench::{bench, bench_with_setup, black_box};
 use ramp_cache::{Hierarchy, HierarchyConfig};
 use ramp_core::{FullCounters, MeaTracker, PageMap};
 use ramp_dram::{Interleave, MemRequest, MemorySystem, Organization, TimingParams};
@@ -11,58 +11,104 @@ use ramp_sim::rng::{SimRng, Zipf};
 use ramp_sim::units::{AccessKind, Cycle, LineAddr, PageId};
 use ramp_trace::{Benchmark, InstanceGen};
 
-fn bench_trace_gen(c: &mut Criterion) {
-    c.bench_function("trace_gen/mix_member_10k_records", |b| {
-        b.iter_batched(
-            || InstanceGen::new(Benchmark::Mcf.profile(), 0, 1, 10_000_000),
-            |mut gen| {
-                for _ in 0..10_000 {
-                    black_box(gen.next());
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+fn bench_trace_gen() {
+    bench_with_setup(
+        "trace_gen/mix_member_10k_records",
+        || InstanceGen::new(Benchmark::Mcf.profile(), 0, 1, 10_000_000),
+        |mut gen| {
+            for _ in 0..10_000 {
+                black_box(gen.next());
+            }
+        },
+    );
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/hierarchy_10k_zipf_accesses", |b| {
-        let zipf = Zipf::new(4096, 0.8);
-        b.iter_batched(
-            || (Hierarchy::new(HierarchyConfig::table1_scaled()), SimRng::from_seed(3)),
-            |(mut h, mut rng)| {
-                let mut out = Vec::new();
-                for i in 0..10_000u64 {
-                    let line = LineAddr(zipf.sample(&mut rng) as u64 * 64 + i % 64);
-                    h.access(
-                        (i % 16) as usize,
-                        line,
-                        if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
-                        &mut out,
-                    );
-                    out.clear();
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+fn bench_cache() {
+    let zipf = Zipf::new(4096, 0.8);
+    bench_with_setup(
+        "cache/hierarchy_10k_zipf_accesses",
+        || {
+            (
+                Hierarchy::new(HierarchyConfig::table1_scaled()),
+                SimRng::from_seed(3),
+            )
+        },
+        |(mut h, mut rng)| {
+            let mut out = Vec::new();
+            for i in 0..10_000u64 {
+                let line = LineAddr(zipf.sample(&mut rng) as u64 * 64 + i % 64);
+                h.access(
+                    (i % 16) as usize,
+                    line,
+                    if i % 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    &mut out,
+                );
+                out.clear();
+            }
+        },
+    );
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     // Ablation: event-driven channels (DESIGN.md) — throughput of the
     // FR-FCFS scheduler under a saturating random-read stream.
-    c.bench_function("dram/hbm_2k_random_reads", |b| {
-        b.iter_batched(
-            || (MemorySystem::hbm(), SimRng::from_seed(5)),
-            |(mut mem, mut rng)| {
+    bench_with_setup(
+        "dram/hbm_2k_random_reads",
+        || (MemorySystem::hbm(), SimRng::from_seed(5)),
+        |(mut mem, mut rng)| {
+            let mut done = Vec::new();
+            let mut t = 0u64;
+            let mut issued = 0u64;
+            while issued < 2_000 {
+                t += 40;
+                let req = MemRequest {
+                    id: issued,
+                    line: LineAddr(rng.below(1 << 20)),
+                    kind: AccessKind::Read,
+                    core: 0,
+                    arrive: Cycle(t),
+                };
+                if mem.can_accept(&req) {
+                    mem.enqueue(req).unwrap();
+                    issued += 1;
+                }
+                mem.advance(Cycle(t), &mut done);
+            }
+            black_box(done.len());
+        },
+    );
+}
+
+fn bench_mapping_ablation() {
+    // Ablation (DESIGN.md): channel-first vs bank-first interleaving under
+    // a sequential stream — the bench tracks scheduler overhead per policy.
+    for (name, il) in [
+        ("dram/stream_channel_first", Interleave::ChannelFirst),
+        ("dram/stream_bank_first", Interleave::BankFirst),
+    ] {
+        bench_with_setup(
+            name,
+            move || {
+                MemorySystem::with_mapping(
+                    ramp_dram::MemoryKind::Hbm,
+                    TimingParams::hbm_1000(),
+                    Organization::hbm(),
+                    il,
+                )
+            },
+            |mut mem| {
                 let mut done = Vec::new();
                 let mut t = 0u64;
                 let mut issued = 0u64;
                 while issued < 2_000 {
-                    t += 40;
+                    t += 20;
                     let req = MemRequest {
                         id: issued,
-                        line: LineAddr(rng.below(1 << 20)),
+                        line: LineAddr(issued),
                         kind: AccessKind::Read,
                         core: 0,
                         arrive: Cycle(t),
@@ -73,144 +119,88 @@ fn bench_dram(c: &mut Criterion) {
                     }
                     mem.advance(Cycle(t), &mut done);
                 }
-                black_box(done.len())
+                mem.advance(Cycle(t + 100_000), &mut done);
+                black_box(done.len());
             },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_mapping_ablation(c: &mut Criterion) {
-    // Ablation (DESIGN.md): channel-first vs bank-first interleaving under
-    // a sequential stream — channel-first should complete the same request
-    // count in fewer simulated cycles (higher bandwidth), visible here as
-    // comparable host-time work with different completion counts asserted
-    // in the dram tests; the bench tracks scheduler overhead per policy.
-    for (name, il) in [
-        ("dram/stream_channel_first", Interleave::ChannelFirst),
-        ("dram/stream_bank_first", Interleave::BankFirst),
-    ] {
-        c.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    MemorySystem::with_mapping(
-                        ramp_dram::MemoryKind::Hbm,
-                        TimingParams::hbm_1000(),
-                        Organization::hbm(),
-                        il,
-                    )
-                },
-                |mut mem| {
-                    let mut done = Vec::new();
-                    let mut t = 0u64;
-                    let mut issued = 0u64;
-                    while issued < 2_000 {
-                        t += 20;
-                        let req = MemRequest {
-                            id: issued,
-                            line: LineAddr(issued),
-                            kind: AccessKind::Read,
-                            core: 0,
-                            arrive: Cycle(t),
-                        };
-                        if mem.can_accept(&req) {
-                            mem.enqueue(req).unwrap();
-                            issued += 1;
-                        }
-                        mem.advance(Cycle(t), &mut done);
-                    }
-                    mem.advance(Cycle(t + 100_000), &mut done);
-                    black_box(done.len())
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        );
     }
 }
 
-fn bench_ecc(c: &mut Criterion) {
+fn bench_ecc() {
     let hsiao = Hsiao7264::new();
-    c.bench_function("ecc/hsiao_decode", |b| {
-        let check = hsiao.encode(0xdead_beef_1234_5678);
-        b.iter(|| black_box(hsiao.decode(black_box(0xdead_beef_1234_5678 ^ 0x40), check)))
+    let check = hsiao.encode(0xdead_beef_1234_5678);
+    bench("ecc/hsiao_decode", || {
+        black_box(hsiao.decode(black_box(0xdead_beef_1234_5678 ^ 0x40), check));
     });
     let ck = ChipKill::new();
-    c.bench_function("ecc/chipkill_classify_chip_failure", |b| {
-        b.iter(|| black_box(ck.classify_chip_failure(black_box(17), 0xa5)))
+    bench("ecc/chipkill_classify_chip_failure", || {
+        black_box(ck.classify_chip_failure(black_box(17), 0xa5));
     });
 }
 
-fn bench_faultsim(c: &mut Criterion) {
-    c.bench_function("faultsim/hbm_1k_trials", |b| {
-        b.iter_batched(
-            || SimRng::from_seed(7),
-            |mut rng| black_box(run_monte_carlo(&RasConfig::hbm_secded(), 1_000, &mut rng)),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+fn bench_faultsim() {
+    bench_with_setup(
+        "faultsim/hbm_1k_trials",
+        || SimRng::from_seed(7),
+        |mut rng| {
+            black_box(run_monte_carlo(&RasConfig::hbm_secded(), 1_000, &mut rng));
+        },
+    );
 }
 
-fn bench_trackers(c: &mut Criterion) {
+fn bench_trackers() {
     // Ablation: MEA decrement-all vs full counters for hotness tracking.
-    c.bench_function("tracking/mea_32_10k_accesses", |b| {
-        let zipf = Zipf::new(10_000, 1.0);
-        b.iter_batched(
-            || (MeaTracker::mempod(), SimRng::from_seed(9)),
-            |(mut mea, mut rng)| {
-                for _ in 0..10_000 {
-                    mea.record(PageId(zipf.sample(&mut rng) as u64));
-                }
-                black_box(mea.drain())
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("tracking/full_counters_10k_accesses", |b| {
-        let zipf = Zipf::new(10_000, 1.0);
-        b.iter_batched(
-            || (FullCounters::fc_8bit(), SimRng::from_seed(9)),
-            |(mut fc, mut rng)| {
-                for _ in 0..10_000 {
-                    fc.record(PageId(zipf.sample(&mut rng) as u64), AccessKind::Read);
-                }
-                black_box(fc.mean_hotness())
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    let zipf = Zipf::new(10_000, 1.0);
+    bench_with_setup(
+        "tracking/mea_32_10k_accesses",
+        || (MeaTracker::mempod(), SimRng::from_seed(9)),
+        |(mut mea, mut rng)| {
+            for _ in 0..10_000 {
+                mea.record(PageId(zipf.sample(&mut rng) as u64));
+            }
+            black_box(mea.drain());
+        },
+    );
+    let zipf2 = Zipf::new(10_000, 1.0);
+    bench_with_setup(
+        "tracking/full_counters_10k_accesses",
+        || (FullCounters::fc_8bit(), SimRng::from_seed(9)),
+        |(mut fc, mut rng)| {
+            for _ in 0..10_000 {
+                fc.record(PageId(zipf2.sample(&mut rng) as u64), AccessKind::Read);
+            }
+            black_box(fc.mean_hotness());
+        },
+    );
 }
 
-fn bench_pagemap(c: &mut Criterion) {
-    c.bench_function("pagemap/migrate_churn_1k", |b| {
-        b.iter_batched(
-            || {
-                let mut pm = PageMap::new(512);
-                for p in 0..512u64 {
-                    pm.place_in_hbm(PageId(p)).unwrap();
-                }
-                pm
-            },
-            |mut pm| {
-                for p in 0..1_000u64 {
-                    let _ = pm.migrate(PageId(p % 512), ramp_dram::MemoryKind::Ddr);
-                    let _ = pm.migrate(PageId(p % 512 + 1000), ramp_dram::MemoryKind::Hbm);
-                }
-                black_box(pm.hbm_used())
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+fn bench_pagemap() {
+    bench_with_setup(
+        "pagemap/migrate_churn_1k",
+        || {
+            let mut pm = PageMap::new(512);
+            for p in 0..512u64 {
+                pm.place_in_hbm(PageId(p)).unwrap();
+            }
+            pm
+        },
+        |mut pm| {
+            for p in 0..1_000u64 {
+                let _ = pm.migrate(PageId(p % 512), ramp_dram::MemoryKind::Ddr);
+                let _ = pm.migrate(PageId(p % 512 + 1000), ramp_dram::MemoryKind::Hbm);
+            }
+            black_box(pm.hbm_used());
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_trace_gen,
-    bench_cache,
-    bench_dram,
-    bench_mapping_ablation,
-    bench_ecc,
-    bench_faultsim,
-    bench_trackers,
-    bench_pagemap
-);
-criterion_main!(benches);
+fn main() {
+    bench_trace_gen();
+    bench_cache();
+    bench_dram();
+    bench_mapping_ablation();
+    bench_ecc();
+    bench_faultsim();
+    bench_trackers();
+    bench_pagemap();
+}

@@ -2,37 +2,105 @@
 //! single process so profiling passes and baseline runs are shared via
 //! [`ramp_bench::Harness`]. Output is markdown; EXPERIMENTS.md is the
 //! curated record of one full run.
+//!
+//! The experiment matrix is sharded across cores (`-j N`, `--threads N`
+//! or `RAMP_THREADS`; default all cores) by prewarming the harness caches
+//! through [`ramp_sim::exec`]; every figure is then formatted from cached
+//! results, so stdout is byte-identical at any thread count.
 
 use ramp_avf::{
-    hotness_avf_correlation, hottest_pages, writeratio_avf_correlation, Quadrant,
-    QuadrantAnalysis,
+    hotness_avf_correlation, hottest_pages, writeratio_avf_correlation, Quadrant, QuadrantAnalysis,
 };
 use ramp_bench::{
-    fmt_pct, fmt_x, geomean_or_one, migration_vs_perf, print_relative, print_table,
-    static_vs_perf, workloads, Harness,
+    fmt_pct, fmt_x, geomean_or_one, migration_vs_perf, print_relative, print_table, static_vs_perf,
+    workloads, Harness,
 };
 use ramp_core::annotate::select_annotations;
 use ramp_core::hwcost;
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::{run_annotated, run_migration};
+use ramp_core::runner::run_migration;
 use ramp_faultsim::{run_monte_carlo, RasConfig};
+use ramp_sim::exec::{parallel_map, StageTimer};
 use ramp_sim::stats::Histogram;
 use ramp_sim::SimRng;
 use ramp_trace::{Benchmark, MixId, Workload};
 
+const FRONTIER_WLS: [Workload; 3] = [
+    Workload::Homogeneous(Benchmark::Astar),
+    Workload::Homogeneous(Benchmark::CactusADM),
+    Workload::Mix(MixId::Mix1),
+];
+
+const SWEEP_WLS: [Workload; 3] = [
+    Workload::Homogeneous(Benchmark::Astar),
+    Workload::Mix(MixId::Mix1),
+    Workload::Homogeneous(Benchmark::Lbm),
+];
+
+const SWEEP_INTERVALS: [u64; 4] = [100_000, 200_000, 400_000, 1_600_000];
+
+/// Shards every simulation of the suite across the worker pool; after
+/// this, the figure sections below only read caches.
+fn prewarm(h: &mut Harness, wls: &[Workload]) {
+    eprintln!("sharding experiment matrix over {} threads", h.threads);
+    let total = StageTimer::new("prewarm total");
+    h.prewarm_profiles(wls);
+    h.prewarm_static(
+        wls,
+        &[
+            PlacementPolicy::PerfFocused,
+            PlacementPolicy::RelFocused,
+            PlacementPolicy::Balanced,
+            PlacementPolicy::WrRatio,
+            PlacementPolicy::Wr2Ratio,
+        ],
+    );
+    h.prewarm_static(
+        &FRONTIER_WLS,
+        &[0.0f64, 0.25, 0.5, 0.75, 1.0].map(PlacementPolicy::FracHottest),
+    );
+    h.prewarm_migration(
+        wls,
+        &[
+            MigrationScheme::PerfFc,
+            MigrationScheme::RelFc,
+            MigrationScheme::CrossCounter,
+        ],
+    );
+    h.prewarm_annotated(wls);
+    total.finish();
+}
+
 fn main() {
     let mut h = Harness::new();
     let wls = workloads();
+    prewarm(&mut h, &wls);
 
     // ---- FaultSim calibration (Section 3.2) -------------------------
+    // The two Monte Carlos are independent tasks on decorrelated child
+    // streams of the root seed.
     println!("\n\n## FaultSim calibration (Section 3.2)\n");
-    let mut rng = SimRng::from_seed(2018);
-    let hbm = run_monte_carlo(&RasConfig::hbm_secded(), 500_000, &mut rng);
-    let ddr = run_monte_carlo(&RasConfig::ddr_chipkill(), 500_000, &mut rng);
+    let root = SimRng::from_seed(2018);
+    let mc = parallel_map(
+        h.threads.min(2),
+        vec![
+            ("hbm", RasConfig::hbm_secded()),
+            ("ddr", RasConfig::ddr_chipkill()),
+        ],
+        |_, (label, ras)| run_monte_carlo(ras, 500_000, &mut root.child(label)),
+    );
+    let (hbm, ddr) = (&mc[0], &mc[1]);
     print_table(
         "FaultSim Monte Carlo",
-        &["memory", "faults", "corrected", "DUE", "SDC", "uncorrected FIT/GB"],
+        &[
+            "memory",
+            "faults",
+            "corrected",
+            "DUE",
+            "SDC",
+            "uncorrected FIT/GB",
+        ],
         &[
             vec![
                 "HBM / SEC-DED".into(),
@@ -59,10 +127,26 @@ fn main() {
         "Tracking storage at full scale",
         &["mechanism", "measured", "paper"],
         &[
-            vec!["rel-aware FC total".into(), hwcost::human_bytes(hwcost::reliability_fc_bytes()), "8.5 MB".into()],
-            vec!["rel-aware FC extra".into(), hwcost::human_bytes(hwcost::reliability_fc_extra_bytes()), "4.25 MB".into()],
-            vec!["CC risk counters".into(), hwcost::human_bytes(hwcost::cc_risk_counter_bytes()), "512 KB".into()],
-            vec!["CC total".into(), hwcost::human_bytes(hwcost::cross_counter_total_bytes()), "676 KB".into()],
+            vec![
+                "rel-aware FC total".into(),
+                hwcost::human_bytes(hwcost::reliability_fc_bytes()),
+                "8.5 MB".into(),
+            ],
+            vec![
+                "rel-aware FC extra".into(),
+                hwcost::human_bytes(hwcost::reliability_fc_extra_bytes()),
+                "4.25 MB".into(),
+            ],
+            vec![
+                "CC risk counters".into(),
+                hwcost::human_bytes(hwcost::cc_risk_counter_bytes()),
+                "512 KB".into(),
+            ],
+            vec![
+                "CC total".into(),
+                hwcost::human_bytes(hwcost::cross_counter_total_bytes()),
+                "676 KB".into(),
+            ],
         ],
     );
 
@@ -137,7 +221,12 @@ fn main() {
             &["write share", "pages"],
             &hist
                 .iter()
-                .map(|(lo, hi, c)| vec![format!("{:.0}%-{:.0}%", lo * 100.0, hi * 100.0), c.to_string()])
+                .map(|(lo, hi, c)| {
+                    vec![
+                        format!("{:.0}%-{:.0}%", lo * 100.0, hi * 100.0),
+                        c.to_string(),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         );
     }
@@ -153,11 +242,23 @@ fn main() {
         let (ix, sx) = (perf.ipc / ddr.ipc, perf.ser_vs_ddr_only());
         ipcs.push(ix);
         sers.push(sx);
-        f5.push(vec![wl.name().to_string(), format!("{:.3}", ddr.ipc), format!("{:.3}", perf.ipc), fmt_x(ix), fmt_x(sx)]);
+        f5.push(vec![
+            wl.name().to_string(),
+            format!("{:.3}", ddr.ipc),
+            format!("{:.3}", perf.ipc),
+            fmt_x(ix),
+            fmt_x(sx),
+        ]);
     }
     print_table(
         "Figure 5",
-        &["workload", "IPC (DDR-only)", "IPC (perf)", "IPC boost", "SER vs DDR-only"],
+        &[
+            "workload",
+            "IPC (DDR-only)",
+            "IPC (perf)",
+            "IPC boost",
+            "SER vs DDR-only",
+        ],
         &f5,
     );
     println!(
@@ -168,43 +269,70 @@ fn main() {
 
     // ---- Figure 1 ----------------------------------------------------
     println!("\n\n## Figure 1: frontier (astar+cactusADM+mix1)\n");
-    let frontier_wls = [
-        Workload::Homogeneous(Benchmark::Astar),
-        Workload::Homogeneous(Benchmark::CactusADM),
-        Workload::Mix(MixId::Mix1),
-    ];
     let mut f1 = Vec::new();
     for frac in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
         let mut i = Vec::new();
         let mut s = Vec::new();
-        for wl in &frontier_wls {
+        for wl in &FRONTIER_WLS {
             let ddr = h.profile(wl);
             let r = h.static_run(wl, PlacementPolicy::FracHottest(frac));
             i.push(r.ipc / ddr.ipc);
             s.push(r.ser_vs_ddr_only());
         }
-        f1.push(vec![format!("{:.0}% of HBM", frac * 100.0), fmt_x(geomean_or_one(&i)), fmt_x(geomean_or_one(&s))]);
+        f1.push(vec![
+            format!("{:.0}% of HBM", frac * 100.0),
+            fmt_x(geomean_or_one(&i)),
+            fmt_x(geomean_or_one(&s)),
+        ]);
     }
     for policy in [PlacementPolicy::Wr2Ratio, PlacementPolicy::Balanced] {
         let mut i = Vec::new();
         let mut s = Vec::new();
-        for wl in &frontier_wls {
+        for wl in &FRONTIER_WLS {
             let ddr = h.profile(wl);
             let r = h.static_run(wl, policy);
             i.push(r.ipc / ddr.ipc);
             s.push(r.ser_vs_ddr_only());
         }
-        f1.push(vec![policy.name(), fmt_x(geomean_or_one(&i)), fmt_x(geomean_or_one(&s))]);
+        f1.push(vec![
+            policy.name(),
+            fmt_x(geomean_or_one(&i)),
+            fmt_x(geomean_or_one(&s)),
+        ]);
     }
-    print_table("Figure 1", &["placement", "IPC vs DDR-only", "SER vs DDR-only"], &f1);
+    print_table(
+        "Figure 1",
+        &["placement", "IPC vs DDR-only", "SER vs DDR-only"],
+        &f1,
+    );
 
     // ---- Figures 7, 8, 10, 11 (static policies vs perf) --------------
     let by_mpki = h.workloads_by_mpki(&wls);
     for (title, policy, p_ipc, p_ser) in [
-        ("Figure 7: reliability-focused static", PlacementPolicy::RelFocused, "17%", "5.0x"),
-        ("Figure 8: balanced static", PlacementPolicy::Balanced, "14%", "3.0x"),
-        ("Figure 10: Wr-ratio static", PlacementPolicy::WrRatio, "8.1%", "1.8x"),
-        ("Figure 11: Wr2-ratio static", PlacementPolicy::Wr2Ratio, "1%", "1.6x"),
+        (
+            "Figure 7: reliability-focused static",
+            PlacementPolicy::RelFocused,
+            "17%",
+            "5.0x",
+        ),
+        (
+            "Figure 8: balanced static",
+            PlacementPolicy::Balanced,
+            "14%",
+            "3.0x",
+        ),
+        (
+            "Figure 10: Wr-ratio static",
+            PlacementPolicy::WrRatio,
+            "8.1%",
+            "1.8x",
+        ),
+        (
+            "Figure 11: Wr2-ratio static",
+            PlacementPolicy::Wr2Ratio,
+            "1%",
+            "1.6x",
+        ),
     ] {
         println!("\n\n## {title}\n");
         let rows = static_vs_perf(&mut h, &by_mpki, policy);
@@ -222,9 +350,18 @@ fn main() {
         let (ix, sx) = (mig.ipc / ddr.ipc, mig.ser_vs_ddr_only());
         i12.push(ix);
         s12.push(sx);
-        f12.push(vec![wl.name().to_string(), fmt_x(ix), fmt_x(sx), mig.migrations.to_string()]);
+        f12.push(vec![
+            wl.name().to_string(),
+            fmt_x(ix),
+            fmt_x(sx),
+            mig.migrations.to_string(),
+        ]);
     }
-    print_table("Figure 12", &["workload", "IPC boost", "SER vs DDR-only", "migrations"], &f12);
+    print_table(
+        "Figure 12",
+        &["workload", "IPC boost", "SER vs DDR-only", "migrations"],
+        &f12,
+    );
     println!(
         "\nmean: IPC {} (paper: 1.52x), SER {} (paper: 268x)",
         fmt_x(geomean_or_one(&i12)),
@@ -232,22 +369,29 @@ fn main() {
     );
 
     // ---- Figure 13 ----------------------------------------------------
+    // The interval sweep uses per-task configs, so it shards directly
+    // through exec rather than the harness caches; results come back in
+    // input order, keeping the table deterministic.
     println!("\n\n## Figure 13: FC-interval sweep\n");
-    let sweep_wls = [
-        Workload::Homogeneous(Benchmark::Astar),
-        Workload::Mix(MixId::Mix1),
-        Workload::Homogeneous(Benchmark::Lbm),
-    ];
-    let intervals: [u64; 4] = [100_000, 200_000, 400_000, 1_600_000];
+    let sweep: Vec<(Workload, u64)> = SWEEP_WLS
+        .iter()
+        .flat_map(|wl| SWEEP_INTERVALS.iter().map(move |&iv| (*wl, iv)))
+        .collect();
+    let sweep_profiles: Vec<_> = SWEEP_WLS.iter().map(|wl| h.profile(wl)).collect();
+    let sweep_ipc = {
+        let base_cfg = &h.cfg;
+        parallel_map(h.threads, sweep, |i, (wl, iv)| {
+            let mut cfg = base_cfg.clone();
+            cfg.fc_interval_cycles = *iv;
+            let profile = &sweep_profiles[i / SWEEP_INTERVALS.len()];
+            run_migration(&cfg, wl, MigrationScheme::PerfFc, &profile.table).ipc
+        })
+    };
     let mut f13 = Vec::new();
-    for wl in &sweep_wls {
-        let profile = h.profile(wl);
+    for (wi, wl) in SWEEP_WLS.iter().enumerate() {
         let mut row = vec![wl.name().to_string()];
-        for &iv in &intervals {
-            let mut cfg = h.cfg.clone();
-            cfg.fc_interval_cycles = iv;
-            let r = run_migration(&cfg, wl, MigrationScheme::PerfFc, &profile.table);
-            row.push(format!("{:.3}", r.ipc));
+        for ii in 0..SWEEP_INTERVALS.len() {
+            row.push(format!("{:.3}", sweep_ipc[wi * SWEEP_INTERVALS.len() + ii]));
         }
         f13.push(row);
     }
@@ -259,8 +403,18 @@ fn main() {
 
     // ---- Figures 14, 15 ------------------------------------------------
     for (title, scheme, p_ipc, p_ser) in [
-        ("Figure 14: reliability-aware FC migration", MigrationScheme::RelFc, "6%", "1.8x"),
-        ("Figure 15: Cross-Counter migration", MigrationScheme::CrossCounter, "4.9%", "1.5x"),
+        (
+            "Figure 14: reliability-aware FC migration",
+            MigrationScheme::RelFc,
+            "6%",
+            "1.8x",
+        ),
+        (
+            "Figure 15: Cross-Counter migration",
+            MigrationScheme::CrossCounter,
+            "4.9%",
+            "1.5x",
+        ),
     ] {
         println!("\n\n## {title}\n");
         let rows = migration_vs_perf(&mut h, &by_mpki, scheme);
@@ -274,9 +428,8 @@ fn main() {
     let mut s16 = Vec::new();
     let mut counts = Vec::new();
     for wl in &wls {
-        let profile = h.profile(wl);
         let base = h.static_run(wl, PlacementPolicy::PerfFocused);
-        let (run, set) = run_annotated(&h.cfg, wl, &profile.table);
+        let (run, set) = h.annotated_run(wl);
         let ipc_rel = run.ipc / base.ipc;
         let ser_red = base.ser_fit / run.ser_fit.max(f64::MIN_POSITIVE);
         i16.push(ipc_rel);
@@ -292,7 +445,13 @@ fn main() {
     }
     print_table(
         "Figures 16/17 (vs perf-focused static)",
-        &["workload", "IPC vs perf", "SER reduction", "annotations", "pinned pages"],
+        &[
+            "workload",
+            "IPC vs perf",
+            "SER reduction",
+            "annotations",
+            "pinned pages",
+        ],
         &f16,
     );
     println!(
@@ -306,7 +465,12 @@ fn main() {
     println!("\n\n## Table 3: summary\n");
     let mut t3 = Vec::new();
     for (name, policy, p_ipc, p_ser) in [
-        ("Reliability-focused [5.1]", PlacementPolicy::RelFocused, "17%", "5.0x"),
+        (
+            "Reliability-focused [5.1]",
+            PlacementPolicy::RelFocused,
+            "17%",
+            "5.0x",
+        ),
         ("Balanced [5.2]", PlacementPolicy::Balanced, "14%", "3.0x"),
         ("Wr ratio [5.4.1]", PlacementPolicy::WrRatio, "8.1%", "1.8x"),
         ("Wr2 ratio [5.4.2]", PlacementPolicy::Wr2Ratio, "1%", "1.6x"),
@@ -321,8 +485,18 @@ fn main() {
         ]);
     }
     for (name, scheme, p_ipc, p_ser) in [
-        ("Reliability-aware FC [6.2]", MigrationScheme::RelFc, "6%", "1.8x"),
-        ("Cross Counters [6.4]", MigrationScheme::CrossCounter, "4.9%", "1.5x"),
+        (
+            "Reliability-aware FC [6.2]",
+            MigrationScheme::RelFc,
+            "6%",
+            "1.8x",
+        ),
+        (
+            "Cross Counters [6.4]",
+            MigrationScheme::CrossCounter,
+            "4.9%",
+            "1.5x",
+        ),
     ] {
         let r = migration_vs_perf(&mut h, &wls, scheme);
         let ipc = geomean_or_one(&r.iter().map(|x| x.ipc_rel).collect::<Vec<_>>());
@@ -349,14 +523,27 @@ fn main() {
     let mut f17 = Vec::new();
     for wl in &wls {
         let profile = h.profile(wl);
-        let set = select_annotations(wl, &profile.table, h.cfg.hbm_capacity_pages as usize, h.cfg.seed);
+        let set = select_annotations(
+            wl,
+            &profile.table,
+            h.cfg.hbm_capacity_pages as usize,
+            h.cfg.seed,
+        );
         let names: Vec<String> = set
             .structures
             .iter()
             .take(4)
             .map(|(b, n)| format!("{b}::{n}"))
             .collect();
-        f17.push(vec![wl.name().to_string(), set.count().to_string(), names.join(", ")]);
+        f17.push(vec![
+            wl.name().to_string(),
+            set.count().to_string(),
+            names.join(", "),
+        ]);
     }
-    print_table("Selected structures (first four)", &["workload", "count", "structures"], &f17);
+    print_table(
+        "Selected structures (first four)",
+        &["workload", "count", "structures"],
+        &f17,
+    );
 }

@@ -2,13 +2,17 @@
 //! quadrant fractions and correlations — the knobs DESIGN.md's profile
 //! tuning targets (Figures 2, 4, 6 and 9).
 
-use ramp_avf::{hotness_avf_correlation, hottest_pages, writeratio_avf_correlation, Quadrant, QuadrantAnalysis};
+use ramp_avf::{
+    hotness_avf_correlation, hottest_pages, writeratio_avf_correlation, Quadrant, QuadrantAnalysis,
+};
 use ramp_bench::{print_table, workloads, Harness};
 
 fn main() {
     let mut h = Harness::new();
+    let wls = workloads();
+    h.prewarm_profiles(&wls);
     let mut rows = Vec::new();
-    for wl in workloads() {
+    for wl in wls {
         let r = h.profile(&wl);
         let q = QuadrantAnalysis::new(&r.table);
         let rho_hot = hotness_avf_correlation(&r.table).unwrap_or(f64::NAN);
@@ -18,7 +22,11 @@ fn main() {
         let hot = hottest_pages(&r.table);
         let total_mass: f64 = r.table.pages().iter().map(|s| s.avf).sum();
         let hot_mass: f64 = hot.iter().take(4096).map(|s| s.avf).sum();
-        let share = if total_mass > 0.0 { hot_mass / total_mass } else { 0.0 };
+        let share = if total_mass > 0.0 {
+            hot_mass / total_mass
+        } else {
+            0.0
+        };
         rows.push(vec![
             wl.name().to_string(),
             format!("{:.2}", r.ipc),
@@ -36,8 +44,17 @@ fn main() {
     print_table(
         "Calibration (DDR-only profiling runs)",
         &[
-            "workload", "IPC", "MPKI", "pages", "meanAVF", "hot&low", "hot&high", "cold&high",
-            "rho(hot,avf)", "rho(wr,avf)", "hot4096 avf share",
+            "workload",
+            "IPC",
+            "MPKI",
+            "pages",
+            "meanAVF",
+            "hot&low",
+            "hot&high",
+            "cold&high",
+            "rho(hot,avf)",
+            "rho(wr,avf)",
+            "hot4096 avf share",
         ],
         &rows,
     );

@@ -27,7 +27,11 @@ fn print_result(label: &str, r: &RunResult, baseline: Option<&RunResult>) {
     println!("\n== {label} ==");
     println!("  IPC           : {:.3}", r.ipc);
     if let Some(b) = baseline {
-        println!("  vs DDR-only   : {:.2}x IPC, {:.1}x SER", r.ipc / b.ipc, r.ser_vs_ddr_only());
+        println!(
+            "  vs DDR-only   : {:.2}x IPC, {:.1}x SER",
+            r.ipc / b.ipc,
+            r.ser_vs_ddr_only()
+        );
     }
     println!("  SER           : {:.3e} FIT", r.ser_fit);
     println!("  MPKI          : {:.1}", r.mpki);
@@ -57,16 +61,24 @@ fn main() {
 
     let result = match args[1].as_str() {
         "ddr-only" => return,
-        "perf" => run_static(&cfg, &workload, PlacementPolicy::PerfFocused, &profile.table),
+        "perf" => run_static(
+            &cfg,
+            &workload,
+            PlacementPolicy::PerfFocused,
+            &profile.table,
+        ),
         "rel" => run_static(&cfg, &workload, PlacementPolicy::RelFocused, &profile.table),
         "balanced" => run_static(&cfg, &workload, PlacementPolicy::Balanced, &profile.table),
         "wr" => run_static(&cfg, &workload, PlacementPolicy::WrRatio, &profile.table),
         "wr2" => run_static(&cfg, &workload, PlacementPolicy::Wr2Ratio, &profile.table),
         "perf-fc" => run_migration(&cfg, &workload, MigrationScheme::PerfFc, &profile.table),
         "rel-fc" => run_migration(&cfg, &workload, MigrationScheme::RelFc, &profile.table),
-        "cross-counter" => {
-            run_migration(&cfg, &workload, MigrationScheme::CrossCounter, &profile.table)
-        }
+        "cross-counter" => run_migration(
+            &cfg,
+            &workload,
+            MigrationScheme::CrossCounter,
+            &profile.table,
+        ),
         "annotations" => {
             let (r, set) = run_annotated(&cfg, &workload, &profile.table);
             println!("\nannotated structures ({}):", set.count());

@@ -7,24 +7,35 @@
 use ramp_bench::{fmt_x, geomean_or_one, print_table, workloads, Harness};
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::{run_annotated, run_annotated_with_migration};
+use ramp_core::runner::run_annotated_with_migration;
+use ramp_sim::exec::{parallel_map, StageTimer};
 
 fn main() {
     let mut h = Harness::new();
+    let wls = workloads();
+    h.prewarm_static(&wls, &[PlacementPolicy::PerfFocused]);
+    h.prewarm_annotated(&wls);
+    let profiles: Vec<_> = wls.iter().map(|wl| h.profile(wl)).collect();
+    let timer = StageTimer::new(format!(
+        "annotated+CC x{} (threads={})",
+        wls.len(),
+        h.threads
+    ));
+    let boths = {
+        let cfg = &h.cfg;
+        parallel_map(h.threads, wls.clone(), |i, wl| {
+            run_annotated_with_migration(cfg, wl, MigrationScheme::CrossCounter, &profiles[i].table)
+                .0
+        })
+    };
+    timer.finish();
     let mut rows = Vec::new();
     let mut ann_sers = Vec::new();
     let mut both_sers = Vec::new();
-    for wl in workloads() {
-        let profile = h.profile(&wl);
-        let base = h.static_run(&wl, PlacementPolicy::PerfFocused);
-        eprintln!("  [ext] {}", wl.name());
-        let (ann, _) = run_annotated(&h.cfg, &wl, &profile.table);
-        let (both, _) = run_annotated_with_migration(
-            &h.cfg,
-            &wl,
-            MigrationScheme::CrossCounter,
-            &profile.table,
-        );
+    for (i, wl) in wls.iter().enumerate() {
+        let base = h.static_run(wl, PlacementPolicy::PerfFocused);
+        let (ann, _) = h.annotated_run(wl);
+        let both = &boths[i];
         let ann_red = base.ser_fit / ann.ser_fit.max(f64::MIN_POSITIVE);
         let both_red = base.ser_fit / both.ser_fit.max(f64::MIN_POSITIVE);
         ann_sers.push(ann_red);

@@ -6,15 +6,26 @@
 
 use ramp_bench::print_table;
 use ramp_faultsim::{run_monte_carlo, RasConfig};
+use ramp_sim::exec::{default_threads, parallel_map, StageTimer};
 use ramp_sim::SimRng;
 
 fn main() {
-    let mut rng = SimRng::from_seed(2018);
-    // Trial counts from the paper, scaled by mission count.
-    eprintln!("running SEC-DED trials...");
-    let hbm = run_monte_carlo(&RasConfig::hbm_secded(), 2_000_000, &mut rng);
-    eprintln!("running ChipKill trials...");
-    let ddr = run_monte_carlo(&RasConfig::ddr_chipkill(), 1_000_000, &mut rng);
+    let root = SimRng::from_seed(2018);
+    // Trial counts from the paper, scaled by mission count. The two
+    // Monte Carlos are independent tasks on decorrelated child streams,
+    // so they shard across cores with results in input order.
+    let tasks = vec![
+        ("secded", RasConfig::hbm_secded(), 2_000_000u64),
+        ("chipkill", RasConfig::ddr_chipkill(), 1_000_000u64),
+    ];
+    let threads = default_threads().min(tasks.len());
+    let timer = StageTimer::new(format!("faultsim x{} (threads={threads})", tasks.len()));
+    let mut results = parallel_map(threads, tasks, |_, (label, ras, trials)| {
+        run_monte_carlo(ras, *trials, &mut root.child(label))
+    });
+    timer.finish();
+    let ddr = results.pop().expect("chipkill outcome");
+    let hbm = results.pop().expect("secded outcome");
     let rows = vec![
         vec![
             "HBM / SEC-DED".into(),
@@ -35,7 +46,14 @@ fn main() {
     ];
     print_table(
         "FaultSim Monte Carlo (per-memory RAS)",
-        &["memory", "faults", "corrected", "DUE", "SDC", "uncorrected FIT/GB"],
+        &[
+            "memory",
+            "faults",
+            "corrected",
+            "DUE",
+            "SDC",
+            "uncorrected FIT/GB",
+        ],
         &rows,
     );
     println!(

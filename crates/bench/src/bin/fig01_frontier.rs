@@ -16,6 +16,18 @@ fn main() {
         Workload::Homogeneous(Benchmark::CactusADM),
         Workload::Mix(MixId::Mix1),
     ];
+    h.prewarm_static(
+        &wls,
+        &[
+            PlacementPolicy::FracHottest(0.0),
+            PlacementPolicy::FracHottest(0.25),
+            PlacementPolicy::FracHottest(0.5),
+            PlacementPolicy::FracHottest(0.75),
+            PlacementPolicy::FracHottest(1.0),
+            PlacementPolicy::Wr2Ratio,
+            PlacementPolicy::Balanced,
+        ],
+    );
     let mut rows = Vec::new();
     for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut ipcs = Vec::new();

@@ -7,7 +7,9 @@ use ramp_bench::{print_table, workloads, Harness};
 
 fn main() {
     let mut h = Harness::new();
-    let mut rows: Vec<(f64, String)> = workloads()
+    let wls = workloads();
+    h.prewarm_profiles(&wls);
+    let mut rows: Vec<(f64, String)> = wls
         .iter()
         .map(|wl| {
             let r = h.profile(wl);

@@ -20,7 +20,10 @@ fn main() {
     let rows = vec![
         vec![
             "(a) WR,RD,RD,WR".into(),
-            format!("{:.1}%", scenario(&[(100, W), (400, R), (700, R), (900, W)]) * 100.0),
+            format!(
+                "{:.1}%",
+                scenario(&[(100, W), (400, R), (700, R), (900, W)]) * 100.0
+            ),
             "ACE between write and last read (60%)".into(),
         ],
         vec![
@@ -30,12 +33,18 @@ fn main() {
         ],
         vec![
             "(c) same hotness, early reads".into(),
-            format!("{:.1}%", scenario(&[(100, W), (200, R), (300, R), (400, W)]) * 100.0),
+            format!(
+                "{:.1}%",
+                scenario(&[(100, W), (200, R), (300, R), (400, W)]) * 100.0
+            ),
             "reads right after write: low AVF (20%)".into(),
         ],
         vec![
             "(d) same hotness, late reads".into(),
-            format!("{:.1}%", scenario(&[(100, W), (700, R), (900, R), (950, W)]) * 100.0),
+            format!(
+                "{:.1}%",
+                scenario(&[(100, W), (700, R), (900, R), (950, W)]) * 100.0
+            ),
             "reads long after write: high AVF (80%)".into(),
         ],
     ];
@@ -44,5 +53,7 @@ fn main() {
         &["scenario", "line AVF", "interpretation"],
         &rows,
     );
-    println!("\n(c) and (d) have identical hotness but 4x different AVF — the paper's core insight.");
+    println!(
+        "\n(c) and (d) have identical hotness but 4x different AVF — the paper's core insight."
+    );
 }

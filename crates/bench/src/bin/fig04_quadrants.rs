@@ -10,8 +10,10 @@ use ramp_bench::{fmt_pct, print_table, workloads, Harness};
 
 fn main() {
     let mut h = Harness::new();
+    let wls = workloads();
+    h.prewarm_profiles(&wls);
     let mut rows = Vec::new();
-    for wl in workloads() {
+    for wl in wls {
         let r = h.profile(&wl);
         let q = QuadrantAnalysis::new(&r.table);
         rows.push(vec![
@@ -25,7 +27,14 @@ fn main() {
     }
     print_table(
         "Figure 4: footprint share per hotness-risk quadrant",
-        &["workload", "hot&low", "hot&high", "cold&low", "cold&high", "pages"],
+        &[
+            "workload",
+            "hot&low",
+            "hot&high",
+            "cold&low",
+            "cold&high",
+            "pages",
+        ],
         &rows,
     );
     println!("\npaper: hot & low-risk spans 9%-39% of the footprint; lbm is the outlier with few.");

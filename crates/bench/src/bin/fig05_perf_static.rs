@@ -8,6 +8,7 @@ use ramp_core::placement::PlacementPolicy;
 fn main() {
     let mut h = Harness::new();
     let wls = workloads();
+    h.prewarm_static(&wls, &[PlacementPolicy::PerfFocused]);
     let mut rows = Vec::new();
     let mut ipcs = Vec::new();
     let mut sers = Vec::new();
@@ -28,7 +29,13 @@ fn main() {
     }
     print_table(
         "Figure 5: performance-focused static placement",
-        &["workload", "IPC (DDR-only)", "IPC (perf-static)", "IPC boost", "SER vs DDR-only"],
+        &[
+            "workload",
+            "IPC (DDR-only)",
+            "IPC (perf-static)",
+            "IPC boost",
+            "SER vs DDR-only",
+        ],
         &rows,
     );
     println!(

@@ -33,6 +33,12 @@ fn main() {
     let lo = hot[..take].iter().map(|s| s.avf).fold(f64::MAX, f64::min);
     let hi = hot[..take].iter().map(|s| s.avf).fold(0.0f64, f64::max);
     let rho = hotness_avf_correlation(&r.table).unwrap_or(f64::NAN);
-    println!("\ntop-1000 AVF range: {:.1}%..{:.1}% (paper: 5%..~90%)", lo * 100.0, hi * 100.0);
-    println!("footprint hotness-AVF correlation: {rho:.3} (paper: 0.08) — weak/moderate, far below 1");
+    println!(
+        "\ntop-1000 AVF range: {:.1}%..{:.1}% (paper: 5%..~90%)",
+        lo * 100.0,
+        hi * 100.0
+    );
+    println!(
+        "footprint hotness-AVF correlation: {rho:.3} (paper: 0.08) — weak/moderate, far below 1"
+    );
 }

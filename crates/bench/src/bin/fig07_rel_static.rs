@@ -9,7 +9,12 @@ use ramp_core::placement::PlacementPolicy;
 
 fn main() {
     let mut h = Harness::new();
-    let wls = h.workloads_by_mpki(&workloads());
+    let all = workloads();
+    h.prewarm_static(
+        &all,
+        &[PlacementPolicy::RelFocused, PlacementPolicy::PerfFocused],
+    );
+    let wls = h.workloads_by_mpki(&all);
     let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::RelFocused);
     print_relative(
         "Figure 7: reliability-focused static placement (ordered by MPKI desc)",

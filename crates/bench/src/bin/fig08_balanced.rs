@@ -7,7 +7,12 @@ use ramp_core::placement::PlacementPolicy;
 
 fn main() {
     let mut h = Harness::new();
-    let wls = h.workloads_by_mpki(&workloads());
+    let all = workloads();
+    h.prewarm_static(
+        &all,
+        &[PlacementPolicy::Balanced, PlacementPolicy::PerfFocused],
+    );
+    let wls = h.workloads_by_mpki(&all);
     let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::Balanced);
     print_relative(
         "Figure 8: balanced static placement (ordered by MPKI desc)",

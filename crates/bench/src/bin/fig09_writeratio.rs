@@ -25,7 +25,12 @@ fn main() {
     }
     let rows: Vec<Vec<String>> = hist
         .iter()
-        .map(|(lo, hi, c)| vec![format!("{:.0}%-{:.0}%", lo * 100.0, hi * 100.0), c.to_string()])
+        .map(|(lo, hi, c)| {
+            vec![
+                format!("{:.0}%-{:.0}%", lo * 100.0, hi * 100.0),
+                c.to_string(),
+            ]
+        })
         .collect();
     print_table(
         "Figure 9b: pages per write-share bin (mix1, touched pages)",

@@ -7,7 +7,12 @@ use ramp_core::placement::PlacementPolicy;
 
 fn main() {
     let mut h = Harness::new();
-    let wls = h.workloads_by_mpki(&workloads());
+    let all = workloads();
+    h.prewarm_static(
+        &all,
+        &[PlacementPolicy::WrRatio, PlacementPolicy::PerfFocused],
+    );
+    let wls = h.workloads_by_mpki(&all);
     let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::WrRatio);
     print_relative("Figure 10: Wr-ratio placement", &rows, "8.1%", "1.8x");
 }

@@ -8,7 +8,12 @@ use ramp_core::placement::PlacementPolicy;
 
 fn main() {
     let mut h = Harness::new();
-    let wls = h.workloads_by_mpki(&workloads());
+    let all = workloads();
+    h.prewarm_static(
+        &all,
+        &[PlacementPolicy::Wr2Ratio, PlacementPolicy::PerfFocused],
+    );
+    let wls = h.workloads_by_mpki(&all);
     let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::Wr2Ratio);
     print_relative("Figure 11: Wr2-ratio placement", &rows, "1%", "1.6x");
 }

@@ -8,10 +8,12 @@ use ramp_core::migration::MigrationScheme;
 
 fn main() {
     let mut h = Harness::new();
+    let wls = workloads();
+    h.prewarm_migration(&wls, &[MigrationScheme::PerfFc]);
     let mut rows = Vec::new();
     let mut ipcs = Vec::new();
     let mut sers = Vec::new();
-    for wl in workloads() {
+    for wl in wls {
         let ddr = h.profile(&wl);
         let mig = h.migration_run(&wl, MigrationScheme::PerfFc);
         let ipc_x = mig.ipc / ddr.ipc;

@@ -6,6 +6,7 @@
 use ramp_bench::{print_table, Harness};
 use ramp_core::migration::MigrationScheme;
 use ramp_core::runner::run_migration;
+use ramp_sim::exec::parallel_map;
 use ramp_trace::{Benchmark, MixId, Workload};
 
 fn main() {
@@ -17,16 +18,33 @@ fn main() {
         Workload::Homogeneous(Benchmark::Lbm),
     ];
     let intervals: [u64; 4] = [100_000, 200_000, 400_000, 1_600_000];
+    h.prewarm_profiles(&wls);
+    let profiles: Vec<_> = wls.iter().map(|wl| h.profile(wl)).collect();
+    // Per-task configs bypass the harness caches, so the sweep shards
+    // directly through exec; results return in input order.
+    let sweep: Vec<(Workload, u64)> = wls
+        .iter()
+        .flat_map(|wl| intervals.iter().map(move |&iv| (*wl, iv)))
+        .collect();
+    let ipcs = {
+        let base_cfg = &h.cfg;
+        parallel_map(h.threads, sweep, |i, (wl, iv)| {
+            let mut cfg = base_cfg.clone();
+            cfg.fc_interval_cycles = *iv;
+            run_migration(
+                &cfg,
+                wl,
+                MigrationScheme::PerfFc,
+                &profiles[i / intervals.len()].table,
+            )
+            .ipc
+        })
+    };
     let mut rows = Vec::new();
-    for wl in &wls {
-        let profile = h.profile(wl);
+    for (wi, wl) in wls.iter().enumerate() {
         let mut row = vec![wl.name().to_string()];
-        for &iv in &intervals {
-            let mut cfg = h.cfg.clone();
-            cfg.fc_interval_cycles = iv;
-            eprintln!("  [sweep {} @ {iv}]", wl.name());
-            let r = run_migration(&cfg, wl, MigrationScheme::PerfFc, &profile.table);
-            row.push(format!("{:.3}", r.ipc));
+        for ii in 0..intervals.len() {
+            row.push(format!("{:.3}", ipcs[wi * intervals.len() + ii]));
         }
         rows.push(row);
     }

@@ -8,7 +8,12 @@ use ramp_core::migration::MigrationScheme;
 
 fn main() {
     let mut h = Harness::new();
-    let wls = h.workloads_by_mpki(&workloads());
+    let all = workloads();
+    h.prewarm_migration(
+        &all,
+        &[MigrationScheme::CrossCounter, MigrationScheme::PerfFc],
+    );
+    let wls = h.workloads_by_mpki(&all);
     let rows = migration_vs_perf(&mut h, &wls, MigrationScheme::CrossCounter);
     print_relative(
         "Figure 15: reliability-aware migration (Cross Counters)",

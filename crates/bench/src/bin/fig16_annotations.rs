@@ -5,18 +5,18 @@
 
 use ramp_bench::{fmt_x, geomean_or_one, print_table, workloads, Harness};
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::run_annotated;
 
 fn main() {
     let mut h = Harness::new();
+    let wls = workloads();
+    h.prewarm_static(&wls, &[PlacementPolicy::PerfFocused]);
+    h.prewarm_annotated(&wls);
     let mut rows = Vec::new();
     let mut ipcs = Vec::new();
     let mut sers = Vec::new();
-    for wl in workloads() {
-        let profile = h.profile(&wl);
+    for wl in wls {
         let base = h.static_run(&wl, PlacementPolicy::PerfFocused);
-        eprintln!("  [annotated] {}", wl.name());
-        let (run, set) = run_annotated(&h.cfg, &wl, &profile.table);
+        let (run, set) = h.annotated_run(&wl);
         let ipc_rel = run.ipc / base.ipc;
         let ser_red = base.ser_fit / run.ser_fit.max(f64::MIN_POSITIVE);
         ipcs.push(ipc_rel);

@@ -8,11 +8,18 @@ use ramp_core::annotate::select_annotations;
 
 fn main() {
     let mut h = Harness::new();
+    let wls = workloads();
+    h.prewarm_profiles(&wls);
     let mut rows = Vec::new();
     let mut counts = Vec::new();
-    for wl in workloads() {
+    for wl in wls {
         let profile = h.profile(&wl);
-        let set = select_annotations(&wl, &profile.table, h.cfg.hbm_capacity_pages as usize, h.cfg.seed);
+        let set = select_annotations(
+            &wl,
+            &profile.table,
+            h.cfg.hbm_capacity_pages as usize,
+            h.cfg.seed,
+        );
         counts.push(set.count() as f64);
         rows.push(vec![
             wl.name().to_string(),

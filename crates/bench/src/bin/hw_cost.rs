@@ -26,7 +26,11 @@ fn main() {
             hwcost::human_bytes(hwcost::cc_risk_counter_bytes()),
             "512 KB".into(),
         ],
-        vec!["CC MEA tracking".into(), hwcost::human_bytes(hwcost::mea_bytes()), "100 KB".into()],
+        vec![
+            "CC MEA tracking".into(),
+            hwcost::human_bytes(hwcost::mea_bytes()),
+            "100 KB".into(),
+        ],
         vec![
             "CC remap table cache".into(),
             hwcost::human_bytes(hwcost::remap_cache_bytes()),
@@ -38,5 +42,9 @@ fn main() {
             "676 KB".into(),
         ],
     ];
-    print_table("Hardware cost (Sections 6.3/6.4.2)", &["mechanism", "measured", "paper"], &rows);
+    print_table(
+        "Hardware cost (Sections 6.3/6.4.2)",
+        &["mechanism", "measured", "paper"],
+        &rows,
+    );
 }

@@ -1,18 +1,43 @@
 //! Table 3: summary of every scheme, normalized to its performance-focused
 //! counterpart (static schemes vs perf-static, dynamic vs perf-migration).
 
-use ramp_bench::{fmt_x, geomean_or_one, migration_vs_perf, print_table, static_vs_perf, workloads, Harness};
+use ramp_bench::{
+    fmt_x, geomean_or_one, migration_vs_perf, print_table, static_vs_perf, workloads, Harness,
+};
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::run_annotated;
 
 fn main() {
     let mut h = Harness::new();
     let wls = workloads();
+    h.prewarm_static(
+        &wls,
+        &[
+            PlacementPolicy::PerfFocused,
+            PlacementPolicy::RelFocused,
+            PlacementPolicy::Balanced,
+            PlacementPolicy::WrRatio,
+            PlacementPolicy::Wr2Ratio,
+        ],
+    );
+    h.prewarm_migration(
+        &wls,
+        &[
+            MigrationScheme::PerfFc,
+            MigrationScheme::RelFc,
+            MigrationScheme::CrossCounter,
+        ],
+    );
+    h.prewarm_annotated(&wls);
     let mut rows = Vec::new();
 
     let statics = [
-        ("Reliability-focused [5.1]", PlacementPolicy::RelFocused, "17%", "5.0x"),
+        (
+            "Reliability-focused [5.1]",
+            PlacementPolicy::RelFocused,
+            "17%",
+            "5.0x",
+        ),
         ("Balanced [5.2]", PlacementPolicy::Balanced, "14%", "3.0x"),
         ("Wr ratio [5.4.1]", PlacementPolicy::WrRatio, "8.1%", "1.8x"),
         ("Wr2 ratio [5.4.2]", PlacementPolicy::Wr2Ratio, "1%", "1.6x"),
@@ -28,8 +53,18 @@ fn main() {
         ]);
     }
     let dynamics = [
-        ("Reliability-aware FC [6.2]", MigrationScheme::RelFc, "6%", "1.8x"),
-        ("Cross Counters [6.4]", MigrationScheme::CrossCounter, "4.9%", "1.5x"),
+        (
+            "Reliability-aware FC [6.2]",
+            MigrationScheme::RelFc,
+            "6%",
+            "1.8x",
+        ),
+        (
+            "Cross Counters [6.4]",
+            MigrationScheme::CrossCounter,
+            "4.9%",
+            "1.5x",
+        ),
     ];
     for (name, scheme, p_ipc, p_ser) in dynamics {
         let r = migration_vs_perf(&mut h, &wls, scheme);
@@ -46,9 +81,8 @@ fn main() {
         let mut ipcs = Vec::new();
         let mut sers = Vec::new();
         for wl in &wls {
-            let profile = h.profile(wl);
             let base = h.static_run(wl, PlacementPolicy::PerfFocused);
-            let (run, _) = run_annotated(&h.cfg, wl, &profile.table);
+            let (run, _) = h.annotated_run(wl);
             ipcs.push(run.ipc / base.ipc);
             sers.push(base.ser_fit / run.ser_fit.max(f64::MIN_POSITIVE));
         }

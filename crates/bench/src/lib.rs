@@ -5,20 +5,52 @@
 //! Each figure has its own binary (`cargo run --release -p ramp-bench
 //! --bin fig05_perf_static`); `all_experiments` runs the whole suite,
 //! sharing profiling passes and baseline runs through [`Harness`].
+//!
+//! Simulation runs are independent `(workload, policy, config)` tasks, so
+//! the harness shards them across cores with [`ramp_sim::exec`]: the
+//! `prewarm_*` methods fill the caches in parallel (`-j N`, `--threads N`
+//! or `RAMP_THREADS`; default: all cores), after which the figure code
+//! reads cached results and formats them sequentially — stdout is
+//! byte-identical at every thread count.
+
+pub mod microbench;
 
 use std::collections::HashMap;
 
+use ramp_core::annotate::AnnotationSet;
 use ramp_core::config::SystemConfig;
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::{profile_workload, run_migration, run_static};
+use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_static};
 use ramp_core::system::RunResult;
+use ramp_sim::exec::{parallel_map, StageTimer};
 use ramp_trace::Workload;
 
 /// Environment variable overriding the per-core instruction budget.
 pub const ENV_INSTS: &str = "RAMP_INSTS";
 /// Environment variable overriding the workload list (comma-separated).
 pub const ENV_WORKLOADS: &str = "RAMP_WORKLOADS";
+/// Environment variable overriding the worker-thread count.
+pub const ENV_THREADS: &str = "RAMP_THREADS";
+
+/// Worker threads for the experiment binaries: `-j N` / `-jN` /
+/// `--threads N` on the command line, else `RAMP_THREADS`, else all
+/// available cores.
+pub fn threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "-j" || a == "--threads" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(rest) = a.strip_prefix("-j") {
+            if let Ok(n) = rest.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    ramp_sim::exec::default_threads()
+}
 
 /// The experiment configuration: Table 1 scaled, with env overrides.
 pub fn experiment_config() -> SystemConfig {
@@ -46,15 +78,20 @@ pub fn workloads() -> Vec<Workload> {
     Workload::all()
 }
 
-/// Caches profiling passes, static runs and migration runs so that
-/// multi-figure drivers execute each simulation exactly once.
+/// Caches profiling passes, static runs, migration runs and annotation
+/// runs so that multi-figure drivers execute each simulation exactly once
+/// — and, via the `prewarm_*` methods, execute the missing ones in
+/// parallel.
 #[derive(Debug)]
 pub struct Harness {
     /// The system configuration used by every run.
     pub cfg: SystemConfig,
+    /// Worker threads used by the `prewarm_*` methods.
+    pub threads: usize,
     profiles: HashMap<&'static str, RunResult>,
     statics: HashMap<(&'static str, String), RunResult>,
     migrations: HashMap<(&'static str, &'static str), RunResult>,
+    annotated: HashMap<&'static str, (RunResult, AnnotationSet)>,
 }
 
 impl Harness {
@@ -62,10 +99,140 @@ impl Harness {
     pub fn new() -> Self {
         Harness {
             cfg: experiment_config(),
+            threads: threads(),
             profiles: HashMap::new(),
             statics: HashMap::new(),
             migrations: HashMap::new(),
+            annotated: HashMap::new(),
         }
+    }
+
+    /// Fills the profile cache for `wls` in parallel (missing entries
+    /// only). Every other run kind consumes a profile, so call this (or a
+    /// `prewarm_*` method that does) before fanning out further stages.
+    pub fn prewarm_profiles(&mut self, wls: &[Workload]) {
+        let missing: Vec<Workload> = wls
+            .iter()
+            .filter(|wl| !self.profiles.contains_key(wl.name()))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let timer = StageTimer::new(format!(
+            "profile x{} (threads={})",
+            missing.len(),
+            self.threads
+        ));
+        let cfg = &self.cfg;
+        let results = parallel_map(self.threads, missing, |_, wl| {
+            eprintln!("  [profile] {}", wl.name());
+            (wl.name(), profile_workload(cfg, wl))
+        });
+        for (name, r) in results {
+            self.profiles.insert(name, r);
+        }
+        timer.finish();
+    }
+
+    /// Fills the static-run cache for every `(workload, policy)` pair in
+    /// parallel (missing entries only; profiles are prewarmed first).
+    pub fn prewarm_static(&mut self, wls: &[Workload], policies: &[PlacementPolicy]) {
+        self.prewarm_profiles(wls);
+        let missing: Vec<(Workload, PlacementPolicy)> = wls
+            .iter()
+            .flat_map(|wl| policies.iter().map(move |p| (*wl, *p)))
+            .filter(|(wl, p)| !self.statics.contains_key(&(wl.name(), p.name())))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let timer = StageTimer::new(format!(
+            "static x{} (threads={})",
+            missing.len(),
+            self.threads
+        ));
+        let cfg = &self.cfg;
+        let profiles = &self.profiles;
+        let results = parallel_map(self.threads, missing, |_, (wl, policy)| {
+            eprintln!("  [static {}] {}", policy.name(), wl.name());
+            let r = run_static(cfg, wl, *policy, &profiles[wl.name()].table);
+            ((wl.name(), policy.name()), r)
+        });
+        for (key, r) in results {
+            self.statics.insert(key, r);
+        }
+        timer.finish();
+    }
+
+    /// Fills the migration-run cache for every `(workload, scheme)` pair
+    /// in parallel (missing entries only; profiles are prewarmed first).
+    pub fn prewarm_migration(&mut self, wls: &[Workload], schemes: &[MigrationScheme]) {
+        self.prewarm_profiles(wls);
+        let missing: Vec<(Workload, MigrationScheme)> = wls
+            .iter()
+            .flat_map(|wl| schemes.iter().map(move |s| (*wl, *s)))
+            .filter(|(wl, s)| !self.migrations.contains_key(&(wl.name(), s.name())))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let timer = StageTimer::new(format!(
+            "migration x{} (threads={})",
+            missing.len(),
+            self.threads
+        ));
+        let cfg = &self.cfg;
+        let profiles = &self.profiles;
+        let results = parallel_map(self.threads, missing, |_, (wl, scheme)| {
+            eprintln!("  [migration {}] {}", scheme.name(), wl.name());
+            let r = run_migration(cfg, wl, *scheme, &profiles[wl.name()].table);
+            ((wl.name(), scheme.name()), r)
+        });
+        for (key, r) in results {
+            self.migrations.insert(key, r);
+        }
+        timer.finish();
+    }
+
+    /// Fills the annotation-run cache for `wls` in parallel (missing
+    /// entries only; profiles are prewarmed first).
+    pub fn prewarm_annotated(&mut self, wls: &[Workload]) {
+        self.prewarm_profiles(wls);
+        let missing: Vec<Workload> = wls
+            .iter()
+            .filter(|wl| !self.annotated.contains_key(wl.name()))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let timer = StageTimer::new(format!(
+            "annotated x{} (threads={})",
+            missing.len(),
+            self.threads
+        ));
+        let cfg = &self.cfg;
+        let profiles = &self.profiles;
+        let results = parallel_map(self.threads, missing, |_, wl| {
+            eprintln!("  [annotated] {}", wl.name());
+            (
+                wl.name(),
+                run_annotated(cfg, wl, &profiles[wl.name()].table),
+            )
+        });
+        for (name, r) in results {
+            self.annotated.insert(name, r);
+        }
+        timer.finish();
+    }
+
+    /// The annotation run (Section 7) for `workload`, cached.
+    pub fn annotated_run(&mut self, wl: &Workload) -> (RunResult, AnnotationSet) {
+        if !self.annotated.contains_key(wl.name()) {
+            self.prewarm_annotated(std::slice::from_ref(wl));
+        }
+        self.annotated[wl.name()].clone()
     }
 
     /// The DDR-only profiling run for `workload`.
@@ -105,10 +272,8 @@ impl Harness {
     /// Workloads ordered by decreasing MPKI (how Figures 7/8 order their
     /// x-axes: bandwidth-intensive on the left).
     pub fn workloads_by_mpki(&mut self, wls: &[Workload]) -> Vec<Workload> {
-        let mut v: Vec<(f64, Workload)> = wls
-            .iter()
-            .map(|wl| (self.profile(wl).mpki, *wl))
-            .collect();
+        let mut v: Vec<(f64, Workload)> =
+            wls.iter().map(|wl| (self.profile(wl).mpki, *wl)).collect();
         v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         v.into_iter().map(|(_, w)| w).collect()
     }
@@ -133,7 +298,11 @@ pub struct RelativeRow {
 }
 
 /// Runs `policy` against the performance-focused baseline over `wls`.
-pub fn static_vs_perf(h: &mut Harness, wls: &[Workload], policy: PlacementPolicy) -> Vec<RelativeRow> {
+pub fn static_vs_perf(
+    h: &mut Harness,
+    wls: &[Workload],
+    policy: PlacementPolicy,
+) -> Vec<RelativeRow> {
     wls.iter()
         .map(|wl| {
             let base = h.static_run(wl, PlacementPolicy::PerfFocused);
@@ -179,7 +348,11 @@ pub fn print_relative(title: &str, rows: &[RelativeRow], paper_ipc_loss: &str, p
             ]
         })
         .collect();
-    print_table(title, &["workload", "IPC vs perf-focused", "SER reduction"], &data);
+    print_table(
+        title,
+        &["workload", "IPC vs perf-focused", "SER reduction"],
+        &data,
+    );
     let ipc_mean = geomean_or_one(&rows.iter().map(|r| r.ipc_rel).collect::<Vec<_>>());
     let ser_mean = geomean_or_one(&rows.iter().map(|r| r.ser_reduction).collect::<Vec<_>>());
     println!(
@@ -193,7 +366,10 @@ pub fn print_relative(title: &str, rows: &[RelativeRow], paper_ipc_loss: &str, p
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

@@ -1,0 +1,116 @@
+//! A std-only micro-benchmark harness (the in-tree `criterion`
+//! replacement).
+//!
+//! `cargo bench` still works — the bench targets set `harness = false`
+//! and drive this module from a plain `main`. Timing is wall-clock
+//! [`Instant`] with warmup, adaptive batching and a trimmed mean, which
+//! is plenty to spot order-of-magnitude regressions in the simulator's
+//! hot kernels; it makes no claim to criterion's statistical rigor.
+//!
+//! `RAMP_BENCH_MS` bounds the measurement window per benchmark
+//! (default 300 ms); `RAMP_BENCH_FILTER` substring-filters benchmark
+//! names, mirroring `cargo bench <filter>`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measure_ms() -> u64 {
+    std::env::var("RAMP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn filter() -> Option<String> {
+    // First non-flag CLI arg (cargo bench passes the filter through), or
+    // the RAMP_BENCH_FILTER variable.
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .or_else(|| std::env::var("RAMP_BENCH_FILTER").ok())
+}
+
+fn skip(name: &str) -> bool {
+    filter().is_some_and(|f| !name.contains(&f))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn report(name: &str, samples: &mut Vec<f64>) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = samples[samples.len() / 2];
+    // Trimmed mean over the central 80% damps scheduler noise.
+    let lo = samples.len() / 10;
+    let hi = samples.len() - lo;
+    let central = &samples[lo..hi];
+    let mean = central.iter().sum::<f64>() / central.len() as f64;
+    println!(
+        "{name:<44} {:>12}/iter (median {:>12}, {} samples)",
+        fmt_ns(mean),
+        fmt_ns(median),
+        samples.len()
+    );
+}
+
+/// Times `routine` (no per-iteration setup): warmup, then sample until
+/// the measurement window closes.
+pub fn bench(name: &str, mut routine: impl FnMut()) {
+    bench_with_setup(name, || (), move |()| routine());
+}
+
+/// Times `routine` only, re-running `setup` before every iteration
+/// (the `iter_batched` pattern: untimed fresh state per iteration).
+pub fn bench_with_setup<I>(name: &str, mut setup: impl FnMut() -> I, mut routine: impl FnMut(I)) {
+    if skip(name) {
+        return;
+    }
+    // Warmup: a few iterations so lazily-initialized state and caches
+    // settle before sampling.
+    for _ in 0..3 {
+        routine(setup());
+    }
+    let window = Duration::from_millis(measure_ms());
+    let started = Instant::now();
+    let mut samples = Vec::new();
+    while started.elapsed() < window || samples.len() < 10 {
+        let input = setup();
+        let t0 = Instant::now();
+        routine(input);
+        samples.push(t0.elapsed().as_nanos() as f64);
+        if samples.len() >= 100_000 {
+            break;
+        }
+    }
+    report(name, &mut samples);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3e9), "3.000 s");
+    }
+
+    #[test]
+    fn report_handles_small_sample_sets() {
+        let mut s = vec![5.0, 1.0, 3.0];
+        report("test", &mut s);
+        assert_eq!(s, vec![1.0, 3.0, 5.0]);
+    }
+}

@@ -354,6 +354,70 @@ mod tests {
     }
 
     #[test]
+    fn write_miss_allocates_dirty_without_fill() {
+        // Write-validate: a store miss allocates the line dirty, so its
+        // eventual eviction is a write-back even though it was never read.
+        let mut c = tiny();
+        let a = line_in_set(0, 0);
+        let b = line_in_set(0, 1);
+        let d = line_in_set(0, 2);
+        assert!(!c.access(a, true).hit);
+        c.access(b, false);
+        c.access(b, false); // b MRU, a LRU
+        let res = c.access(d, false);
+        assert_eq!(
+            res.victim,
+            Some((a, true)),
+            "write-validated line evicts dirty"
+        );
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn valid_lines_reports_flush_set() {
+        let mut c = tiny();
+        let clean = line_in_set(0, 0);
+        let dirty = line_in_set(1, 0);
+        c.access(clean, false);
+        c.access(dirty, true);
+        let mut lines = c.valid_lines();
+        lines.sort_by_key(|(l, _)| l.0);
+        assert_eq!(lines, vec![(clean, false), (dirty, true)]);
+        c.invalidate(dirty);
+        assert_eq!(c.valid_lines(), vec![(clean, false)]);
+    }
+
+    #[test]
+    fn probe_does_not_refresh_lru() {
+        let mut c = tiny();
+        let a = line_in_set(0, 0);
+        let b = line_in_set(0, 1);
+        let d = line_in_set(0, 2);
+        c.access(a, false);
+        c.access(b, false); // a is LRU
+        assert!(c.probe(a)); // a probe must not promote a
+        let res = c.access(d, false);
+        assert_eq!(res.victim, Some((a, false)), "probe must not refresh LRU");
+    }
+
+    #[test]
+    fn invalidated_way_reused_without_eviction() {
+        let mut c = tiny();
+        let a = line_in_set(0, 0);
+        let b = line_in_set(0, 1);
+        c.access(a, true);
+        c.access(b, false);
+        assert_eq!(c.invalidate(a), Some(true));
+        // The set has a free (invalid) way again: no victim on the next miss.
+        let res = c.access(line_in_set(0, 2), false);
+        assert_eq!(res.victim, None);
+        assert!(
+            c.probe(b),
+            "valid line must survive reuse of the invalid way"
+        );
+    }
+
+    #[test]
     fn occupancy_tracks_valid_lines() {
         let mut c = tiny();
         assert_eq!(c.occupancy(), 0);

@@ -214,10 +214,7 @@ mod tests {
         for i in 0..200 {
             h.access(0, LineAddr(i * 2), AccessKind::Write, &mut out);
         }
-        let wbs = out
-            .iter()
-            .filter(|e| e.kind == AccessKind::Write)
-            .count();
+        let wbs = out.iter().filter(|e| e.kind == AccessKind::Write).count();
         assert!(wbs > 150, "expected many writebacks, got {wbs}");
         let fills = out.iter().filter(|e| e.kind == AccessKind::Read).count();
         assert_eq!(fills, 0, "write stream must not fill");

@@ -102,7 +102,10 @@ pub fn select_annotations(
     // capacity that hotter non-pinned pages could use.
     let mut hotness: Vec<u64> = table.pages().iter().map(|s| s.hotness()).collect();
     hotness.sort_unstable_by(|a, b| b.cmp(a));
-    let marginal = hotness.get(capacity_pages.saturating_sub(1)).copied().unwrap_or(0);
+    let marginal = hotness
+        .get(capacity_pages.saturating_sub(1))
+        .copied()
+        .unwrap_or(0);
     let hotness_bar = marginal as f64 * 0.5;
     let mut scored: Vec<(f64, StructureInfo)> = structures
         .into_iter()
@@ -211,7 +214,10 @@ mod tests {
         let sel = select_annotations(&w, &table, 500, 1);
         assert!(!sel.structures.is_empty());
         assert_eq!(sel.structures[0].1, "path_scratch");
-        assert!(sel.count() < structures.len(), "should not annotate everything");
+        assert!(
+            sel.count() < structures.len(),
+            "should not annotate everything"
+        );
     }
 
     #[test]

@@ -183,9 +183,7 @@ impl MigrationEngine {
         max_moves: usize,
     ) -> Vec<Move> {
         let moves = match self.scheme {
-            MigrationScheme::PerfFc => {
-                self.fc_swaps(hbm_pages, hbm_free, pinned, max_moves, false)
-            }
+            MigrationScheme::PerfFc => self.fc_swaps(hbm_pages, hbm_free, pinned, max_moves, false),
             MigrationScheme::RelFc => self.fc_swaps(hbm_pages, hbm_free, pinned, max_moves, true),
             MigrationScheme::CrossCounter => {
                 // Reliability unit: flag high-risk HBM pages; evict them now
@@ -202,7 +200,11 @@ impl MigrationEngine {
                     .collect();
                 flagged.sort_by_key(|&p| {
                     // Most read-dominated (riskiest) first.
-                    (self.counters.get(p).1, std::cmp::Reverse(self.counters.get(p).0), p)
+                    (
+                        self.counters.get(p).1,
+                        std::cmp::Reverse(self.counters.get(p).0),
+                        p,
+                    )
                 });
                 flagged.truncate(max_moves);
                 let moves: Vec<Move> = flagged
@@ -278,9 +280,8 @@ impl MigrationEngine {
             .filter(|p| !pinned.contains(p))
             .map(|p| {
                 let (r, w) = self.counters.get(p);
-                let high_risk = reliability_aware
-                    && (r + w) > 0
-                    && (w as f64 / (r + w) as f64) < mean_share;
+                let high_risk =
+                    reliability_aware && (r + w) > 0 && (w as f64 / (r + w) as f64) < mean_share;
                 (high_risk, r + w, p)
             })
             .collect();
@@ -367,7 +368,9 @@ mod tests {
         record_n(&mut e, 3, R, 2, MemoryKind::Ddr);
         record_n(&mut e, 1, W, 1, MemoryKind::Hbm);
         let moves = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 10);
-        assert!(moves.iter().any(|m| m.page == PageId(2) && m.to == MemoryKind::Hbm));
+        assert!(moves
+            .iter()
+            .any(|m| m.page == PageId(2) && m.to == MemoryKind::Hbm));
     }
 
     #[test]
@@ -383,7 +386,9 @@ mod tests {
         // HBM page 1: cold.
         record_n(&mut e, 1, R, 1, MemoryKind::Hbm);
         let moves = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 10);
-        assert!(moves.iter().any(|m| m.page == PageId(3) && m.to == MemoryKind::Hbm));
+        assert!(moves
+            .iter()
+            .any(|m| m.page == PageId(3) && m.to == MemoryKind::Hbm));
         assert!(!moves.iter().any(|m| m.page == PageId(2)));
     }
 

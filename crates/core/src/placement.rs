@@ -83,11 +83,7 @@ impl PlacementPolicy {
                     .iter()
                     .filter(|s| q.classify(s) == Quadrant::HotLowRisk)
                     .collect();
-                eligible.sort_by(|a, b| {
-                    b.hotness()
-                        .cmp(&a.hotness())
-                        .then(a.page.cmp(&b.page))
-                });
+                eligible.sort_by(|a, b| b.hotness().cmp(&a.hotness()).then(a.page.cmp(&b.page)));
                 eligible
                     .into_iter()
                     .take(capacity_pages)
@@ -192,10 +188,7 @@ mod tests {
     fn wr2_ratio_weighs_absolute_writes() {
         // Page A: 4 writes / 1 read -> Wr 4, Wr2 16.
         // Page B: 400 writes / 200 reads -> Wr 2, Wr2 800.
-        let t = StatsTable::from_stats(
-            vec![page(0, 1, 4, 0.1), page(1, 200, 400, 0.1)],
-            1000,
-        );
+        let t = StatsTable::from_stats(vec![page(0, 1, 4, 0.1), page(1, 200, 400, 0.1)], 1000);
         assert_eq!(
             PlacementPolicy::WrRatio.select(&t, 1),
             HashSet::from([PageId(0)])

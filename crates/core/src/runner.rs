@@ -206,12 +206,8 @@ mod tests {
         let cfg = SystemConfig::smoke_test();
         let wl = Workload::Homogeneous(Benchmark::CactusADM);
         let profile = profile_workload(&cfg, &wl);
-        let (run, set) = run_annotated_with_migration(
-            &cfg,
-            &wl,
-            MigrationScheme::CrossCounter,
-            &profile.table,
-        );
+        let (run, set) =
+            run_annotated_with_migration(&cfg, &wl, MigrationScheme::CrossCounter, &profile.table);
         assert!(run.ipc > 0.0);
         // Pinned pages must still be in HBM-heavy use and immune: at least
         // the annotations were applied.

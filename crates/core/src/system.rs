@@ -280,16 +280,17 @@ impl SystemSim {
                     return;
                 }
             }
-            let rec = self.cores[i].gen.next().expect("trace streams are infinite");
+            let rec = self.cores[i]
+                .gen
+                .next()
+                .expect("trace streams are infinite");
             {
                 let c = &mut self.cores[i];
                 c.retired += rec.instructions();
                 c.cycle += rec.instructions().div_ceil(self.cfg.issue_width as u64);
             }
             tmp.clear();
-            let hit = self
-                .hierarchy
-                .access(i, rec.addr.line(), rec.kind, tmp);
+            let hit = self.hierarchy.access(i, rec.addr.line(), rec.kind, tmp);
             if !hit && !rec.kind.is_write() {
                 self.cores[i].cycle += L2_HIT_LATENCY;
             }
@@ -410,8 +411,16 @@ impl SystemSim {
             ddr_accesses: self.demand_ddr,
             migrations: self.engine.as_ref().map_or(0, |e| e.migrations),
             mean_read_latency: (
-                if hbm_lat.1 > 0 { hbm_lat.0 / hbm_lat.1 as f64 } else { 0.0 },
-                if ddr_lat.1 > 0 { ddr_lat.0 / ddr_lat.1 as f64 } else { 0.0 },
+                if hbm_lat.1 > 0 {
+                    hbm_lat.0 / hbm_lat.1 as f64
+                } else {
+                    0.0
+                },
+                if ddr_lat.1 > 0 {
+                    ddr_lat.0 / ddr_lat.1 as f64
+                } else {
+                    0.0
+                },
             ),
             table,
         }

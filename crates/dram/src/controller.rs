@@ -284,10 +284,7 @@ impl ChannelController {
             self.draining = false;
         }
         let serve_writes = self.draining
-            || (self
-                .read_q
-                .iter()
-                .all(|r| r.arrive > self.decision_time)
+            || (self.read_q.iter().all(|r| r.arrive > self.decision_time)
                 && !self.write_q.is_empty());
 
         let (queue, coords, kind) = if serve_writes && !self.write_q.is_empty() {
@@ -306,7 +303,14 @@ impl ChannelController {
             }
             let plan = self.plan(*coord, kind, t);
             let capped = self.banks[coord.bank].hit_streak >= ROW_HIT_STREAK_CAP;
-            let class = u8::from(!(plan.row_hit && !capped));
+            // Row hits first; once a bank's streak reaches the cap its
+            // further hits rank *below* misses, so a pending conflict is
+            // served (the ACT resets the streak) and cannot starve.
+            let class: u8 = match (plan.row_hit, capped) {
+                (true, false) => 0,
+                (false, _) => 1,
+                (true, true) => 2,
+            };
             let key = (class, plan.issue, i, plan);
             match &best {
                 None => best = Some((key.0, key.1, key.2, key.3)),
@@ -530,6 +534,107 @@ mod tests {
     }
 
     #[test]
+    fn hit_streak_cap_bounds_starvation() {
+        let (mut c, m) = ddr_controller();
+        let org = Organization::ddr3();
+        let lines_per_bank_stripe = org.lines_per_row * org.channels as u64;
+        let conflict_line = lines_per_bank_stripe * org.banks as u64; // row 1, bank 0
+                                                                      // A long stream of row-0 hits in bank 0, then one conflicting
+                                                                      // row-1 read. FR-FCFS would serve it dead last; the streak cap
+                                                                      // must squeeze it in after at most ROW_HIT_STREAK_CAP hits.
+        for i in 0..28u64 {
+            let r = req(i, i * 2, AccessKind::Read, 0);
+            c.enqueue(r, m.decode(r.line)).unwrap();
+        }
+        let b = req(1000, conflict_line, AccessKind::Read, 0);
+        c.enqueue(b, m.decode(b.line)).unwrap();
+        let done = drain_all(&mut c);
+        let pos = done.iter().position(|d| d.id == 1000).unwrap();
+        // Position: 1 opening miss + up to CAP hits, then the conflict.
+        assert!(
+            pos <= ROW_HIT_STREAK_CAP as usize + 1,
+            "conflict starved: served at position {pos} of {}",
+            done.len()
+        );
+    }
+
+    #[test]
+    fn reads_bypass_writes_below_drain_watermark() {
+        let (mut c, m) = ddr_controller();
+        // Fewer writes than DRAIN_HI: posted writes must not delay reads.
+        for i in 0..20u64 {
+            let w = req(i, i * 2, AccessKind::Write, 0);
+            c.enqueue(w, m.decode(w.line)).unwrap();
+        }
+        for i in 0..4u64 {
+            let r = req(100 + i, 1000 + i * 2, AccessKind::Read, 0);
+            c.enqueue(r, m.decode(r.line)).unwrap();
+        }
+        let done = drain_all(&mut c);
+        let first_ids: Vec<u64> = done.iter().take(4).map(|d| d.id).collect();
+        assert!(
+            first_ids.iter().all(|&id| id >= 100),
+            "reads must complete before any posted write: {first_ids:?}"
+        );
+        assert_eq!(done.len(), 24);
+    }
+
+    #[test]
+    fn write_drain_engages_at_high_watermark_and_exits_at_low() {
+        let (mut c, m) = ddr_controller();
+        // Enough writes to trip DRAIN_HI, plus pending reads.
+        for i in 0..DRAIN_HI as u64 {
+            let w = req(i, i * 2, AccessKind::Write, 0);
+            c.enqueue(w, m.decode(w.line)).unwrap();
+        }
+        for i in 0..4u64 {
+            let r = req(100 + i, 1000 + i * 2, AccessKind::Read, 0);
+            c.enqueue(r, m.decode(r.line)).unwrap();
+        }
+        let done = drain_all(&mut c);
+        assert_eq!(done.len(), DRAIN_HI + 4);
+        let first_read_pos = done
+            .iter()
+            .position(|d| d.kind == AccessKind::Read)
+            .expect("reads complete");
+        let writes_before_read = done[..first_read_pos]
+            .iter()
+            .filter(|d| d.kind == AccessKind::Write)
+            .count();
+        // Drain mode holds reads off until the queue falls to DRAIN_LO...
+        assert!(
+            writes_before_read >= DRAIN_HI - DRAIN_LO,
+            "drain released reads early: only {writes_before_read} writes first"
+        );
+        // ...but exits there instead of emptying the write queue.
+        assert!(
+            writes_before_read < DRAIN_HI,
+            "drain ran past the low watermark: {writes_before_read} writes first"
+        );
+    }
+
+    #[test]
+    fn refresh_closes_open_rows() {
+        let (mut c, m) = ddr_controller();
+        let tp = TimingParams::ddr3_1600();
+        // Open a row well before the first refresh boundary.
+        let a = req(1, 0, AccessKind::Read, 0);
+        c.enqueue(a, m.decode(a.line)).unwrap();
+        let mut out = Vec::new();
+        c.advance(Cycle(tp.t_refi / 2), &mut out);
+        assert_eq!(c.stats().row_misses, 1);
+        // Same row again, but only after a refresh has intervened: the
+        // refresh precharges every bank, so this must be a miss too.
+        let b = req(2, 2, AccessKind::Read, tp.t_refi + 1);
+        c.enqueue(b, m.decode(b.line)).unwrap();
+        c.advance(Cycle(2 * tp.t_refi), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(c.stats().refreshes >= 1);
+        assert_eq!(c.stats().row_misses, 2, "refresh must close the open row");
+        assert_eq!(c.stats().row_hits, 0);
+    }
+
+    #[test]
     fn bandwidth_saturation_orders_hbm_above_ddr() {
         // Stream reads through one DDR channel vs one HBM channel: the HBM
         // channel must sustain clearly higher throughput.
@@ -563,4 +668,3 @@ mod tests {
         );
     }
 }
-

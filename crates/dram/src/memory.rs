@@ -86,7 +86,11 @@ impl MemorySystem {
 
     /// The Table 1 HBM configuration (8 channels, SEC-DED class).
     pub fn hbm() -> Self {
-        Self::new(MemoryKind::Hbm, TimingParams::hbm_1000(), Organization::hbm())
+        Self::new(
+            MemoryKind::Hbm,
+            TimingParams::hbm_1000(),
+            Organization::hbm(),
+        )
     }
 
     /// Which memory this is.

@@ -259,7 +259,9 @@ fn classify_secded_single(hsiao: &Hsiao7264, mode: FaultMode, rng: &mut SimRng) 
             }
             m
         }
-        FaultMode::SingleRow | FaultMode::SingleBank | FaultMode::MultiBank
+        FaultMode::SingleRow
+        | FaultMode::SingleBank
+        | FaultMode::MultiBank
         | FaultMode::MultiRank => {
             // A whole device row: an aligned 8-bit burst of the word.
             let byte = rng.below(9);
@@ -320,7 +322,10 @@ mod tests {
         let cfg = RasConfig::hbm_secded();
         let mut rng = SimRng::from_seed(9);
         let out = run_monte_carlo(&cfg, 500_000, &mut rng);
-        assert!(out.detected_ue + out.silent_ue > 0, "SEC-DED must fail sometimes");
+        assert!(
+            out.detected_ue + out.silent_ue > 0,
+            "SEC-DED must fail sometimes"
+        );
         // Single-bit faults dominate arrivals and are all corrected, so the
         // corrected count must also be substantial.
         assert!(out.corrected > 0);

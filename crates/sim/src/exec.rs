@@ -1,0 +1,332 @@
+//! A std-only parallel execution subsystem for sharding independent
+//! simulation runs across cores.
+//!
+//! The experiment matrix (17 benchmarks × policies × configs) is
+//! embarrassingly parallel: each `(workload, policy, config)` run is a
+//! pure function of its inputs. [`parallel_map`] shards such tasks over a
+//! work-stealing pool built on [`std::thread::scope`] — no external
+//! crates, no unsafe — and returns results **in input order**, so any
+//! consumer that formats results sequentially produces byte-identical
+//! output at every thread count.
+//!
+//! Determinism rules:
+//!
+//! * Task closures must not consult global mutable state; every stochastic
+//!   decision must flow from an explicit seed. [`task_seed`] derives a
+//!   per-task seed from a root seed and the task index with the same
+//!   SplitMix64 mixer the [`crate::rng`] child-derivation uses.
+//! * Results are collected by task index, never by completion order.
+//! * Progress lines go to stderr; stdout is reserved for deterministic
+//!   experiment output.
+//!
+//! ```
+//! use ramp_sim::exec::{parallel_map, task_seed};
+//! use ramp_sim::SimRng;
+//!
+//! let inputs: Vec<u64> = (0..32).collect();
+//! let one = parallel_map(1, inputs.clone(), |i, &x| {
+//!     SimRng::from_seed(task_seed(2018, i as u64)).next_u64() ^ x
+//! });
+//! let many = parallel_map(4, inputs, |i, &x| {
+//!     SimRng::from_seed(task_seed(2018, i as u64)).next_u64() ^ x
+//! });
+//! assert_eq!(one, many); // bit-identical at any thread count
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::rng::mix64;
+
+/// Derives the deterministic seed of task `index` under `root_seed`.
+///
+/// Every parallel task that needs randomness should seed its own
+/// [`crate::SimRng`] from this — never share a generator across tasks —
+/// so results are independent of scheduling.
+pub fn task_seed(root_seed: u64, index: u64) -> u64 {
+    mix64(root_seed ^ mix64(index.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// The number of worker threads to use: the `RAMP_THREADS` environment
+/// variable if set (minimum 1), else [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAMP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Aggregate counters for one parallel stage, shared across workers.
+///
+/// All fields are atomics so workers update them lock-free; read them
+/// after the stage completes (or concurrently, for progress displays).
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Tasks completed so far.
+    pub completed: AtomicUsize,
+    /// Total tasks in the stage.
+    pub total: AtomicUsize,
+    /// Summed task execution time in nanoseconds (busy time across all
+    /// workers; compare against wall time for a parallel-efficiency read).
+    pub busy_nanos: AtomicU64,
+    /// Number of successful steals (tasks executed by a worker other than
+    /// the one they were initially queued on).
+    pub steals: AtomicU64,
+}
+
+impl ExecMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Busy time accumulated by all workers.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// A labelled wall-clock timer for one pipeline stage; reports to stderr.
+///
+/// ```no_run
+/// let t = ramp_sim::exec::StageTimer::new("profiling");
+/// // ... run the stage ...
+/// t.finish(); // stderr: "[profiling] 1.23s"
+/// ```
+#[derive(Debug)]
+pub struct StageTimer {
+    label: String,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing a stage.
+    pub fn new(label: impl Into<String>) -> Self {
+        StageTimer {
+            label: label.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Prints `[label] <elapsed>` to stderr and returns the elapsed time.
+    pub fn finish(self) -> Duration {
+        let d = self.start.elapsed();
+        eprintln!("[{}] {:.2}s", self.label, d.as_secs_f64());
+        d
+    }
+}
+
+/// Work-stealing deques: one per worker, round-robin seeded.
+struct Queues<T> {
+    queues: Vec<Mutex<VecDeque<(usize, T)>>>,
+}
+
+impl<T> Queues<T> {
+    fn new(workers: usize, items: Vec<T>) -> Self {
+        let mut queues: Vec<VecDeque<(usize, T)>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back((i, item));
+        }
+        Queues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Pops the next task for worker `w`: front of its own deque, else
+    /// steals from the back of the first non-empty sibling. Returns the
+    /// task and whether it was stolen.
+    fn pop(&self, w: usize) -> Option<(usize, T, bool)> {
+        if let Some((i, t)) = self.queues[w].lock().expect("queue poisoned").pop_front() {
+            return Some((i, t, false));
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            let v = (w + k) % n;
+            if let Some((i, t)) = self.queues[v].lock().expect("queue poisoned").pop_back() {
+                return Some((i, t, true));
+            }
+        }
+        None
+    }
+}
+
+/// Runs `f` over `items` on `threads` workers with work stealing,
+/// returning results in input order.
+///
+/// `f` receives `(task_index, &item)`. With `threads <= 1` the items are
+/// processed inline on the caller's thread (identical results, no pool).
+/// A worker panic propagates to the caller after the scope joins.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_metrics(threads, items, &ExecMetrics::new(), None, f)
+}
+
+/// [`parallel_map`] with shared [`ExecMetrics`] and optional stderr
+/// progress reporting (`progress = Some(label)` prints `label k/n` as
+/// tasks complete).
+pub fn parallel_map_metrics<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    metrics: &ExecMetrics,
+    progress: Option<&str>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    metrics.total.fetch_add(n, Ordering::Relaxed);
+    let run_one = |i: usize, item: &T| -> R {
+        let start = Instant::now();
+        let r = f(i, item);
+        metrics
+            .busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let done = metrics.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(label) = progress {
+            eprintln!(
+                "  [{label}] {done}/{}",
+                metrics.total.load(Ordering::Relaxed)
+            );
+        }
+        r
+    };
+
+    if threads <= 1 || n <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t))
+            .collect();
+    }
+
+    let workers = threads.min(n);
+    let queues = Queues::new(workers, items);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let run_one = &run_one;
+            s.spawn(move || {
+                while let Some((i, item, stolen)) = queues.pop(w) {
+                    if stolen {
+                        metrics.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let r = run_one(i, &item);
+                    if tx.send((i, r)).is_err() {
+                        return; // receiver gone: caller is unwinding
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn results_in_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map(threads, items.clone(), |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn rng_tasks_are_bit_identical_across_thread_counts() {
+        let work = |i: usize, _: &()| {
+            let mut rng = SimRng::from_seed(task_seed(7, i as u64));
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let one = parallel_map(1, vec![(); 64], work);
+        let eight = parallel_map(8, vec![(); 64], work);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn task_seeds_are_decorrelated() {
+        let a = task_seed(1, 0);
+        let b = task_seed(1, 1);
+        let c = task_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Consecutive indices share no obvious structure.
+        assert_ne!(a ^ b, task_seed(1, 1) ^ task_seed(1, 2));
+    }
+
+    #[test]
+    fn metrics_account_every_task() {
+        let m = ExecMetrics::new();
+        let out = parallel_map_metrics(4, (0..37).collect::<Vec<u64>>(), &m, None, |_, &x| x);
+        assert_eq!(out.len(), 37);
+        assert_eq!(m.completed.load(Ordering::Relaxed), 37);
+        assert_eq!(m.total.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(16, vec![1u64, 2, 3], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn stage_timer_reports_elapsed() {
+        let t = StageTimer::new("test-stage");
+        assert!(t.elapsed() < Duration::from_secs(5));
+        let d = t.finish();
+        assert!(d < Duration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        parallel_map(2, vec![0u64, 1, 2, 3], |_, &x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -11,7 +11,13 @@
 //! * [`event`] — a deterministic discrete-event queue.
 //! * [`rng`] — seeded random-number plumbing (every random decision in RAMP
 //!   flows from a single root seed) and a Zipf sampler for skewed page
-//!   popularity.
+//!   popularity. Implemented in-tree (xoshiro256++/SplitMix64): the whole
+//!   workspace builds with zero external dependencies.
+//! * [`exec`] — a std-only work-stealing parallel executor that shards
+//!   independent simulation runs across cores with deterministic,
+//!   input-ordered results, plus stage timing and progress metrics.
+//! * [`check`] — a deterministic property-testing mini-harness (the
+//!   in-tree `proptest` replacement used by `tests/properties.rs`).
 //!
 //! # Example
 //!
@@ -29,7 +35,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
 pub mod event;
+pub mod exec;
 pub mod rng;
 pub mod stats;
 pub mod units;

@@ -5,9 +5,48 @@
 //! [`SimRng`], so whole experiments replay bit-for-bit. Child generators are
 //! derived with a stream label so that adding randomness to one component
 //! never perturbs another.
+//!
+//! The generator is implemented in-tree (xoshiro256++ state, expanded from
+//! the seed with SplitMix64) so the workspace builds with zero external
+//! dependencies and the streams are stable across toolchains forever.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// The xoshiro256++ core: 256 bits of state, public-domain algorithm by
+/// Blackman and Vigna. Small, fast, and passes BigCrush — more than enough
+/// for simulation workloads.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the state with four successive SplitMix64 outputs, the
+    /// initialization the xoshiro authors recommend.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = mix64(x);
+        }
+        Xoshiro256pp { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
 
 /// A labeled, deterministic random-number generator.
 ///
@@ -25,7 +64,7 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
@@ -33,7 +72,7 @@ impl SimRng {
     pub fn from_seed(seed: u64) -> Self {
         SimRng {
             seed,
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 
@@ -63,19 +102,33 @@ impl SimRng {
         self.inner.next_u64()
     }
 
-    /// A uniformly random value in `[0, bound)`.
+    /// A uniformly random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.inner.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value in `[0, bound)` (Lemire's unbiased
+    /// multiply-and-reject method).
     ///
     /// # Panics
     ///
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Widening multiply maps next_u64 onto [0, bound); rejecting the
+        // low-product tail removes the modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.inner.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
-    /// A uniformly random `f64` in `[0, 1)`.
+    /// A uniformly random `f64` in `[0, 1)` (53 high bits of a `u64`).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -133,21 +186,6 @@ impl SimRng {
             n += 1;
         }
         n
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -238,8 +276,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+fn splitmix(x: u64) -> u64 {
+    mix64(x.wrapping_add(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The SplitMix64 finalizer: a strong 64-bit bijective mixer. Exposed so
+/// other subsystems (e.g. [`crate::exec`]'s per-task seed derivation) can
+/// decorrelate integer streams the same way [`SimRng::child_indexed`] does.
+pub fn mix64(x: u64) -> u64 {
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -271,7 +271,10 @@ mod tests {
         assert_eq!(a.page(), PageId(3));
         assert_eq!(a.line_in_page(), 5);
         assert_eq!(a.page_base(), Addr(3 * PAGE_SIZE as u64));
-        assert_eq!(a.line_base(), Addr(3 * PAGE_SIZE as u64 + 5 * LINE_SIZE as u64));
+        assert_eq!(
+            a.line_base(),
+            Addr(3 * PAGE_SIZE as u64 + 5 * LINE_SIZE as u64)
+        );
         assert_eq!(a.page_offset(), 5 * LINE_SIZE + 7);
     }
 

@@ -132,7 +132,8 @@ impl InstanceGen {
             let mut acc = 0.0;
             self.cum_weights.clear();
             for r in &self.profile.regions {
-                acc += r.weight * f64::from(u8::from(matches!(r.phase, crate::region::Phase::Always)));
+                acc +=
+                    r.weight * f64::from(u8::from(matches!(r.phase, crate::region::Phase::Always)));
                 self.cum_weights.push(acc);
             }
             if acc == 0.0 {
@@ -172,8 +173,8 @@ impl InstanceGen {
 
     fn make_record(&mut self, region_idx: usize, kind: AccessKind, line_off: u64) -> TraceRecord {
         let gap = self.sample_gap();
-        let region_base_lines =
-            (self.base_page.index() + self.region_bases[region_idx]) * (PAGE_SIZE / LINE_SIZE) as u64;
+        let region_base_lines = (self.base_page.index() + self.region_bases[region_idx])
+            * (PAGE_SIZE / LINE_SIZE) as u64;
         let addr = Addr((region_base_lines + line_off) * LINE_SIZE as u64);
         let pc = 0x0040_0000 + (region_idx as u64) * 0x100 + u64::from(kind.is_write()) * 4;
         self.insts += gap as u64 + 1;
@@ -269,10 +270,7 @@ mod tests {
     fn different_cores_disjoint_address_spaces() {
         let a = InstanceGen::new(tiny_profile(), 0, 7, 100_000);
         let b = InstanceGen::new(tiny_profile(), 1, 7, 100_000);
-        let a_pages: Vec<_> = a
-            .take(200)
-            .map(|r| r.addr.page())
-            .collect();
+        let a_pages: Vec<_> = a.take(200).map(|r| r.addr.page()).collect();
         let b_end = b.base_page().index();
         assert!(a_pages.iter().all(|p| p.index() < b_end));
     }

@@ -20,7 +20,13 @@ pub enum MixId {
 
 impl MixId {
     /// All five mixes.
-    pub const ALL: [MixId; 5] = [MixId::Mix1, MixId::Mix2, MixId::Mix3, MixId::Mix4, MixId::Mix5];
+    pub const ALL: [MixId; 5] = [
+        MixId::Mix1,
+        MixId::Mix2,
+        MixId::Mix3,
+        MixId::Mix4,
+        MixId::Mix5,
+    ];
 
     /// The mix's display name.
     pub fn name(self) -> &'static str {

@@ -221,7 +221,13 @@ impl Benchmark {
                 }
                 regions.push(RegionSpec::lookup("adm_metric", 30, 0.72, 0.6));
                 regions.push(RegionSpec::stream_read("horizon_data", 420, 2.6, 1));
-                regions.push(RegionSpec::input_data("spacetime_init", 450, 6.0, 0.04, 3.2));
+                regions.push(RegionSpec::input_data(
+                    "spacetime_init",
+                    450,
+                    6.0,
+                    0.04,
+                    3.2,
+                ));
                 BenchProfile {
                     name: "cactusADM",
                     regions,
@@ -412,7 +418,10 @@ mod tests {
         for b in Benchmark::ALL {
             assert_eq!(Benchmark::from_name(b.name()), Some(b));
         }
-        assert_eq!(Benchmark::from_name("CACTUSadm"), Some(Benchmark::CactusADM));
+        assert_eq!(
+            Benchmark::from_name("CACTUSadm"),
+            Some(Benchmark::CactusADM)
+        );
         assert_eq!(Benchmark::from_name("nope"), None);
     }
 

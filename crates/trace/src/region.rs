@@ -223,7 +223,12 @@ impl RegionSpec {
     }
 
     /// A read-only streaming sweep (scans of constant data).
-    pub fn stream_read(name: impl Into<String>, pages: u64, weight: f64, stride_lines: u32) -> Self {
+    pub fn stream_read(
+        name: impl Into<String>,
+        pages: u64,
+        weight: f64,
+        stride_lines: u32,
+    ) -> Self {
         RegionSpec {
             name: name.into(),
             pages,

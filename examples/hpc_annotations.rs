@@ -17,7 +17,12 @@ fn main() {
     let workload = Workload::Homogeneous(Benchmark::Lulesh);
     println!("profiling {workload}...");
     let profile = profile_workload(&cfg, &workload);
-    let perf = run_static(&cfg, &workload, PlacementPolicy::PerfFocused, &profile.table);
+    let perf = run_static(
+        &cfg,
+        &workload,
+        PlacementPolicy::PerfFocused,
+        &profile.table,
+    );
 
     let (run, annotations) = run_annotated(&cfg, &workload, &profile.table);
     println!("annotated structures ({} total):", annotations.count());

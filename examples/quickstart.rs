@@ -26,7 +26,10 @@ fn main() {
         profile.table.pages().len(),
     );
 
-    println!("{:<14} {:>8} {:>12} {:>16}", "policy", "IPC", "vs DDR-only", "SER vs DDR-only");
+    println!(
+        "{:<14} {:>8} {:>12} {:>16}",
+        "policy", "IPC", "vs DDR-only", "SER vs DDR-only"
+    );
     for policy in [
         PlacementPolicy::PerfFocused,
         PlacementPolicy::RelFocused,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: hermetic build + full test suite, no network access.
+#
+# The workspace has zero external dependencies, so everything below must
+# succeed with --offline on a machine that has never populated a cargo
+# registry cache. Run from anywhere inside the repository.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "CI OK"

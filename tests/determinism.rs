@@ -1,0 +1,70 @@
+//! Determinism regression: sharding simulation runs across worker
+//! threads must not change a single bit of any result. Every stochastic
+//! decision flows from an explicit per-task seed and `exec::parallel_map`
+//! returns results in input order, so the thread count is invisible.
+
+use ramp::core::config::SystemConfig;
+use ramp::core::migration::MigrationScheme;
+use ramp::core::placement::PlacementPolicy;
+use ramp::core::runner::{profile_workload, run_migration, run_static};
+use ramp::sim::exec::parallel_map;
+use ramp::trace::{Benchmark, MixId, Workload};
+
+/// Exact bit-level fingerprint of one run (IPC, SER, AVF and raw counts).
+fn fingerprint(r: &ramp::core::system::RunResult) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.ipc.to_bits(),
+        r.ser_fit.to_bits(),
+        r.ser_ddr_only_fit.to_bits(),
+        r.table.mean_avf().to_bits(),
+        r.cycles,
+        r.instructions,
+        r.hbm_accesses,
+    )
+}
+
+fn run_all(threads: usize) -> Vec<(u64, u64, u64, u64, u64, u64, u64)> {
+    let cfg = SystemConfig::smoke_test();
+    let tasks: Vec<(Workload, Option<PlacementPolicy>)> = vec![
+        (Workload::Mix(MixId::Mix1), None),
+        (
+            Workload::Mix(MixId::Mix1),
+            Some(PlacementPolicy::PerfFocused),
+        ),
+        (Workload::Mix(MixId::Mix1), Some(PlacementPolicy::Balanced)),
+        (
+            Workload::Homogeneous(Benchmark::Astar),
+            Some(PlacementPolicy::Wr2Ratio),
+        ),
+    ];
+    parallel_map(threads, tasks, |_, (wl, policy)| {
+        let profile = profile_workload(&cfg, wl);
+        let r = match policy {
+            None => profile,
+            Some(p) => run_static(&cfg, wl, *p, &profile.table),
+        };
+        fingerprint(&r)
+    })
+}
+
+#[test]
+fn static_runs_identical_at_any_thread_count() {
+    let sequential = run_all(1);
+    let sharded = run_all(4);
+    assert_eq!(sequential, sharded, "thread count leaked into results");
+}
+
+#[test]
+fn migration_runs_identical_at_any_thread_count() {
+    let cfg = SystemConfig::smoke_test();
+    let wl = Workload::Mix(MixId::Mix2);
+    let profile = profile_workload(&cfg, &wl);
+    let run = |threads: usize| {
+        parallel_map(
+            threads,
+            vec![MigrationScheme::PerfFc, MigrationScheme::CrossCounter],
+            |_, scheme| fingerprint(&run_migration(&cfg, &wl, *scheme, &profile.table)),
+        )
+    };
+    assert_eq!(run(1), run(4), "thread count leaked into migration results");
+}

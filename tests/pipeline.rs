@@ -41,7 +41,10 @@ fn policy_reliability_ordering_holds() {
     let rel = run_static(&cfg, &wl, PlacementPolicy::RelFocused, &ddr.table);
 
     assert!(perf.ser_fit >= wr2.ser_fit, "wr2 must not exceed perf SER");
-    assert!(wr2.ser_fit >= rel.ser_fit, "rel-focused must have lowest SER");
+    assert!(
+        wr2.ser_fit >= rel.ser_fit,
+        "rel-focused must have lowest SER"
+    );
     assert!(
         perf.ipc >= rel.ipc,
         "rel-focused must not beat perf-focused IPC"
@@ -86,7 +89,10 @@ fn migration_schemes_run_and_reduce_ser_vs_perf_migration() {
     let perf = run_migration(&cfg, &wl, MigrationScheme::PerfFc, &ddr.table);
     let rel = run_migration(&cfg, &wl, MigrationScheme::RelFc, &ddr.table);
     let cc = run_migration(&cfg, &wl, MigrationScheme::CrossCounter, &ddr.table);
-    assert!(rel.ser_fit <= perf.ser_fit, "rel-FC must cut SER vs perf-FC");
+    assert!(
+        rel.ser_fit <= perf.ser_fit,
+        "rel-FC must cut SER vs perf-FC"
+    );
     assert!(cc.ser_fit <= perf.ser_fit, "CC must cut SER vs perf-FC");
     assert!(cc.migrations > 0, "cross counters must migrate");
 }
@@ -103,7 +109,10 @@ fn annotations_pin_structures_and_cut_ser() {
         set.count() <= 60,
         "annotation counts stay in Figure 17's range"
     );
-    assert!(run.ser_fit <= perf.ser_fit * 1.05, "annotations must not raise SER");
+    assert!(
+        run.ser_fit <= perf.ser_fit * 1.05,
+        "annotations must not raise SER"
+    );
 }
 
 #[test]
@@ -115,7 +124,10 @@ fn footprint_is_fully_accounted() {
     // zero stats), so Figure 2/4 denominators match the paper's.
     assert_eq!(r.table.pages().len() as u64, wl.footprint_pages());
     let untouched = r.table.pages().iter().filter(|s| s.hotness() == 0).count();
-    assert!(untouched > 0, "some pages should be untouched in a short run");
+    assert!(
+        untouched > 0,
+        "some pages should be untouched in a short run"
+    );
 }
 
 #[test]

@@ -1,32 +1,40 @@
 //! Property-based tests over the core data structures and invariants
-//! (proptest): ECC algebra, AVF bounds, page-map consistency, MEA's
-//! frequent-element guarantee and trace-generator containment.
-
-use proptest::prelude::*;
+//! (in-tree `ramp::sim::check` harness): ECC algebra, AVF bounds,
+//! page-map consistency, MEA's frequent-element guarantee and
+//! trace-generator containment.
+//!
+//! Each property runs 256 deterministic cases; on failure the harness
+//! prints the case's seed so `RAMP_PROP_SEED=<seed>` replays it alone.
 
 use ramp::avf::AvfTracker;
 use ramp::core::{MeaTracker, PageMap};
 use ramp::dram::MemoryKind;
 use ramp::faultsim::ecc::chipkill::TOTAL_SYMBOLS;
 use ramp::faultsim::{ChipKill, ErrorClass, Hsiao7264};
+use ramp::sim::check::check;
 use ramp::sim::units::{AccessKind, Cycle, PageId, LINES_PER_PAGE};
 use ramp::trace::{Benchmark, InstanceGen};
 
-proptest! {
-    /// Hsiao (72,64): encode/decode round-trips for arbitrary data words.
-    #[test]
-    fn hsiao_round_trip(data: u64) {
+/// Hsiao (72,64): encode/decode round-trips for arbitrary data words.
+#[test]
+fn hsiao_round_trip() {
+    check("hsiao_round_trip", |g| {
+        let data = g.u64();
         let code = Hsiao7264::new();
         let check = code.encode(data);
         let (outcome, decoded) = code.decode(data, check);
-        prop_assert_eq!(outcome, ramp::faultsim::ecc::hsiao::DecodeOutcome::Clean);
-        prop_assert_eq!(decoded, data);
-    }
+        assert_eq!(outcome, ramp::faultsim::ecc::hsiao::DecodeOutcome::Clean);
+        assert_eq!(decoded, data);
+    });
+}
 
-    /// Hsiao: any single flipped bit of any codeword is corrected back to
-    /// the original data.
-    #[test]
-    fn hsiao_corrects_any_single_bit(data: u64, bit in 0usize..72) {
+/// Hsiao: any single flipped bit of any codeword is corrected back to
+/// the original data.
+#[test]
+fn hsiao_corrects_any_single_bit() {
+    check("hsiao_corrects_any_single_bit", |g| {
+        let data = g.u64();
+        let bit = g.usize_in(0, 72);
         let code = Hsiao7264::new();
         let check = code.encode(data);
         let (rd, rc) = if bit < 64 {
@@ -35,75 +43,109 @@ proptest! {
             (data, check ^ (1u8 << (bit - 64)))
         };
         let (_, decoded) = code.decode(rd, rc);
-        prop_assert_eq!(decoded, data);
-    }
+        assert_eq!(decoded, data, "flipped bit {bit}");
+    });
+}
 
-    /// Hsiao: any double-bit error is detected, never silently accepted.
-    #[test]
-    fn hsiao_detects_any_double_bit(a in 0usize..72, b in 0usize..72) {
-        prop_assume!(a != b);
+/// Hsiao: any double-bit error is detected, never silently accepted.
+#[test]
+fn hsiao_detects_any_double_bit() {
+    check("hsiao_detects_any_double_bit", |g| {
+        let a = g.usize_in(0, 72);
+        let b = g.usize_in(0, 72);
+        if a == b {
+            return; // not a double-bit error
+        }
         let code = Hsiao7264::new();
         let err = (1u128 << a) | (1u128 << b);
-        prop_assert_eq!(code.classify_error(err), ErrorClass::DetectedUncorrectable);
-    }
+        assert_eq!(
+            code.classify_error(err),
+            ErrorClass::DetectedUncorrectable,
+            "bits {a},{b}"
+        );
+    });
+}
 
-    /// ChipKill: any single-symbol (whole chip) error of any value is
-    /// corrected; any double-symbol error is never corrected or silent.
-    #[test]
-    fn chipkill_symbol_guarantees(
-        chip_a in 0usize..TOTAL_SYMBOLS,
-        chip_b in 0usize..TOTAL_SYMBOLS,
-        val_a in 1u8..=255,
-        val_b in 1u8..=255,
-    ) {
+/// ChipKill: any single-symbol (whole chip) error of any value is
+/// corrected; any double-symbol error is never corrected or silent.
+#[test]
+fn chipkill_symbol_guarantees() {
+    check("chipkill_symbol_guarantees", |g| {
+        let chip_a = g.usize_in(0, TOTAL_SYMBOLS);
+        let chip_b = g.usize_in(0, TOTAL_SYMBOLS);
+        let val_a = g.u8_in_inclusive(1, 255);
+        let val_b = g.u8_in_inclusive(1, 255);
         let ck = ChipKill::new();
-        prop_assert_eq!(ck.classify_chip_failure(chip_a, val_a), ErrorClass::Corrected);
+        assert_eq!(
+            ck.classify_chip_failure(chip_a, val_a),
+            ErrorClass::Corrected
+        );
         if chip_a != chip_b {
             let mut err = [0u8; TOTAL_SYMBOLS];
             err[chip_a] = val_a;
             err[chip_b] = val_b;
-            prop_assert_eq!(ck.classify_error(&err), ErrorClass::DetectedUncorrectable);
+            assert_eq!(ck.classify_error(&err), ErrorClass::DetectedUncorrectable);
         }
-    }
+    });
+}
 
-    /// AVF is always within [0, 1] and ACE time is conserved across the
-    /// two memories for arbitrary access sequences.
-    #[test]
-    fn avf_bounded_and_additive(
-        accesses in prop::collection::vec(
-            (0usize..LINES_PER_PAGE, any::<bool>(), any::<bool>(), 1u64..10_000),
-            1..200,
-        )
-    ) {
+/// AVF is always within [0, 1] and ACE time is conserved across the
+/// two memories for arbitrary access sequences.
+#[test]
+fn avf_bounded_and_additive() {
+    check("avf_bounded_and_additive", |g| {
+        let accesses = g.vec(1, 200, |g| {
+            (
+                g.usize_in(0, LINES_PER_PAGE),
+                g.bool(),
+                g.bool(),
+                g.u64_in(1, 10_000),
+            )
+        });
         let mut t = AvfTracker::new(Cycle(0));
         let mut now = 0u64;
         let page = PageId(42);
         for (line, is_write, in_hbm, dt) in accesses {
             now += dt;
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
-            let mem = if in_hbm { MemoryKind::Hbm } else { MemoryKind::Ddr };
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let mem = if in_hbm {
+                MemoryKind::Hbm
+            } else {
+                MemoryKind::Ddr
+            };
             t.on_access(page, line, kind, Cycle(now), mem);
         }
         let table = t.finish(Cycle(now));
         let s = table.get(page).expect("touched");
-        prop_assert!(s.avf >= 0.0 && s.avf <= 1.0 + 1e-12, "avf {}", s.avf);
+        assert!(s.avf >= 0.0 && s.avf <= 1.0 + 1e-12, "avf {}", s.avf);
         let total = table.total_cycles();
         let split = s.avf_in(MemoryKind::Hbm, total) + s.avf_in(MemoryKind::Ddr, total);
-        prop_assert!((split - s.avf).abs() < 1e-12, "ACE split must sum to AVF");
-    }
+        assert!((split - s.avf).abs() < 1e-12, "ACE split must sum to AVF");
+    });
+}
 
-    /// PageMap: after an arbitrary sequence of placements and migrations,
-    /// every page has exactly one frame, frames within a memory are unique,
-    /// and HBM occupancy never exceeds capacity.
-    #[test]
-    fn pagemap_consistency(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+/// PageMap: after an arbitrary sequence of placements and migrations,
+/// every page has exactly one frame, frames within a memory are unique,
+/// and HBM occupancy never exceeds capacity.
+#[test]
+fn pagemap_consistency() {
+    check("pagemap_consistency", |g| {
+        let ops = g.vec(1, 300, |g| (g.u64_below(64), g.bool()));
         let capacity = 16u64;
         let mut pm = PageMap::new(capacity);
         for (page, to_hbm) in ops {
-            let to = if to_hbm { MemoryKind::Hbm } else { MemoryKind::Ddr };
+            let to = if to_hbm {
+                MemoryKind::Hbm
+            } else {
+                MemoryKind::Ddr
+            };
             let _ = pm.migrate(PageId(page), to); // HbmFull is a legal outcome
         }
-        prop_assert!(pm.hbm_used() <= capacity);
+        assert!(pm.hbm_used() <= capacity);
         // Frames unique per memory.
         let mut seen_hbm = std::collections::HashSet::new();
         let mut seen_ddr = std::collections::HashSet::new();
@@ -113,58 +155,67 @@ proptest! {
                     MemoryKind::Hbm => seen_hbm.insert(frame),
                     MemoryKind::Ddr => seen_ddr.insert(frame),
                 };
-                prop_assert!(fresh, "duplicate frame {frame} in {kind}");
+                assert!(fresh, "duplicate frame {frame} in {kind}");
             }
         }
-    }
+    });
+}
 
-    /// MEA (Misra-Gries): any element with more than n/(k+1) occurrences
-    /// in a stream of n accesses survives in a k-entry tracker.
-    #[test]
-    fn mea_frequent_element_guarantee(
-        noise in prop::collection::vec(100u64..10_000, 0..120),
-        heavy_count in 40usize..80,
-    ) {
+/// MEA (Misra-Gries): any element with more than n/(k+1) occurrences
+/// in a stream of n accesses survives in a k-entry tracker.
+#[test]
+fn mea_frequent_element_guarantee() {
+    check("mea_frequent_element_guarantee", |g| {
+        let noise = g.vec(0, 120, |g| g.u64_in(100, 10_000));
+        let heavy_count = g.usize_in(40, 80);
         let k = 8;
         let mut stream: Vec<PageId> = noise.into_iter().map(PageId).collect();
         for _ in 0..heavy_count {
             stream.push(PageId(7));
         }
         let n = stream.len();
-        prop_assume!(heavy_count > n / (k + 1));
+        if heavy_count <= n / (k + 1) {
+            return; // below the frequency threshold: no guarantee applies
+        }
         // Deterministic interleave.
         stream.sort_by_key(|p| p.0.wrapping_mul(0x9e3779b9) % 251);
         let mut mea = MeaTracker::new(k);
         for p in stream {
             mea.record(p);
         }
-        prop_assert!(mea.hot_pages().contains(&PageId(7)));
-    }
+        assert!(mea.hot_pages().contains(&PageId(7)));
+    });
+}
 
-    /// Trace generators only emit addresses inside their declared
-    /// footprint, for every benchmark and seed.
-    #[test]
-    fn traces_stay_in_footprint(seed: u64, bench_idx in 0usize..17) {
-        let bench = Benchmark::ALL[bench_idx];
+/// Trace generators only emit addresses inside their declared
+/// footprint, for every benchmark and seed.
+#[test]
+fn traces_stay_in_footprint() {
+    check("traces_stay_in_footprint", |g| {
+        let seed = g.u64();
+        let bench = *g.pick(&Benchmark::ALL);
         let mut gen = InstanceGen::new(bench.profile(), 3, seed, 1_000_000);
         let base = gen.base_page().index();
         let fp = gen.footprint_pages();
         for _ in 0..2_000 {
             let rec = gen.next().unwrap();
             let p = rec.addr.page().index();
-            prop_assert!(p >= base && p < base + fp);
+            assert!(p >= base && p < base + fp, "{bench:?} escaped footprint");
         }
-    }
+    });
+}
 
-    /// Statistics: Pearson correlation is symmetric and within [-1, 1].
-    #[test]
-    fn pearson_properties(pairs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 3..50)) {
+/// Statistics: Pearson correlation is symmetric and within [-1, 1].
+#[test]
+fn pearson_properties() {
+    check("pearson_properties", |g| {
+        let pairs = g.vec(3, 50, |g| (g.f64_in(-1e6, 1e6), g.f64_in(-1e6, 1e6)));
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         if let Some(r) = ramp::sim::stats::pearson(&xs, &ys) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "rho {}", r);
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "rho {}", r);
             let r2 = ramp::sim::stats::pearson(&ys, &xs).unwrap();
-            prop_assert!((r - r2).abs() < 1e-9);
+            assert!((r - r2).abs() < 1e-9);
         }
-    }
+    });
 }
