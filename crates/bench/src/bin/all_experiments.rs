@@ -546,4 +546,5 @@ fn main() {
         &["workload", "count", "structures"],
         &f17,
     );
+    ramp_bench::maybe_dump_stats(&h);
 }

@@ -22,4 +22,5 @@ fn main() {
         "17%",
         "5.0x",
     );
+    ramp_bench::maybe_dump_stats(&h);
 }

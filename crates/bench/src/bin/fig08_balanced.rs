@@ -20,4 +20,5 @@ fn main() {
         "14%",
         "3.0x",
     );
+    ramp_bench::maybe_dump_stats(&h);
 }

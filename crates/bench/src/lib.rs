@@ -23,7 +23,8 @@ use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
 use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_static};
 use ramp_core::system::RunResult;
-use ramp_sim::exec::{parallel_map, StageTimer};
+use ramp_sim::exec::{parallel_map_metrics, ExecMetrics, StageTimer};
+use ramp_sim::telemetry::{render_runs_json, render_runs_table, Snapshot, StatRegistry};
 use ramp_trace::Workload;
 
 /// Environment variable overriding the per-core instruction budget.
@@ -32,6 +33,10 @@ pub const ENV_INSTS: &str = "RAMP_INSTS";
 pub const ENV_WORKLOADS: &str = "RAMP_WORKLOADS";
 /// Environment variable overriding the worker-thread count.
 pub const ENV_THREADS: &str = "RAMP_THREADS";
+/// Environment variable selecting the telemetry dump appended to a
+/// binary's output: `json` (deterministic machine-readable snapshot) or
+/// `table` (human-readable, includes volatile executor stats).
+pub const ENV_STATS: &str = "RAMP_STATS";
 
 /// Worker threads for the experiment binaries: `-j N` / `-jN` /
 /// `--threads N` on the command line, else `RAMP_THREADS`, else all
@@ -88,6 +93,9 @@ pub struct Harness {
     pub cfg: SystemConfig,
     /// Worker threads used by the `prewarm_*` methods.
     pub threads: usize,
+    /// Executor counters accumulated across every `prewarm_*` stage
+    /// (steal counts, busy time; volatile — table mode only).
+    pub metrics: ExecMetrics,
     profiles: HashMap<&'static str, RunResult>,
     statics: HashMap<(&'static str, String), RunResult>,
     migrations: HashMap<(&'static str, &'static str), RunResult>,
@@ -100,6 +108,7 @@ impl Harness {
         Harness {
             cfg: experiment_config(),
             threads: threads(),
+            metrics: ExecMetrics::new(),
             profiles: HashMap::new(),
             statics: HashMap::new(),
             migrations: HashMap::new(),
@@ -125,7 +134,7 @@ impl Harness {
             self.threads
         ));
         let cfg = &self.cfg;
-        let results = parallel_map(self.threads, missing, |_, wl| {
+        let results = parallel_map_metrics(self.threads, missing, &self.metrics, None, |_, wl| {
             eprintln!("  [profile] {}", wl.name());
             (wl.name(), profile_workload(cfg, wl))
         });
@@ -154,11 +163,17 @@ impl Harness {
         ));
         let cfg = &self.cfg;
         let profiles = &self.profiles;
-        let results = parallel_map(self.threads, missing, |_, (wl, policy)| {
-            eprintln!("  [static {}] {}", policy.name(), wl.name());
-            let r = run_static(cfg, wl, *policy, &profiles[wl.name()].table);
-            ((wl.name(), policy.name()), r)
-        });
+        let results = parallel_map_metrics(
+            self.threads,
+            missing,
+            &self.metrics,
+            None,
+            |_, (wl, policy)| {
+                eprintln!("  [static {}] {}", policy.name(), wl.name());
+                let r = run_static(cfg, wl, *policy, &profiles[wl.name()].table);
+                ((wl.name(), policy.name()), r)
+            },
+        );
         for (key, r) in results {
             self.statics.insert(key, r);
         }
@@ -184,11 +199,17 @@ impl Harness {
         ));
         let cfg = &self.cfg;
         let profiles = &self.profiles;
-        let results = parallel_map(self.threads, missing, |_, (wl, scheme)| {
-            eprintln!("  [migration {}] {}", scheme.name(), wl.name());
-            let r = run_migration(cfg, wl, *scheme, &profiles[wl.name()].table);
-            ((wl.name(), scheme.name()), r)
-        });
+        let results = parallel_map_metrics(
+            self.threads,
+            missing,
+            &self.metrics,
+            None,
+            |_, (wl, scheme)| {
+                eprintln!("  [migration {}] {}", scheme.name(), wl.name());
+                let r = run_migration(cfg, wl, *scheme, &profiles[wl.name()].table);
+                ((wl.name(), scheme.name()), r)
+            },
+        );
         for (key, r) in results {
             self.migrations.insert(key, r);
         }
@@ -214,7 +235,7 @@ impl Harness {
         ));
         let cfg = &self.cfg;
         let profiles = &self.profiles;
-        let results = parallel_map(self.threads, missing, |_, wl| {
+        let results = parallel_map_metrics(self.threads, missing, &self.metrics, None, |_, wl| {
             eprintln!("  [annotated] {}", wl.name());
             (
                 wl.name(),
@@ -269,6 +290,27 @@ impl Harness {
         self.migrations[&key].clone()
     }
 
+    /// Every cached run's telemetry snapshot, labelled
+    /// `profile/{wl}`, `static/{wl}/{policy}`, `migration/{wl}/{scheme}`
+    /// or `annotated/{wl}` and sorted by label (deterministic).
+    pub fn telemetry_runs(&self) -> Vec<(String, Snapshot)> {
+        let mut runs: Vec<(String, Snapshot)> = Vec::new();
+        for (name, r) in &self.profiles {
+            runs.push((format!("profile/{name}"), r.telemetry.clone()));
+        }
+        for ((wl, policy), r) in &self.statics {
+            runs.push((format!("static/{wl}/{policy}"), r.telemetry.clone()));
+        }
+        for ((wl, scheme), r) in &self.migrations {
+            runs.push((format!("migration/{wl}/{scheme}"), r.telemetry.clone()));
+        }
+        for (name, (r, _)) in &self.annotated {
+            runs.push((format!("annotated/{name}"), r.telemetry.clone()));
+        }
+        runs.sort_by(|a, b| a.0.cmp(&b.0));
+        runs
+    }
+
     /// Workloads ordered by decreasing MPKI (how Figures 7/8 order their
     /// x-axes: bandwidth-intensive on the left).
     pub fn workloads_by_mpki(&mut self, wls: &[Workload]) -> Vec<Workload> {
@@ -282,6 +324,29 @@ impl Harness {
 impl Default for Harness {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Dumps every cached run's telemetry to stdout when `RAMP_STATS` is
+/// set: `json` emits one deterministic document (byte-identical at any
+/// thread count — golden-tested by `tests/golden_stats.rs`); `table`
+/// emits human-readable tables plus the volatile executor stats.
+/// Call this at the end of an experiment binary's `main`.
+pub fn maybe_dump_stats(h: &Harness) {
+    let Ok(mode) = std::env::var(ENV_STATS) else {
+        return;
+    };
+    let runs = h.telemetry_runs();
+    match mode.trim() {
+        "json" => println!("{}", render_runs_json(&runs)),
+        "table" => {
+            print!("{}", render_runs_table(&runs));
+            let mut reg = StatRegistry::new();
+            h.metrics.export_telemetry(&mut reg, "exec");
+            println!("=== harness ===");
+            print!("{}", reg.snapshot_full().to_table());
+        }
+        other => eprintln!("{ENV_STATS}={other}: expected `json` or `table`"),
     }
 }
 

@@ -139,6 +139,22 @@ impl Hierarchy {
         self.l2.stats()
     }
 
+    /// Exports per-level telemetry into `reg`: `{prefix}.l1.core{i:02}`
+    /// per core plus the shared `{prefix}.l2`. MPKI needs the committed
+    /// instruction count and is exported by the system model instead.
+    pub fn export_telemetry(&self, reg: &mut ramp_sim::telemetry::StatRegistry, prefix: &str) {
+        let export = |reg: &mut ramp_sim::telemetry::StatRegistry, scope: &str, st: &CacheStats| {
+            reg.counter_add(scope, "hits", st.hits);
+            reg.counter_add(scope, "misses", st.misses);
+            reg.counter_add(scope, "writebacks", st.dirty_evictions);
+            reg.ratio_add(scope, "miss_ratio", st.misses, st.accesses());
+        };
+        for (i, l1) in self.l1.iter().enumerate() {
+            export(reg, &format!("{prefix}.l1.core{i:02}"), l1.stats());
+        }
+        export(reg, &format!("{prefix}.l2"), self.l2.stats());
+    }
+
     /// Flushes every dirty line in the hierarchy, emitting writebacks.
     ///
     /// Called at end of simulation so writeback-only data is fully
@@ -257,5 +273,33 @@ mod tests {
         assert_eq!(h.l1_stats(0).hits, 1);
         assert_eq!(h.l1_stats(0).misses, 1);
         assert_eq!(h.l2_stats().misses, 1);
+    }
+
+    #[test]
+    fn telemetry_export_covers_every_level() {
+        let mut h = small();
+        let mut out = Vec::new();
+        h.access(0, LineAddr(5), AccessKind::Read, &mut out);
+        h.access(0, LineAddr(5), AccessKind::Read, &mut out);
+        h.access(1, LineAddr(9), AccessKind::Read, &mut out);
+        let mut reg = ramp_sim::telemetry::StatRegistry::new();
+        h.export_telemetry(&mut reg, "cache");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("cache.l1.core00", "hits").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("cache.l1.core01", "misses").unwrap().as_counter(),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("cache.l2", "misses").unwrap().as_counter(),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("cache.l2", "miss_ratio").unwrap().as_ratio(),
+            Some(1.0)
+        );
     }
 }

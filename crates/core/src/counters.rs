@@ -43,9 +43,12 @@ impl FullCounters {
     /// Records one memory access to `page`.
     pub fn record(&mut self, page: PageId, kind: AccessKind) {
         let e = self.counts.entry(page).or_insert((0, 0));
+        // saturating_add: `(x + 1).min(sat)` would overflow (and panic in
+        // debug builds) if a counter ever sat at u32::MAX, e.g. with
+        // `saturation == u32::MAX`.
         match kind {
-            AccessKind::Read => e.0 = (e.0 + 1).min(self.saturation),
-            AccessKind::Write => e.1 = (e.1 + 1).min(self.saturation),
+            AccessKind::Read => e.0 = e.0.saturating_add(1).min(self.saturation),
+            AccessKind::Write => e.1 = e.1.saturating_add(1).min(self.saturation),
         }
     }
 
@@ -156,6 +159,36 @@ mod tests {
             c.record(PageId(1), AccessKind::Write);
         }
         assert_eq!(c.get(PageId(1)), (0, 3));
+    }
+
+    #[test]
+    fn saturation_pinned_at_8bit_limit() {
+        let mut c = FullCounters::fc_8bit();
+        for _ in 0..300 {
+            c.record(PageId(1), AccessKind::Read);
+            c.record(PageId(1), AccessKind::Write);
+        }
+        assert_eq!(c.get(PageId(1)), (255, 255));
+    }
+
+    #[test]
+    fn saturation_pinned_at_16bit_limit() {
+        let mut c = FullCounters::cc_16bit();
+        for _ in 0..66_000 {
+            c.record(PageId(1), AccessKind::Read);
+        }
+        assert_eq!(c.get(PageId(1)), (65_535, 0));
+    }
+
+    #[test]
+    fn record_never_overflows_at_u32_max_saturation() {
+        // With the counter parked at u32::MAX, another record must stay
+        // put instead of wrapping (or panicking in debug builds).
+        let mut c = FullCounters::new(u32::MAX);
+        c.counts.insert(PageId(1), (u32::MAX, u32::MAX - 1));
+        c.record(PageId(1), AccessKind::Read);
+        c.record(PageId(1), AccessKind::Write);
+        assert_eq!(c.get(PageId(1)), (u32::MAX, u32::MAX));
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //!   HBM pages and flags high-risk residents for eviction every FC
 //!   interval.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use ramp_dram::MemoryKind;
-use ramp_sim::units::{AccessKind, PageId};
+use ramp_sim::telemetry::{BinHistogram, StatRegistry};
+use ramp_sim::units::{AccessKind, PageId, PAGE_SIZE};
 
 use crate::counters::FullCounters;
 use crate::mea::MeaTracker;
@@ -73,7 +74,25 @@ pub struct MigrationEngine {
     pending_high_risk: Vec<PageId>,
     /// Total page moves directed so far.
     pub migrations: u64,
+    /// FC interval boundaries processed.
+    fc_intervals: u64,
+    /// MEA interval boundaries processed (Cross Counters only).
+    mea_intervals: u64,
+    /// Moves that reversed a page's previous migration direction
+    /// (HBM→DDR→HBM or vice versa): the ping-pong thrash metric.
+    pingpongs: u64,
+    /// Bytes of migration traffic (each move copies one page; a swap is
+    /// two moves, so this is moves × PAGE_SIZE).
+    bytes_copied: u64,
+    /// Last migration destination per page, for ping-pong detection.
+    last_dest: HashMap<PageId, MemoryKind>,
+    /// Moves directed per FC interval.
+    moves_per_fc_interval: BinHistogram,
 }
+
+/// Bin count of the per-interval move histogram: intervals directing
+/// `MOVES_HIST_BINS - 1` or more moves land in the last bin.
+const MOVES_HIST_BINS: usize = 65;
 
 impl MigrationEngine {
     /// Creates an engine for `scheme`.
@@ -88,7 +107,43 @@ impl MigrationEngine {
             mea: MeaTracker::mempod(),
             pending_high_risk: Vec::new(),
             migrations: 0,
+            fc_intervals: 0,
+            mea_intervals: 0,
+            pingpongs: 0,
+            bytes_copied: 0,
+            last_dest: HashMap::new(),
+            moves_per_fc_interval: BinHistogram::new(0.0, MOVES_HIST_BINS as f64, MOVES_HIST_BINS),
         }
+    }
+
+    /// Accounts a directive batch: totals, migration bandwidth and
+    /// ping-pong detection (a page moving opposite to its last move).
+    fn note_moves(&mut self, moves: &[Move]) {
+        self.migrations += moves.len() as u64;
+        self.bytes_copied += moves.len() as u64 * PAGE_SIZE as u64;
+        for m in moves {
+            if let Some(prev) = self.last_dest.insert(m.page, m.to) {
+                if prev != m.to {
+                    self.pingpongs += 1;
+                }
+            }
+        }
+    }
+
+    /// Exports migration telemetry into `scope` of `reg`.
+    pub fn export_telemetry(&self, reg: &mut StatRegistry, scope: &str) {
+        reg.counter_add(scope, "migrations", self.migrations);
+        reg.counter_add(scope, "fc_intervals", self.fc_intervals);
+        reg.counter_add(scope, "mea_intervals", self.mea_intervals);
+        reg.counter_add(scope, "pingpongs", self.pingpongs);
+        reg.counter_add(scope, "bytes_copied", self.bytes_copied);
+        reg.ratio_add(
+            scope,
+            "moves_per_fc_interval_mean",
+            self.migrations,
+            self.fc_intervals + self.mea_intervals,
+        );
+        reg.observe_hist(scope, "moves_per_fc_interval", &self.moves_per_fc_interval);
     }
 
     /// The engine's scheme.
@@ -122,6 +177,7 @@ impl MigrationEngine {
         if self.scheme != MigrationScheme::CrossCounter {
             return Vec::new();
         }
+        self.mea_intervals += 1;
         let hot = self.mea.drain();
         if hot.is_empty() {
             return Vec::new();
@@ -168,7 +224,7 @@ impl MigrationEngine {
                 to: MemoryKind::Hbm,
             });
         }
-        self.migrations += moves.len() as u64;
+        self.note_moves(&moves);
         moves
     }
 
@@ -219,7 +275,9 @@ impl MigrationEngine {
                 moves
             }
         };
-        self.migrations += moves.len() as u64;
+        self.fc_intervals += 1;
+        self.moves_per_fc_interval.observe(moves.len() as f64);
+        self.note_moves(&moves);
         moves
     }
 
@@ -463,6 +521,55 @@ mod tests {
         let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
         record_n(&mut e, 2, R, 50, MemoryKind::Ddr);
         assert!(e.on_mea_interval(&[], 8, &HashSet::new(), 32).is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_intervals_pingpongs_and_bandwidth() {
+        let mut e = MigrationEngine::new(MigrationScheme::PerfFc);
+        // Interval 1: page 2 swaps into HBM (page 1 out).
+        record_n(&mut e, 1, R, 1, MemoryKind::Hbm);
+        record_n(&mut e, 2, R, 50, MemoryKind::Ddr);
+        record_n(&mut e, 3, R, 2, MemoryKind::Ddr);
+        let m1 = e.on_fc_interval(&[PageId(1)], 0, &HashSet::new(), 100);
+        assert_eq!(m1.len(), 2);
+        // Interval 2: page 2 goes cold in HBM while page 3 heats up, so
+        // page 2 swaps back out — a ping-pong.
+        record_n(&mut e, 2, R, 1, MemoryKind::Hbm);
+        record_n(&mut e, 3, R, 50, MemoryKind::Ddr);
+        record_n(&mut e, 4, R, 2, MemoryKind::Ddr);
+        let m2 = e.on_fc_interval(&[PageId(2)], 0, &HashSet::new(), 100);
+        assert!(m2.contains(&Move {
+            page: PageId(2),
+            to: MemoryKind::Ddr
+        }));
+
+        let mut reg = StatRegistry::new();
+        e.export_telemetry(&mut reg, "migration");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("migration", "fc_intervals").unwrap().as_counter(),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("migration", "migrations").unwrap().as_counter(),
+            Some(4)
+        );
+        assert_eq!(
+            snap.get("migration", "pingpongs").unwrap().as_counter(),
+            Some(1),
+            "page 2 went DDR<-HBM after HBM<-DDR"
+        );
+        assert_eq!(
+            snap.get("migration", "bytes_copied").unwrap().as_counter(),
+            Some(4 * PAGE_SIZE as u64)
+        );
+        let h = snap
+            .get("migration", "moves_per_fc_interval")
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[2], 2, "both intervals directed 2 moves");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::{HashSet, VecDeque};
 use ramp_avf::{AvfTracker, SerModel, StatsTable};
 use ramp_cache::Hierarchy;
 use ramp_dram::{Completion, MemRequest, MemoryKind, MemorySystem};
+use ramp_sim::telemetry::{BinHistogram, Snapshot, StatRegistry};
 use ramp_sim::units::{AccessKind, Cycle, LineAddr, PageId, LINES_PER_PAGE};
 use ramp_trace::{InstanceGen, MemEvent, Workload};
 
@@ -72,6 +73,9 @@ pub struct RunResult {
     pub mean_read_latency: (f64, f64),
     /// Final per-page statistics (hotness, write ratio, AVF).
     pub table: StatsTable,
+    /// Full telemetry snapshot of the run: DRAM, cache, migration, core
+    /// and system scopes (deterministic; see `ramp_sim::telemetry`).
+    pub telemetry: Snapshot,
 }
 
 impl RunResult {
@@ -106,7 +110,16 @@ pub struct SystemSim {
     demand_hbm: u64,
     demand_ddr: u64,
     footprint: Vec<PageId>,
+    /// Per-core MSHR occupancy sampled once per chunk.
+    outstanding_hist: Vec<BinHistogram>,
+    /// Aggregate IPC per FC-interval epoch (instruction delta / interval).
+    epoch_ipc: BinHistogram,
+    epochs: u64,
+    last_epoch_insts: u64,
 }
+
+/// Bins of the epoch-IPC histogram, spanning `[0, cores × issue width)`.
+const EPOCH_IPC_BINS: usize = 64;
 
 impl SystemSim {
     /// Builds a simulator for `workload` with an initial HBM placement and
@@ -153,7 +166,15 @@ impl SystemSim {
                 break;
             }
         }
+        let mshr_bins = cfg.mshrs_per_core + 1;
+        let peak_ipc = (cfg.hierarchy.cores * cfg.issue_width as usize) as f64;
         SystemSim {
+            outstanding_hist: (0..cfg.hierarchy.cores)
+                .map(|_| BinHistogram::new(0.0, mshr_bins as f64, mshr_bins))
+                .collect(),
+            epoch_ipc: BinHistogram::new(0.0, peak_ipc, EPOCH_IPC_BINS),
+            epochs: 0,
+            last_epoch_insts: 0,
             hierarchy: Hierarchy::new(cfg.hierarchy),
             hbm: MemorySystem::hbm(),
             ddr: MemorySystem::ddr3(),
@@ -303,6 +324,10 @@ impl SystemSim {
         let mut tmp = Vec::new();
         let mut next_fc = self.cfg.fc_interval_cycles;
         let mut next_mea = self.cfg.mea_interval_cycles;
+        // Epoch boundaries follow the FC interval whether or not a
+        // migration engine is attached, so static runs get the same
+        // interval-level IPC series.
+        let mut next_epoch = self.cfg.fc_interval_cycles;
         let mut hbm_lat = (0.0f64, 0u64);
         let mut ddr_lat = (0.0f64, 0u64);
 
@@ -331,6 +356,19 @@ impl SystemSim {
                 }
             }
             self.completions = completions;
+
+            for (i, c) in self.cores.iter().enumerate() {
+                self.outstanding_hist[i].observe(c.outstanding as f64);
+            }
+            if chunk_end >= next_epoch {
+                next_epoch += self.cfg.fc_interval_cycles;
+                self.epochs += 1;
+                let insts: u64 = self.cores.iter().map(|c| c.retired).sum();
+                let delta = insts - self.last_epoch_insts;
+                self.last_epoch_insts = insts;
+                self.epoch_ipc
+                    .observe(delta as f64 / self.cfg.fc_interval_cycles as f64);
+            }
 
             let all_done = self.cores.iter().all(|c| c.done);
             if !all_done && self.engine.is_some() {
@@ -397,6 +435,38 @@ impl SystemSim {
         let ser_fit = ser_model.system_ser(&table);
         let ser_ddr_only_fit = ser_model.ddr_only_ser(&table);
         let demand_total = self.demand_hbm + self.demand_ddr;
+        let mpki = demand_total as f64 / instructions.max(1) as f64 * 1000.0;
+
+        let mut reg = StatRegistry::new();
+        self.hbm.export_telemetry(&mut reg, "dram.hbm");
+        self.ddr.export_telemetry(&mut reg, "dram.ddr");
+        self.hierarchy.export_telemetry(&mut reg, "cache");
+        reg.gauge_set(
+            "cache.l2",
+            "mpki",
+            self.hierarchy.l2_stats().misses as f64 / instructions.max(1) as f64 * 1000.0,
+        );
+        if let Some(e) = &self.engine {
+            e.export_telemetry(&mut reg, "migration");
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            let scope = format!("core.c{i:02}");
+            reg.counter_add(&scope, "instructions", c.retired);
+            reg.counter_add(&scope, "finish_cycle", c.finish);
+            reg.gauge_set(&scope, "ipc", c.retired as f64 / c.finish.max(1) as f64);
+            reg.observe_hist(&scope, "outstanding_misses", &self.outstanding_hist[i]);
+        }
+        reg.counter_add("system", "instructions", instructions);
+        reg.counter_add("system", "cycles", makespan);
+        reg.counter_add("system", "hbm_accesses", self.demand_hbm);
+        reg.counter_add("system", "ddr_accesses", self.demand_ddr);
+        reg.counter_add("system", "epochs", self.epochs);
+        reg.gauge_set("system", "ipc", instructions as f64 / makespan as f64);
+        reg.gauge_set("system", "mpki", mpki);
+        reg.observe_hist("system", "epoch_ipc", &self.epoch_ipc);
+        reg.gauge_set("avf", "ser_fit", ser_fit);
+        reg.gauge_set("avf", "ser_ddr_only_fit", ser_ddr_only_fit);
+
         RunResult {
             workload: self.workload_name,
             policy: self.policy_name,
@@ -406,7 +476,7 @@ impl SystemSim {
             ser_ddr_only_fit,
             cycles: makespan,
             instructions,
-            mpki: demand_total as f64 / instructions.max(1) as f64 * 1000.0,
+            mpki,
             hbm_accesses: self.demand_hbm,
             ddr_accesses: self.demand_ddr,
             migrations: self.engine.as_ref().map_or(0, |e| e.migrations),
@@ -423,6 +493,7 @@ impl SystemSim {
                 },
             ),
             table,
+            telemetry: reg.snapshot(),
         }
     }
 }
@@ -474,6 +545,75 @@ mod tests {
         let r = SystemSim::new(cfg, &wl, "some-hbm", &initial, HashSet::new(), None).run();
         assert!(r.hbm_accesses > 0, "HBM must see traffic");
         assert!(r.ser_vs_ddr_only() >= 1.0, "HBM residency cannot lower SER");
+    }
+
+    #[test]
+    fn telemetry_snapshot_covers_all_scopes() {
+        use crate::migration::{MigrationEngine, MigrationScheme};
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::Libquantum);
+        let engine = MigrationEngine::new(MigrationScheme::PerfFc);
+        let r = SystemSim::new(
+            cfg,
+            &wl,
+            "perf-fc",
+            &HashSet::new(),
+            HashSet::new(),
+            Some(engine),
+        )
+        .run();
+        let t = &r.telemetry;
+        // Every top-level scope the acceptance criteria name is present.
+        assert_eq!(
+            t.get("system", "instructions").unwrap().as_counter(),
+            Some(r.instructions)
+        );
+        assert_eq!(
+            t.get("migration", "migrations").unwrap().as_counter(),
+            Some(r.migrations)
+        );
+        assert_eq!(
+            t.get("dram.ddr", "accesses")
+                .unwrap()
+                .as_counter()
+                .map(|v| v > 0),
+            Some(true)
+        );
+        assert!(t.get("dram.hbm.ch0", "row_hits").is_some());
+        assert!(t.get("cache.l2", "misses").is_some());
+        assert!(t.get("cache.l1.core00", "hits").is_some());
+        assert!(t.get("core.c00", "ipc").is_some());
+        assert!(t.get("avf", "ser_fit").is_some());
+        // The MSHR occupancy histogram sampled every chunk on every core.
+        let occ = t
+            .get("core.c00", "outstanding_misses")
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert!(occ.total() > 0);
+        // Epoch IPC series recorded at FC-interval boundaries.
+        assert!(t.get("system", "epochs").unwrap().as_counter().unwrap() > 0);
+        let eipc = t
+            .get("system", "epoch_ipc")
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert_eq!(
+            Some(eipc.total()),
+            t.get("system", "epochs").unwrap().as_counter()
+        );
+        // Deterministic: an identical run yields a byte-identical snapshot.
+        let engine2 = MigrationEngine::new(MigrationScheme::PerfFc);
+        let r2 = SystemSim::new(
+            SystemConfig::smoke_test(),
+            &wl,
+            "perf-fc",
+            &HashSet::new(),
+            HashSet::new(),
+            Some(engine2),
+        )
+        .run();
+        assert_eq!(r.telemetry.to_json(), r2.telemetry.to_json());
     }
 
     #[test]

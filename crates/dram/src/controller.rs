@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use ramp_sim::stats::OnlineStats;
+use ramp_sim::telemetry::{BinHistogram, StatRegistry};
 use ramp_sim::units::{AccessKind, Cycle};
 
 use crate::mapping::DramCoord;
@@ -50,7 +51,7 @@ impl BankState {
 }
 
 /// Aggregate statistics of one channel.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ChannelStats {
     /// Reads completed.
     pub reads: u64,
@@ -60,12 +61,81 @@ pub struct ChannelStats {
     pub row_hits: u64,
     /// Column commands that required ACT (and possibly PRE).
     pub row_misses: u64,
+    /// Row misses that also had to close another open row first
+    /// (row-buffer conflicts; a subset of `row_misses`).
+    pub row_conflicts: u64,
+    /// ACT commands issued (equals `row_misses` in the reservation model).
+    pub activates: u64,
+    /// PRE commands issued, both demand precharges (conflicts) and
+    /// refresh-induced row closes.
+    pub precharges: u64,
+    /// Times the controller entered write-drain mode.
+    pub drain_events: u64,
     /// Refresh operations performed.
     pub refreshes: u64,
     /// Cycles the data bus was transferring.
     pub busy_cycles: u64,
     /// Read latency distribution (arrival to last data beat).
     pub read_latency: OnlineStats,
+    /// Read-queue depth observed at each enqueue (after insertion).
+    pub read_q_occupancy: BinHistogram,
+    /// Write-queue depth observed at each enqueue (after insertion).
+    pub write_q_occupancy: BinHistogram,
+}
+
+impl Default for ChannelStats {
+    fn default() -> Self {
+        ChannelStats {
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+            activates: 0,
+            precharges: 0,
+            drain_events: 0,
+            refreshes: 0,
+            busy_cycles: 0,
+            read_latency: OnlineStats::default(),
+            read_q_occupancy: BinHistogram::new(
+                0.0,
+                (READ_QUEUE_CAP + 1) as f64,
+                READ_QUEUE_CAP + 1,
+            ),
+            write_q_occupancy: BinHistogram::new(
+                0.0,
+                (WRITE_QUEUE_CAP + 1) as f64,
+                WRITE_QUEUE_CAP + 1,
+            ),
+        }
+    }
+}
+
+impl ChannelStats {
+    /// Exports every counter and histogram into `scope` of `reg`.
+    pub fn export_telemetry(&self, reg: &mut StatRegistry, scope: &str) {
+        reg.counter_add(scope, "reads", self.reads);
+        reg.counter_add(scope, "writes", self.writes);
+        reg.counter_add(scope, "row_hits", self.row_hits);
+        reg.counter_add(scope, "row_misses", self.row_misses);
+        reg.counter_add(scope, "row_conflicts", self.row_conflicts);
+        reg.counter_add(scope, "activates", self.activates);
+        reg.counter_add(scope, "precharges", self.precharges);
+        reg.counter_add(scope, "drain_events", self.drain_events);
+        reg.counter_add(scope, "refreshes", self.refreshes);
+        reg.counter_add(scope, "busy_cycles", self.busy_cycles);
+        reg.ratio_add(
+            scope,
+            "row_hit_ratio",
+            self.row_hits,
+            self.row_hits + self.row_misses,
+        );
+        if self.read_latency.count() > 0 {
+            reg.gauge_set(scope, "mean_read_latency", self.read_latency.mean());
+        }
+        reg.observe_hist(scope, "read_q_occupancy", &self.read_q_occupancy);
+        reg.observe_hist(scope, "write_q_occupancy", &self.write_q_occupancy);
+    }
 }
 
 /// A scheduled command plan for one request (reservation model).
@@ -171,6 +241,9 @@ impl ChannelController {
                 }
                 self.read_q.push_back(req);
                 self.read_coords.push_back(coord);
+                self.stats
+                    .read_q_occupancy
+                    .observe(self.read_q.len() as f64);
             }
             AccessKind::Write => {
                 if self.write_q.len() >= WRITE_QUEUE_CAP {
@@ -178,6 +251,9 @@ impl ChannelController {
                 }
                 self.write_q.push_back(req);
                 self.write_coords.push_back(coord);
+                self.stats
+                    .write_q_occupancy
+                    .observe(self.write_q.len() as f64);
             }
         }
         Ok(())
@@ -187,6 +263,9 @@ impl ChannelController {
         let start = self.next_refresh;
         let end = start + self.timing.t_rfc;
         for b in &mut self.banks {
+            if b.open_row.is_some() {
+                self.stats.precharges += 1;
+            }
             b.open_row = None;
             b.next_act = b.next_act.max(end);
             b.next_rdwr = b.next_rdwr.max(end);
@@ -249,6 +328,11 @@ impl ChannelController {
             self.act_history.push_back(act_at);
             self.next_act_any = self.next_act_any.max(act_at + tp.t_rrd);
             let bank = &mut self.banks[coord.bank];
+            self.stats.activates += 1;
+            if bank.open_row.is_some() {
+                self.stats.precharges += 1;
+                self.stats.row_conflicts += 1;
+            }
             bank.open_row = Some(coord.row);
             bank.next_act = act_at + tp.t_rc;
             bank.next_pre = act_at + tp.t_ras;
@@ -279,6 +363,9 @@ impl ChannelController {
     fn pick(&mut self, now: Cycle) -> Option<(bool, usize, Plan)> {
         // Update drain mode.
         if self.write_q.len() >= DRAIN_HI {
+            if !self.draining {
+                self.stats.drain_events += 1;
+            }
             self.draining = true;
         } else if self.write_q.len() <= DRAIN_LO {
             self.draining = false;
@@ -632,6 +719,67 @@ mod tests {
         assert!(c.stats().refreshes >= 1);
         assert_eq!(c.stats().row_misses, 2, "refresh must close the open row");
         assert_eq!(c.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn command_counters_are_consistent() {
+        let (mut c, m) = ddr_controller();
+        let org = Organization::ddr3();
+        let lines_per_bank_stripe = org.lines_per_row * org.channels as u64;
+        let conflict_line = lines_per_bank_stripe * org.banks as u64; // row 1, bank 0
+        let a = req(1, 0, AccessKind::Read, 0);
+        let h = req(2, 2, AccessKind::Read, 0); // hit on row 0
+        let b = req(3, conflict_line, AccessKind::Read, 0); // conflict
+        for r in [a, h, b] {
+            c.enqueue(r, m.decode(r.line)).unwrap();
+        }
+        drain_all(&mut c);
+        let st = c.stats();
+        // Every row miss issues exactly one ACT; the conflicting read is
+        // the only one that had to close an open row first.
+        assert_eq!(st.activates, st.row_misses);
+        assert_eq!(st.row_misses, 2);
+        assert_eq!(st.row_conflicts, 1);
+        assert!(st.precharges >= 1);
+        assert!(st.row_conflicts <= st.row_misses);
+        // Each enqueue recorded one occupancy sample.
+        assert_eq!(st.read_q_occupancy.total(), 3);
+        assert_eq!(st.write_q_occupancy.total(), 0);
+    }
+
+    #[test]
+    fn drain_events_counted_once_per_transition() {
+        let (mut c, m) = ddr_controller();
+        for i in 0..DRAIN_HI as u64 {
+            let w = req(i, i * 2, AccessKind::Write, 0);
+            c.enqueue(w, m.decode(w.line)).unwrap();
+        }
+        drain_all(&mut c);
+        assert_eq!(c.stats().drain_events, 1, "one hi-watermark crossing");
+    }
+
+    #[test]
+    fn stats_export_covers_all_counters() {
+        let (mut c, m) = ddr_controller();
+        for i in 0..4u64 {
+            let r = req(i, i * 2, AccessKind::Read, 0);
+            c.enqueue(r, m.decode(r.line)).unwrap();
+        }
+        drain_all(&mut c);
+        let mut reg = StatRegistry::new();
+        c.stats().export_telemetry(&mut reg, "dram.test.ch0");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("dram.test.ch0", "reads").unwrap().as_counter(),
+            Some(4)
+        );
+        let occ = snap
+            .get("dram.test.ch0", "read_q_occupancy")
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert_eq!(occ.total(), 4);
+        assert!(snap.get("dram.test.ch0", "row_hit_ratio").is_some());
     }
 
     #[test]

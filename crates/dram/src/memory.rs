@@ -157,6 +157,20 @@ impl MemorySystem {
         }
     }
 
+    /// Exports per-channel telemetry under `{prefix}.ch{i}` plus
+    /// device-level aggregates under `{prefix}` into `reg`.
+    pub fn export_telemetry(&self, reg: &mut ramp_sim::telemetry::StatRegistry, prefix: &str) {
+        for (i, ch) in self.channels.iter().enumerate() {
+            ch.stats().export_telemetry(reg, &format!("{prefix}.ch{i}"));
+        }
+        let (hits, misses) = self.channels.iter().fold((0u64, 0u64), |(h, m), c| {
+            (h + c.stats().row_hits, m + c.stats().row_misses)
+        });
+        reg.counter_add(prefix, "accesses", self.total_accesses());
+        reg.ratio_add(prefix, "row_hit_ratio", hits, hits + misses);
+        reg.gauge_set(prefix, "mean_read_latency", self.mean_read_latency());
+    }
+
     /// Row-buffer hit ratio over all column commands.
     pub fn row_hit_ratio(&self) -> f64 {
         let (h, m) = self.channels.iter().fold((0u64, 0u64), |(h, m), c| {

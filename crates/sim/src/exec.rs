@@ -89,6 +89,26 @@ impl ExecMetrics {
     pub fn busy(&self) -> Duration {
         Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
     }
+
+    /// Exports the metrics into `scope` of `reg` and marks the scope
+    /// volatile: steal counts and wall-clock busy time depend on
+    /// scheduling and thread count, so they must never enter the
+    /// deterministic snapshot payload.
+    pub fn export_telemetry(&self, reg: &mut crate::telemetry::StatRegistry, scope: &str) {
+        reg.counter_add(
+            scope,
+            "tasks_total",
+            self.total.load(Ordering::Relaxed) as u64,
+        );
+        reg.counter_add(
+            scope,
+            "tasks_completed",
+            self.completed.load(Ordering::Relaxed) as u64,
+        );
+        reg.counter_add(scope, "steals", self.steals.load(Ordering::Relaxed));
+        reg.gauge_set(scope, "busy_seconds", self.busy().as_secs_f64());
+        reg.set_volatile(scope);
+    }
 }
 
 /// A labelled wall-clock timer for one pipeline stage; reports to stderr.

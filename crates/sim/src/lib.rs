@@ -18,6 +18,10 @@
 //!   input-ordered results, plus stage timing and progress metrics.
 //! * [`check`] — a deterministic property-testing mini-harness (the
 //!   in-tree `proptest` replacement used by `tests/properties.rs`).
+//! * [`telemetry`] — a hierarchical stat registry (counters, gauges,
+//!   histograms, ratios) with deterministic JSON/table serialization,
+//!   shared by every simulator component for observability and
+//!   golden-snapshot regression testing.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@ pub mod event;
 pub mod exec;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod units;
 
 pub use event::EventQueue;

@@ -17,4 +17,13 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 
+# Golden-snapshot determinism gate: the telemetry JSON must be
+# byte-identical to tests/golden/smoke_stats.json at both thread counts,
+# so a thread-count leak into the payload fails fast here.
+echo "==> golden snapshots @ RAMP_THREADS=1"
+RAMP_THREADS=1 cargo test -q --offline -p ramp --test golden_stats
+
+echo "==> golden snapshots @ RAMP_THREADS=4"
+RAMP_THREADS=4 cargo test -q --offline -p ramp --test golden_stats
+
 echo "CI OK"

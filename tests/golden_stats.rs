@@ -1,0 +1,113 @@
+//! Golden-snapshot regression tests for the telemetry subsystem.
+//!
+//! Two tiny deterministic workloads (a 4-core homogeneous libquantum run
+//! with perf-FC migration, and the Mix 1 profile) are simulated and
+//! their telemetry rendered with `render_runs_json`. The output must be
+//! **byte-identical**
+//!
+//! 1. to the committed golden file `tests/golden/smoke_stats.json`, and
+//! 2. across worker-thread counts (`-j1` vs `-j4`) — the snapshot payload
+//!    excludes volatile executor stats precisely so this holds.
+//!
+//! Regenerating the golden file after an intentional schema or counter
+//! change:
+//!
+//! ```text
+//! RAMP_BLESS=1 cargo test --test golden_stats
+//! ```
+//!
+//! then commit the updated `tests/golden/smoke_stats.json` and call out
+//! the schema change in the PR description.
+
+use ramp::core::config::SystemConfig;
+use ramp::core::migration::MigrationScheme;
+use ramp::core::runner::{profile_workload, run_migration};
+use ramp::sim::exec::{default_threads, parallel_map};
+use ramp::sim::telemetry::{render_runs_json, Snapshot};
+use ramp::trace::{Benchmark, MixId, Workload};
+
+const GOLDEN_PATH: &str = "tests/golden/smoke_stats.json";
+
+/// The two-workload experiment matrix, sharded over `threads` workers.
+fn collect_runs(threads: usize) -> Vec<(String, Snapshot)> {
+    let cfg = SystemConfig::smoke_test();
+    let lib = Workload::Homogeneous(Benchmark::Libquantum);
+    let mix = Workload::Mix(MixId::Mix1);
+    let tasks: Vec<(Workload, bool)> = vec![(lib, false), (lib, true), (mix, false)];
+    parallel_map(threads, tasks, |_, (wl, migrate)| {
+        let profile = profile_workload(&cfg, wl);
+        if *migrate {
+            let r = run_migration(&cfg, wl, MigrationScheme::PerfFc, &profile.table);
+            (
+                format!("migration/{}/{}", wl.name(), MigrationScheme::PerfFc),
+                r.telemetry,
+            )
+        } else {
+            (format!("profile/{}", wl.name()), profile.telemetry)
+        }
+    })
+}
+
+fn golden_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn telemetry_json_is_byte_identical_across_thread_counts() {
+    let one = render_runs_json(&collect_runs(1));
+    let four = render_runs_json(&collect_runs(4));
+    assert_eq!(one, four, "thread count leaked into the telemetry payload");
+    let auto = render_runs_json(&collect_runs(default_threads()));
+    assert_eq!(one, auto, "RAMP_THREADS/auto leaked into the payload");
+}
+
+#[test]
+fn telemetry_json_matches_committed_golden_snapshot() {
+    let rendered = render_runs_json(&collect_runs(default_threads()));
+    let path = golden_file();
+    if std::env::var("RAMP_BLESS").is_ok() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with RAMP_BLESS=1 cargo test --test golden_stats",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "telemetry snapshot drifted from {}; if the change is intentional, \
+         regenerate with RAMP_BLESS=1 cargo test --test golden_stats",
+        GOLDEN_PATH
+    );
+}
+
+#[test]
+fn golden_snapshot_covers_required_scopes() {
+    // The acceptance criteria name DRAM, cache, migration and core
+    // scopes; pin their presence independently of byte equality so a
+    // bless can never silently drop a subsystem.
+    let runs = collect_runs(1);
+    let (label, mig) = runs
+        .iter()
+        .find(|(l, _)| l.starts_with("migration/"))
+        .expect("migration run present");
+    for (scope, name) in [
+        ("dram.hbm.ch0", "row_hits"),
+        ("dram.ddr.ch0", "row_hits"),
+        ("dram.hbm", "accesses"),
+        ("cache.l2", "misses"),
+        ("cache.l1.core00", "hits"),
+        ("migration", "migrations"),
+        ("core.c00", "instructions"),
+        ("system", "ipc"),
+        ("avf", "ser_fit"),
+    ] {
+        assert!(
+            mig.get(scope, name).is_some(),
+            "{label} snapshot missing {scope}/{name}"
+        );
+    }
+}

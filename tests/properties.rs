@@ -1,7 +1,8 @@
 //! Property-based tests over the core data structures and invariants
 //! (in-tree `ramp::sim::check` harness): ECC algebra, AVF bounds,
-//! page-map consistency, MEA's frequent-element guarantee and
-//! trace-generator containment.
+//! page-map consistency, MEA's frequent-element guarantee,
+//! trace-generator containment and telemetry invariants (histogram
+//! conservation, epoch monotonicity, merge/sequential equivalence).
 //!
 //! Each property runs 256 deterministic cases; on failure the harness
 //! prints the case's seed so `RAMP_PROP_SEED=<seed>` replays it alone.
@@ -202,6 +203,94 @@ fn traces_stay_in_footprint() {
             let p = rec.addr.page().index();
             assert!(p >= base && p < base + fp, "{bench:?} escaped footprint");
         }
+    });
+}
+
+/// Telemetry: a histogram's bin counts always sum to its observation
+/// total, for arbitrary geometry and arbitrary (even out-of-range)
+/// observations.
+#[test]
+fn telemetry_histogram_counts_sum_to_total() {
+    use ramp::sim::telemetry::BinHistogram;
+    check("telemetry_histogram_counts_sum_to_total", |g| {
+        let lo = g.f64_in(-1e3, 1e3);
+        let width = g.f64_in(0.5, 1e3);
+        let bins = g.usize_in(1, 64);
+        let mut h = BinHistogram::new(lo, lo + width, bins);
+        let xs = g.vec(0, 200, |g| g.f64_in(-2e3, 2e3));
+        let n = xs.len() as u64;
+        for x in xs {
+            h.observe(x);
+        }
+        assert_eq!(h.total(), n);
+        assert_eq!(h.counts().iter().sum::<u64>(), n, "clamping lost a sample");
+    });
+}
+
+/// Telemetry: counter values are monotone non-decreasing across epoch
+/// snapshots, for arbitrary interleavings of adds and epoch marks.
+#[test]
+fn telemetry_counters_monotone_across_epochs() {
+    use ramp::sim::telemetry::StatRegistry;
+    check("telemetry_counters_monotone_across_epochs", |g| {
+        let mut reg = StatRegistry::new();
+        let ops = g.vec(1, 100, |g| (g.bool(), g.u64_below(1000)));
+        for (i, (mark, delta)) in ops.into_iter().enumerate() {
+            reg.counter_add("s", "events", delta);
+            if mark {
+                reg.mark_epoch(format!("e{i}"));
+            }
+        }
+        reg.mark_epoch("final");
+        let mut prev = 0u64;
+        for (label, snap) in reg.epochs() {
+            let v = snap.get("s", "events").unwrap().as_counter().unwrap();
+            assert!(v >= prev, "epoch {label}: counter went backwards");
+            prev = v;
+        }
+    });
+}
+
+/// Telemetry: merging per-shard registries equals accumulating every
+/// event sequentially into one registry, regardless of how events are
+/// split across shards.
+#[test]
+fn telemetry_merge_equals_sequential_accumulation() {
+    use ramp::sim::telemetry::StatRegistry;
+    check("telemetry_merge_equals_sequential_accumulation", |g| {
+        let shards = g.usize_in(1, 5);
+        let events = g.vec(0, 150, |g| {
+            (
+                g.usize_in(0, 5), // shard the event lands on
+                g.u64_below(3),   // stat selector
+                g.u64_below(100), // payload
+            )
+        });
+        let mut seq = StatRegistry::new();
+        let mut parts: Vec<StatRegistry> = (0..shards).map(|_| StatRegistry::new()).collect();
+        for (shard, which, v) in events {
+            let part = &mut parts[shard % shards];
+            match which {
+                0 => {
+                    part.counter_add("scope", "c", v);
+                    seq.counter_add("scope", "c", v);
+                }
+                1 => {
+                    part.ratio_add("scope", "r", v, v + 1);
+                    seq.ratio_add("scope", "r", v, v + 1);
+                }
+                _ => {
+                    part.observe("scope", "h", 0.0, 100.0, 10, v as f64);
+                    seq.observe("scope", "h", 0.0, 100.0, 10, v as f64);
+                }
+            }
+        }
+        let mut merged = StatRegistry::new();
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.snapshot(), seq.snapshot());
+        assert_eq!(merged.snapshot().to_json(), seq.snapshot().to_json());
     });
 }
 
