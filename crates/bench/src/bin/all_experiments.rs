@@ -546,5 +546,5 @@ fn main() {
         &["workload", "count", "structures"],
         &f17,
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

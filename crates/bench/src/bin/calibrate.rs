@@ -58,5 +58,5 @@ fn main() {
         ],
         &rows,
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

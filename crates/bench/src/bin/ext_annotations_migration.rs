@@ -56,5 +56,5 @@ fn main() {
         fmt_x(geomean_or_one(&ann_sers)),
         fmt_x(geomean_or_one(&both_sers))
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -66,5 +66,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: hot-page placement trades up to ~287x SER for 1.6x IPC; reliability-aware\npoints reach near-full IPC at a fraction of the SER.");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

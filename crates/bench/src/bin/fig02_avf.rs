@@ -31,5 +31,5 @@ fn main() {
         rows.first().map(|r| r.0 * 100.0).unwrap_or(0.0),
         rows.last().map(|r| r.0 * 100.0).unwrap_or(0.0)
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

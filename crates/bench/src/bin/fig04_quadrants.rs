@@ -38,5 +38,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: hot & low-risk spans 9%-39% of the footprint; lbm is the outlier with few.");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -43,5 +43,5 @@ fn main() {
         fmt_x(geomean_or_one(&ipcs)),
         fmt_x(geomean_or_one(&sers))
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

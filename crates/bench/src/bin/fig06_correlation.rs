@@ -41,5 +41,5 @@ fn main() {
     println!(
         "footprint hotness-AVF correlation: {rho:.3} (paper: 0.08) — weak/moderate, far below 1"
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -22,5 +22,5 @@ fn main() {
         "17%",
         "5.0x",
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

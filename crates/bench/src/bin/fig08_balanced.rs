@@ -20,5 +20,5 @@ fn main() {
         "14%",
         "3.0x",
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -38,5 +38,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: mostly read-heavy pages, with substantial mass in the top two write bins.");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -15,5 +15,5 @@ fn main() {
     let wls = h.workloads_by_mpki(&all);
     let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::WrRatio);
     print_relative("Figure 10: Wr-ratio placement", &rows, "8.1%", "1.8x");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -16,5 +16,5 @@ fn main() {
     let wls = h.workloads_by_mpki(&all);
     let rows = static_vs_perf(&mut h, &wls, PlacementPolicy::Wr2Ratio);
     print_relative("Figure 11: Wr2-ratio placement", &rows, "1%", "1.6x");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

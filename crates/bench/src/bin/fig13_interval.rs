@@ -54,5 +54,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: 100 ms (our scaled 400k-cycle default) is the sweet spot.");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -18,5 +18,5 @@ fn main() {
         "6%",
         "1.8x",
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

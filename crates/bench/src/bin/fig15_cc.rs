@@ -21,5 +21,5 @@ fn main() {
         "4.9%",
         "1.5x",
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -38,5 +38,5 @@ fn main() {
         (1.0 - geomean_or_one(&ipcs)) * 100.0,
         fmt_x(geomean_or_one(&sers))
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

@@ -34,5 +34,5 @@ fn main() {
     );
     let mean = counts.iter().sum::<f64>() / counts.len().max(1) as f64;
     println!("\nmean annotations: {mean:.1} (paper: ~8, with cactusADM=39 and mix1=45 outliers)");
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

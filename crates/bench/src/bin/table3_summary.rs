@@ -97,5 +97,5 @@ fn main() {
         &["scheme", "IPC degradation", "SER improvement"],
         &rows,
     );
-    ramp_bench::maybe_dump_stats(&h);
+    ramp_bench::finish(&h);
 }

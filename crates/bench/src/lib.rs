@@ -12,6 +12,15 @@
 //! or `RAMP_THREADS`; default: all cores), after which the figure code
 //! reads cached results and formats them sequentially — stdout is
 //! byte-identical at every thread count.
+//!
+//! The harness is also backed by the persistent `ramp_serve` run store
+//! (`target/ramp-store/` by default; `RAMP_STORE=off` disables,
+//! `RAMP_STORE_DIR` relocates): every `prewarm_*` method resolves store
+//! hits before simulating and persists what it simulated, so a second
+//! invocation of any experiment binary performs **zero** simulations and
+//! prints byte-identical stdout. Store hit/miss counters are volatile
+//! process observability and surface only in the `RAMP_STATS=table`
+//! epilogue, never in the deterministic `json` document.
 
 pub mod microbench;
 
@@ -23,6 +32,8 @@ use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
 use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_static};
 use ramp_core::system::RunResult;
+use ramp_serve::spec::{ANNOTATED_POLICY, PROFILE_POLICY};
+use ramp_serve::store::{run_key, RunKind, RunStore};
 use ramp_sim::exec::{parallel_map_metrics, ExecMetrics, StageTimer};
 use ramp_sim::telemetry::{render_runs_json, render_runs_table, Snapshot, StatRegistry};
 use ramp_trace::Workload;
@@ -96,6 +107,7 @@ pub struct Harness {
     /// Executor counters accumulated across every `prewarm_*` stage
     /// (steal counts, busy time; volatile — table mode only).
     pub metrics: ExecMetrics,
+    store: Option<RunStore>,
     profiles: HashMap<&'static str, RunResult>,
     statics: HashMap<(&'static str, String), RunResult>,
     migrations: HashMap<(&'static str, &'static str), RunResult>,
@@ -103,12 +115,20 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Creates a harness around the (env-adjusted) experiment config.
+    /// Creates a harness around the (env-adjusted) experiment config,
+    /// backed by the environment-configured persistent run store.
     pub fn new() -> Self {
+        Self::with_store(RunStore::from_env())
+    }
+
+    /// Creates a harness with an explicit store (or none): tests use this
+    /// to point at a scratch directory without touching the environment.
+    pub fn with_store(store: Option<RunStore>) -> Self {
         Harness {
             cfg: experiment_config(),
             threads: threads(),
             metrics: ExecMetrics::new(),
+            store,
             profiles: HashMap::new(),
             statics: HashMap::new(),
             migrations: HashMap::new(),
@@ -116,15 +136,33 @@ impl Harness {
         }
     }
 
+    /// The persistent run store backing this harness, if any.
+    pub fn store(&self) -> Option<&RunStore> {
+        self.store.as_ref()
+    }
+
     /// Fills the profile cache for `wls` in parallel (missing entries
-    /// only). Every other run kind consumes a profile, so call this (or a
-    /// `prewarm_*` method that does) before fanning out further stages.
+    /// only, store hits resolved from disk first). Every other run kind
+    /// consumes a profile, so call this (or a `prewarm_*` method that
+    /// does) before fanning out further stages.
     pub fn prewarm_profiles(&mut self, wls: &[Workload]) {
-        let missing: Vec<Workload> = wls
+        let mut missing: Vec<Workload> = wls
             .iter()
             .filter(|wl| !self.profiles.contains_key(wl.name()))
             .copied()
             .collect();
+        if let Some(store) = &self.store {
+            missing.retain(|wl| {
+                let key = run_key(&self.cfg, RunKind::Profile, wl.name(), PROFILE_POLICY);
+                match store.load_run(&key) {
+                    Some(r) => {
+                        self.profiles.insert(wl.name(), r);
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
         if missing.is_empty() {
             return;
         }
@@ -139,23 +177,44 @@ impl Harness {
             (wl.name(), profile_workload(cfg, wl))
         });
         for (name, r) in results {
+            if let Some(store) = &self.store {
+                store.store_run(
+                    &run_key(&self.cfg, RunKind::Profile, name, PROFILE_POLICY),
+                    &r,
+                );
+            }
             self.profiles.insert(name, r);
         }
         timer.finish();
     }
 
     /// Fills the static-run cache for every `(workload, policy)` pair in
-    /// parallel (missing entries only; profiles are prewarmed first).
+    /// parallel (missing entries only). Store hits are resolved from disk
+    /// first; profiles are prewarmed only for pairs that actually need
+    /// simulating, so a fully warm store performs zero simulations.
     pub fn prewarm_static(&mut self, wls: &[Workload], policies: &[PlacementPolicy]) {
-        self.prewarm_profiles(wls);
-        let missing: Vec<(Workload, PlacementPolicy)> = wls
+        let mut missing: Vec<(Workload, PlacementPolicy)> = wls
             .iter()
             .flat_map(|wl| policies.iter().map(move |p| (*wl, *p)))
             .filter(|(wl, p)| !self.statics.contains_key(&(wl.name(), p.name())))
             .collect();
+        if let Some(store) = &self.store {
+            missing.retain(|(wl, p)| {
+                let key = run_key(&self.cfg, RunKind::Static, wl.name(), &p.name());
+                match store.load_run(&key) {
+                    Some(r) => {
+                        self.statics.insert((wl.name(), p.name()), r);
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
         if missing.is_empty() {
             return;
         }
+        let need_profiles = dedupe_workloads(missing.iter().map(|(wl, _)| *wl));
+        self.prewarm_profiles(&need_profiles);
         let timer = StageTimer::new(format!(
             "static x{} (threads={})",
             missing.len(),
@@ -175,23 +234,40 @@ impl Harness {
             },
         );
         for (key, r) in results {
+            if let Some(store) = &self.store {
+                store.store_run(&run_key(&self.cfg, RunKind::Static, key.0, &key.1), &r);
+            }
             self.statics.insert(key, r);
         }
         timer.finish();
     }
 
     /// Fills the migration-run cache for every `(workload, scheme)` pair
-    /// in parallel (missing entries only; profiles are prewarmed first).
+    /// in parallel (missing entries only; store hits resolved first,
+    /// profiles prewarmed only for pairs that need simulating).
     pub fn prewarm_migration(&mut self, wls: &[Workload], schemes: &[MigrationScheme]) {
-        self.prewarm_profiles(wls);
-        let missing: Vec<(Workload, MigrationScheme)> = wls
+        let mut missing: Vec<(Workload, MigrationScheme)> = wls
             .iter()
             .flat_map(|wl| schemes.iter().map(move |s| (*wl, *s)))
             .filter(|(wl, s)| !self.migrations.contains_key(&(wl.name(), s.name())))
             .collect();
+        if let Some(store) = &self.store {
+            missing.retain(|(wl, s)| {
+                let key = run_key(&self.cfg, RunKind::Migration, wl.name(), s.name());
+                match store.load_run(&key) {
+                    Some(r) => {
+                        self.migrations.insert((wl.name(), s.name()), r);
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
         if missing.is_empty() {
             return;
         }
+        let need_profiles = dedupe_workloads(missing.iter().map(|(wl, _)| *wl));
+        self.prewarm_profiles(&need_profiles);
         let timer = StageTimer::new(format!(
             "migration x{} (threads={})",
             missing.len(),
@@ -211,23 +287,39 @@ impl Harness {
             },
         );
         for (key, r) in results {
+            if let Some(store) = &self.store {
+                store.store_run(&run_key(&self.cfg, RunKind::Migration, key.0, key.1), &r);
+            }
             self.migrations.insert(key, r);
         }
         timer.finish();
     }
 
     /// Fills the annotation-run cache for `wls` in parallel (missing
-    /// entries only; profiles are prewarmed first).
+    /// entries only; store hits resolved first, profiles prewarmed only
+    /// for workloads that need simulating).
     pub fn prewarm_annotated(&mut self, wls: &[Workload]) {
-        self.prewarm_profiles(wls);
-        let missing: Vec<Workload> = wls
+        let mut missing: Vec<Workload> = wls
             .iter()
             .filter(|wl| !self.annotated.contains_key(wl.name()))
             .copied()
             .collect();
+        if let Some(store) = &self.store {
+            missing.retain(|wl| {
+                let key = run_key(&self.cfg, RunKind::Annotated, wl.name(), ANNOTATED_POLICY);
+                match store.load_annotated(&key) {
+                    Some(pair) => {
+                        self.annotated.insert(wl.name(), pair);
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
         if missing.is_empty() {
             return;
         }
+        self.prewarm_profiles(&missing);
         let timer = StageTimer::new(format!(
             "annotated x{} (threads={})",
             missing.len(),
@@ -242,8 +334,12 @@ impl Harness {
                 run_annotated(cfg, wl, &profiles[wl.name()].table),
             )
         });
-        for (name, r) in results {
-            self.annotated.insert(name, r);
+        for (name, (r, set)) in results {
+            if let Some(store) = &self.store {
+                let key = run_key(&self.cfg, RunKind::Annotated, name, ANNOTATED_POLICY);
+                store.store_annotated(&key, &r, &set);
+            }
+            self.annotated.insert(name, (r, set));
         }
         timer.finish();
     }
@@ -259,8 +355,18 @@ impl Harness {
     /// The DDR-only profiling run for `workload`.
     pub fn profile(&mut self, wl: &Workload) -> RunResult {
         if !self.profiles.contains_key(wl.name()) {
-            eprintln!("  [profile] {}", wl.name());
-            let r = profile_workload(&self.cfg, wl);
+            let store_key = run_key(&self.cfg, RunKind::Profile, wl.name(), PROFILE_POLICY);
+            let r = match self.store.as_ref().and_then(|s| s.load_run(&store_key)) {
+                Some(r) => r,
+                None => {
+                    eprintln!("  [profile] {}", wl.name());
+                    let r = profile_workload(&self.cfg, wl);
+                    if let Some(store) = &self.store {
+                        store.store_run(&store_key, &r);
+                    }
+                    r
+                }
+            };
             self.profiles.insert(wl.name(), r);
         }
         self.profiles[wl.name()].clone()
@@ -270,9 +376,19 @@ impl Harness {
     pub fn static_run(&mut self, wl: &Workload, policy: PlacementPolicy) -> RunResult {
         let key = (wl.name(), policy.name());
         if !self.statics.contains_key(&key) {
-            let profile = self.profile(wl);
-            eprintln!("  [static {}] {}", policy.name(), wl.name());
-            let r = run_static(&self.cfg, wl, policy, &profile.table);
+            let store_key = run_key(&self.cfg, RunKind::Static, wl.name(), &policy.name());
+            let r = match self.store.as_ref().and_then(|s| s.load_run(&store_key)) {
+                Some(r) => r,
+                None => {
+                    let profile = self.profile(wl);
+                    eprintln!("  [static {}] {}", policy.name(), wl.name());
+                    let r = run_static(&self.cfg, wl, policy, &profile.table);
+                    if let Some(store) = &self.store {
+                        store.store_run(&store_key, &r);
+                    }
+                    r
+                }
+            };
             self.statics.insert(key.clone(), r);
         }
         self.statics[&key].clone()
@@ -282,9 +398,19 @@ impl Harness {
     pub fn migration_run(&mut self, wl: &Workload, scheme: MigrationScheme) -> RunResult {
         let key = (wl.name(), scheme.name());
         if !self.migrations.contains_key(&key) {
-            let profile = self.profile(wl);
-            eprintln!("  [migration {}] {}", scheme.name(), wl.name());
-            let r = run_migration(&self.cfg, wl, scheme, &profile.table);
+            let store_key = run_key(&self.cfg, RunKind::Migration, wl.name(), scheme.name());
+            let r = match self.store.as_ref().and_then(|s| s.load_run(&store_key)) {
+                Some(r) => r,
+                None => {
+                    let profile = self.profile(wl);
+                    eprintln!("  [migration {}] {}", scheme.name(), wl.name());
+                    let r = run_migration(&self.cfg, wl, scheme, &profile.table);
+                    if let Some(store) = &self.store {
+                        store.store_run(&store_key, &r);
+                    }
+                    r
+                }
+            };
             self.migrations.insert(key, r);
         }
         self.migrations[&key].clone()
@@ -327,12 +453,22 @@ impl Default for Harness {
     }
 }
 
-/// Dumps every cached run's telemetry to stdout when `RAMP_STATS` is
-/// set: `json` emits one deterministic document (byte-identical at any
-/// thread count — golden-tested by `tests/golden_stats.rs`); `table`
-/// emits human-readable tables plus the volatile executor stats.
-/// Call this at the end of an experiment binary's `main`.
-pub fn maybe_dump_stats(h: &Harness) {
+/// Deduplicates workloads by name, preserving first-seen order.
+fn dedupe_workloads(wls: impl Iterator<Item = Workload>) -> Vec<Workload> {
+    let mut seen = std::collections::HashSet::new();
+    wls.filter(|wl| seen.insert(wl.name())).collect()
+}
+
+/// The shared epilogue of every experiment binary: dumps the cached
+/// runs' telemetry to stdout when `RAMP_STATS` is set.
+///
+/// `json` emits one deterministic document (byte-identical at any thread
+/// count *and* across cold/warm store runs — golden-tested by
+/// `tests/golden_stats.rs`); `table` emits human-readable tables plus
+/// the volatile process stats: executor counters and, when a store is
+/// configured, its hit/miss/write counters (`[store]` section). Call
+/// this as the last line of an experiment binary's `main`.
+pub fn finish(h: &Harness) {
     let Ok(mode) = std::env::var(ENV_STATS) else {
         return;
     };
@@ -343,6 +479,9 @@ pub fn maybe_dump_stats(h: &Harness) {
             print!("{}", render_runs_table(&runs));
             let mut reg = StatRegistry::new();
             h.metrics.export_telemetry(&mut reg, "exec");
+            if let Some(store) = h.store() {
+                store.export_telemetry(&mut reg, "store");
+            }
             println!("=== harness ===");
             print!("{}", reg.snapshot_full().to_table());
         }

@@ -88,6 +88,36 @@ impl SystemConfig {
         }
     }
 
+    /// A canonical byte encoding of every simulation-relevant parameter.
+    ///
+    /// Two configs produce identical bytes iff they run identical
+    /// simulations, so the `ramp-serve` persistent run store hashes this
+    /// into its content-addressed keys: any config change — capacities,
+    /// intervals, seed, SER model, cache geometry — lands in a different
+    /// store slot instead of serving stale results.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = ramp_sim::codec::ByteWriter::new();
+        w.u64(self.cores as u64);
+        w.u32(self.issue_width);
+        w.u64(self.mshrs_per_core as u64);
+        w.u64(self.hbm_capacity_pages);
+        w.u64(self.hierarchy.cores as u64);
+        for cache in [self.hierarchy.l1, self.hierarchy.l2] {
+            w.u64(cache.size_bytes as u64);
+            w.u64(cache.assoc as u64);
+            w.u64(cache.line_bytes as u64);
+        }
+        w.u64(self.insts_per_core);
+        w.u64(self.seed);
+        w.u64(self.fc_interval_cycles);
+        w.u64(self.mea_interval_cycles);
+        w.u64(self.max_swaps_per_interval as u64);
+        w.u64(self.mea_max_pages_per_interval as u64);
+        w.f64(self.ser_model.fit_hbm_per_gb);
+        w.f64(self.ser_model.fit_ddr_per_gb);
+        w.into_bytes()
+    }
+
     /// Validates invariants.
     ///
     /// # Panics
@@ -129,6 +159,27 @@ mod tests {
     fn full_scale_constants_match_paper() {
         assert_eq!(full_scale::HBM_PAGES, 262_144);
         assert_eq!(full_scale::TOTAL_PAGES, 4_456_448); // "4.25M pages"
+    }
+
+    #[test]
+    fn canonical_bytes_track_every_parameter() {
+        let base = SystemConfig::table1_scaled();
+        assert_eq!(base.canonical_bytes(), base.canonical_bytes());
+        assert_ne!(
+            base.canonical_bytes(),
+            SystemConfig::smoke_test().canonical_bytes()
+        );
+        for mutate in [
+            |c: &mut SystemConfig| c.insts_per_core += 1,
+            |c: &mut SystemConfig| c.seed ^= 1,
+            |c: &mut SystemConfig| c.hbm_capacity_pages += 1,
+            |c: &mut SystemConfig| c.ser_model.fit_hbm_per_gb += 1.0,
+            |c: &mut SystemConfig| c.hierarchy.l2.assoc *= 2,
+        ] {
+            let mut changed = SystemConfig::table1_scaled();
+            mutate(&mut changed);
+            assert_ne!(base.canonical_bytes(), changed.canonical_bytes());
+        }
     }
 
     #[test]

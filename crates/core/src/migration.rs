@@ -45,6 +45,17 @@ impl MigrationScheme {
             MigrationScheme::CrossCounter => "cross-counter",
         }
     }
+
+    /// Parses a [`MigrationScheme::name`] back into the scheme (the
+    /// inverse used by `ramp-serve` run requests and store keys).
+    pub fn from_name(name: &str) -> Option<MigrationScheme> {
+        match name {
+            "perf-fc" => Some(MigrationScheme::PerfFc),
+            "rel-fc" => Some(MigrationScheme::RelFc),
+            "cross-counter" => Some(MigrationScheme::CrossCounter),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for MigrationScheme {

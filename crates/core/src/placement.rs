@@ -48,6 +48,27 @@ impl PlacementPolicy {
         }
     }
 
+    /// Parses a [`PlacementPolicy::name`] back into the policy (the
+    /// inverse used by `ramp-serve` run requests and store keys).
+    pub fn from_name(name: &str) -> Option<PlacementPolicy> {
+        match name {
+            "ddr-only" => Some(PlacementPolicy::DdrOnly),
+            "perf-focused" => Some(PlacementPolicy::PerfFocused),
+            "rel-focused" => Some(PlacementPolicy::RelFocused),
+            "balanced" => Some(PlacementPolicy::Balanced),
+            "wr-ratio" => Some(PlacementPolicy::WrRatio),
+            "wr2-ratio" => Some(PlacementPolicy::Wr2Ratio),
+            other => {
+                let frac = other.strip_prefix("frac-hottest-")?.parse::<f64>().ok()?;
+                if (0.0..=1.0).contains(&frac) {
+                    Some(PlacementPolicy::FracHottest(frac))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Selects the HBM-resident page set from profiling statistics.
     ///
     /// The result never exceeds `capacity_pages`; policies that have fewer

@@ -1,0 +1,112 @@
+//! `ramp-client` — scriptable client for `ramp-served`.
+//!
+//! ```text
+//! ramp-client [--addr HOST:PORT] health
+//! ramp-client [--addr HOST:PORT] submit WORKLOAD KIND [POLICY]
+//! ramp-client [--addr HOST:PORT] job ID
+//! ramp-client [--addr HOST:PORT] wait ID [TIMEOUT_MS]
+//! ramp-client [--addr HOST:PORT] result KEY
+//! ramp-client [--addr HOST:PORT] stats
+//! ramp-client [--addr HOST:PORT] shutdown
+//! ramp-client [--addr HOST:PORT] smoke
+//! ```
+//!
+//! Every subcommand prints the server's JSON response body on stdout and
+//! exits non-zero on transport errors or error-class statuses (except
+//! `submit`, where 429 is a meaningful answer and is reported via exit
+//! code 3 so scripts can distinguish shed load from failure). `smoke`
+//! runs the full CI choreography against a live server.
+
+use ramp_serve::client::{smoke, Client};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ramp-client [--addr HOST:PORT] \
+         health|submit|job|wait|result|stats|shutdown|smoke [args...]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ramp-client: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7177".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--addr" {
+            addr = args.next().unwrap_or_else(|| usage());
+        } else {
+            rest.push(arg);
+            rest.extend(args.by_ref());
+        }
+    }
+    if rest.is_empty() {
+        usage();
+    }
+    let client = Client::new(addr.clone());
+    let arg = |i: usize| -> &str { rest.get(i).map(String::as_str).unwrap_or("") };
+
+    match rest[0].as_str() {
+        "health" => {
+            let r = client.health().unwrap_or_else(|e| fail(&e));
+            println!("{}", r.body);
+            std::process::exit(if r.status == 200 { 0 } else { 1 });
+        }
+        "submit" => {
+            if rest.len() < 3 {
+                usage();
+            }
+            let s = client
+                .submit(arg(1), arg(2), arg(3))
+                .unwrap_or_else(|e| fail(&e));
+            println!("{}", s.response.body);
+            std::process::exit(match s.status {
+                200 | 202 => 0,
+                429 => 3,
+                _ => 1,
+            });
+        }
+        "job" => {
+            let id = arg(1).parse().unwrap_or_else(|_| usage());
+            let r = client.job_status(id).unwrap_or_else(|e| fail(&e));
+            println!("{}", r.body);
+            std::process::exit(if r.status == 200 { 0 } else { 1 });
+        }
+        "wait" => {
+            let id = arg(1).parse().unwrap_or_else(|_| usage());
+            let timeout = rest
+                .get(2)
+                .map(|t| t.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(300_000);
+            let r = client.wait_done(id, timeout).unwrap_or_else(|e| fail(&e));
+            println!("{}", r.body);
+            std::process::exit(if r.state() == Some("done") { 0 } else { 1 });
+        }
+        "result" => {
+            if rest.len() < 2 {
+                usage();
+            }
+            let r = client.run_summary(arg(1)).unwrap_or_else(|e| fail(&e));
+            println!("{}", r.body);
+            std::process::exit(if r.status == 200 { 0 } else { 1 });
+        }
+        "stats" => {
+            let doc = client.stats().unwrap_or_else(|e| fail(&e));
+            println!("{doc}");
+        }
+        "shutdown" => {
+            let r = client.shutdown().unwrap_or_else(|e| fail(&e));
+            println!("{}", r.body);
+            std::process::exit(if r.status == 200 { 0 } else { 1 });
+        }
+        "smoke" => match smoke(&addr) {
+            Ok(transcript) => print!("{transcript}"),
+            Err(e) => fail(&format!("smoke failed: {e}")),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,87 @@
+//! `ramp-served` — the experiment server daemon.
+//!
+//! ```text
+//! ramp-served [--addr HOST:PORT] [--workers N] [--queue N]
+//!             [--port-file PATH] [--smoke]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7177`; port `0` picks an
+//! ephemeral port), optionally writes the bound address to `--port-file`
+//! for scripts, and serves until a client POSTs `/shutdown`. `--smoke`
+//! switches to the small `SystemConfig::smoke_test` system so CI runs
+//! finish in seconds; `RAMP_INSTS` overrides the per-core instruction
+//! budget either way, and `RAMP_STORE`/`RAMP_STORE_DIR` configure the
+//! result store exactly as for the experiment binaries.
+
+use ramp_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ramp-served [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--port-file PATH] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7177".to_string();
+    let mut workers: Option<usize> = None;
+    let mut queue: Option<usize> = None;
+    let mut port_file: Option<String> = None;
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => workers = value("--workers").parse().ok(),
+            "--queue" => queue = value("--queue").parse().ok(),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--smoke" => smoke = true,
+            _ => usage(),
+        }
+    }
+
+    let mut sim = if smoke {
+        ramp_core::config::SystemConfig::smoke_test()
+    } else {
+        ramp_core::config::SystemConfig::table1_scaled()
+    };
+    if let Ok(v) = std::env::var("RAMP_INSTS") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            sim.insts_per_core = n.max(10_000);
+        }
+    }
+
+    let mut cfg = ServerConfig::new(sim);
+    if let Some(w) = workers {
+        cfg.workers = w.max(1);
+    }
+    if let Some(q) = queue {
+        cfg.queue_capacity = q.max(1);
+    }
+
+    let server = match Server::bind(&addr, cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = server.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, bound.to_string()) {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("ramp-served listening on {bound}");
+    server.run();
+    eprintln!("ramp-served drained and exited");
+}

@@ -1,0 +1,347 @@
+//! A scriptable client for the experiment server.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` discipline. Typed helpers wrap each endpoint and
+//! return the response's flat JSON object as a string→string field map;
+//! [`smoke`] drives the full serving choreography (warm-cache replay,
+//! backpressure, graceful drain) and is what `scripts/ci.sh` runs.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::read_response;
+use crate::json::{parse_flat, ObjWriter};
+
+/// Default per-request socket timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed server response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Flat JSON fields of the body (empty when the body wasn't flat
+    /// JSON, e.g. the nested `/stats` document).
+    pub fields: BTreeMap<String, String>,
+    /// Raw body text.
+    pub body: String,
+}
+
+impl Response {
+    fn parse(status: u16, body: String) -> Response {
+        let fields = parse_flat(&body).unwrap_or_default();
+        Response {
+            status,
+            fields,
+            body,
+        }
+    }
+
+    /// The job state field, if present.
+    pub fn state(&self) -> Option<&str> {
+        self.fields.get("state").map(String::as_str)
+    }
+}
+
+/// Outcome of a `POST /runs`.
+#[derive(Clone, Debug)]
+pub struct Submit {
+    /// HTTP status (200 cached, 202 queued, 429 shed, 400 invalid).
+    pub status: u16,
+    /// Job id when the run was queued.
+    pub job: Option<u64>,
+    /// Content-addressed result key, when known.
+    pub key: Option<String>,
+    /// True when the response carried a cached result.
+    pub cached: bool,
+    /// The full response.
+    pub response: Response,
+}
+
+/// A client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:7177"`).
+    pub fn new(addr: String) -> Client {
+        Client {
+            addr,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|_| stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("send request: {e}"))?;
+        let (status, body) = read_response(&mut stream)?;
+        Ok(Response::parse(status, body))
+    }
+
+    /// `GET /health`.
+    pub fn health(&self) -> Result<Response, String> {
+        self.request("GET", "/health", "")
+    }
+
+    /// `POST /runs` with the given triple; `policy` may be empty for
+    /// `profile`/`annotated` runs.
+    pub fn submit(&self, workload: &str, kind: &str, policy: &str) -> Result<Submit, String> {
+        let mut w = ObjWriter::new();
+        w.str("workload", workload).str("kind", kind);
+        if !policy.is_empty() {
+            w.str("policy", policy);
+        }
+        let response = self.request("POST", "/runs", &w.finish())?;
+        let job = response.fields.get("job").and_then(|j| j.parse().ok());
+        let key = response.fields.get("key").cloned();
+        let cached = response.fields.get("cached").map(String::as_str) == Some("true");
+        Ok(Submit {
+            status: response.status,
+            job,
+            key,
+            cached,
+            response,
+        })
+    }
+
+    /// `GET /jobs/{id}`.
+    pub fn job_status(&self, id: u64) -> Result<Response, String> {
+        self.request("GET", &format!("/jobs/{id}"), "")
+    }
+
+    /// Polls `GET /jobs/{id}` until the job leaves the queue/run states.
+    ///
+    /// Returns the terminal response (`state` is `done` or `failed`) or
+    /// an error after `timeout_ms` milliseconds.
+    pub fn wait_done(&self, id: u64, timeout_ms: u64) -> Result<Response, String> {
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        loop {
+            let response = self.job_status(id)?;
+            match response.state() {
+                Some("done") | Some("failed") => return Ok(response),
+                _ if Instant::now() >= deadline => {
+                    return Err(format!("job {id} still pending after {timeout_ms} ms"))
+                }
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// `GET /runs/{key}` — fetch a stored result by content key.
+    pub fn run_summary(&self, key: &str) -> Result<Response, String> {
+        self.request("GET", &format!("/runs/{key}"), "")
+    }
+
+    /// `GET /stats` — the raw telemetry JSON document.
+    pub fn stats(&self) -> Result<String, String> {
+        let response = self.request("GET", "/stats", "")?;
+        if response.status != 200 {
+            return Err(format!("stats returned {}", response.status));
+        }
+        Ok(response.body)
+    }
+
+    /// `POST /shutdown` — drains the server and returns the final counts.
+    pub fn shutdown(&self) -> Result<Response, String> {
+        self.request("POST", "/shutdown", "")
+    }
+}
+
+/// Extracts the first counter named `name` from a (possibly nested)
+/// JSON document: either the bare form `"name":7` or the telemetry
+/// snapshot form `"name":{"type":"counter","value":7}`.
+///
+/// Good enough for picking single counters out of the `/stats` snapshot
+/// without a JSON tree parser.
+pub fn scan_counter(doc: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let digits = if let Some(obj) = rest.strip_prefix('{') {
+        // Typed-stat form: read the "value" field of this object only.
+        let end = obj.find('}')?;
+        let inner = &obj[..end];
+        let v = inner.find("\"value\":")? + "\"value\":".len();
+        inner[v..].trim_start()
+    } else {
+        rest
+    };
+    let digits: String = digits.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Drives the full serving choreography against a live server; used by
+/// the CI smoke stage (`ramp-client smoke`) and the integration tests.
+///
+/// Expects a server with **workers = 1, queue_capacity = 1** so that
+/// backpressure is provokable, and a configured store. Verifies:
+///
+/// 1. liveness (`/health`),
+/// 2. submit → poll → done → fetch-by-key round trip,
+/// 3. a resubmit of the same run is served from the store (`cached`),
+///    and `/stats` shows `store.hits > 0`,
+/// 4. a burst of concurrent submits on distinct workloads gets at least
+///    one `202` *and* at least one `429` (bounded queue sheds load),
+/// 5. `POST /shutdown` drains: accepted == completed + failed, and the
+///    server really exits (subsequent connects fail).
+///
+/// Returns a human-readable transcript of what was checked.
+pub fn smoke(addr: &str) -> Result<String, String> {
+    let client = Client::new(addr.to_string());
+    let mut transcript = String::new();
+    let mut note = |line: String| {
+        transcript.push_str(&line);
+        transcript.push('\n');
+    };
+
+    let health = client.health()?;
+    if health.status != 200 {
+        return Err(format!("health returned {}", health.status));
+    }
+    note(format!("health ok: {}", health.body));
+
+    // Round trip one run.
+    let submit = client.submit("lbm", "static", "perf-focused")?;
+    let key = match (submit.status, submit.cached) {
+        (202, _) => {
+            let job = submit.job.ok_or("202 without job id")?;
+            let done = client.wait_done(job, 120_000)?;
+            if done.state() != Some("done") {
+                return Err(format!("job {job} ended as {:?}", done.state()));
+            }
+            note(format!("job {job} done: ipc={}", done.fields["ipc"]));
+            done.fields["key"].clone()
+        }
+        (200, true) => submit.key.clone().ok_or("cached response without key")?,
+        (status, _) => return Err(format!("submit returned {status}")),
+    };
+    let fetched = client.run_summary(&key)?;
+    if fetched.status != 200 {
+        return Err(format!("fetch by key returned {}", fetched.status));
+    }
+    note(format!("fetched {key}: ipc={}", fetched.fields["ipc"]));
+
+    // Resubmit: must be served from the store, no new job.
+    let resubmit = client.submit("lbm", "static", "perf-focused")?;
+    if !(resubmit.status == 200 && resubmit.cached) {
+        return Err(format!(
+            "resubmit was not cached (status {})",
+            resubmit.status
+        ));
+    }
+    let stats = client.stats()?;
+    let hits = scan_counter(&stats, "hits").unwrap_or(0);
+    if hits == 0 {
+        return Err("store.hits is 0 after a cached resubmit".into());
+    }
+    note(format!("warm resubmit served from store (hits={hits})"));
+
+    // Backpressure: burst concurrent submits of *distinct* uncached runs.
+    let workloads = [
+        "mcf", "milc", "omnetpp", "astar", "sphinx", "soplex", "gcc", "lbm",
+    ];
+    let burst: Vec<_> = workloads
+        .iter()
+        .map(|wl| {
+            let client = client.clone();
+            let wl = wl.to_string();
+            std::thread::spawn(move || client.submit(&wl, "profile", ""))
+        })
+        .collect();
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    let mut cached = 0u64;
+    for handle in burst {
+        let submit = handle.join().map_err(|_| "burst thread panicked")??;
+        match submit.status {
+            202 => accepted.push(submit.job.ok_or("202 without job id")?),
+            429 => rejected += 1,
+            200 if submit.cached => cached += 1,
+            status => return Err(format!("burst submit returned {status}")),
+        }
+    }
+    if accepted.is_empty() {
+        return Err("burst: nothing accepted".into());
+    }
+    if rejected == 0 {
+        return Err("burst: no 429 — backpressure never engaged".into());
+    }
+    note(format!(
+        "burst of {}: {} accepted, {rejected} rejected (429), {cached} cached",
+        workloads.len(),
+        accepted.len()
+    ));
+
+    // Graceful shutdown: all accepted jobs drain before the reply.
+    let drained = client.shutdown()?;
+    if drained.status != 200 {
+        return Err(format!("shutdown returned {}", drained.status));
+    }
+    let count = |k: &str| -> u64 {
+        drained
+            .fields
+            .get(k)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    if count("completed") + count("failed") < count("accepted") {
+        return Err(format!("shutdown did not drain: {}", drained.body));
+    }
+    note(format!("graceful shutdown: {}", drained.body));
+
+    // The server must actually be gone.
+    std::thread::sleep(Duration::from_millis(50));
+    if TcpStream::connect(addr).is_ok() {
+        return Err("server still accepting connections after shutdown".into());
+    }
+    note("server exited".into());
+    Ok(transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counter_reads_nested_docs() {
+        let doc = "{\"store\":{\"hits\":7,\"misses\":2},\"x\":{\"hits\":9}}";
+        assert_eq!(scan_counter(doc, "hits"), Some(7));
+        assert_eq!(scan_counter(doc, "misses"), Some(2));
+        assert_eq!(scan_counter(doc, "absent"), None);
+    }
+
+    #[test]
+    fn scan_counter_reads_typed_stats() {
+        let doc = "{\"store\":{\"hits\":{\"type\":\"counter\",\"value\":4},\
+                    \"misses\":{\"type\":\"counter\",\"value\":0}}}";
+        assert_eq!(scan_counter(doc, "hits"), Some(4));
+        assert_eq!(scan_counter(doc, "misses"), Some(0));
+    }
+}

@@ -1,0 +1,220 @@
+//! A minimal HTTP/1.1 request/response layer over `std::net`.
+//!
+//! Just enough protocol for the experiment server: one request per
+//! connection (`Connection: close`), request line + headers +
+//! `Content-Length`-delimited body, hard size limits on both, and a
+//! small table of status codes. Per-request socket read/write timeouts
+//! are set by the caller on the `TcpStream` before handing it here, so a
+//! stalled peer can never wedge an acceptor or worker thread.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Maximum bytes of request body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, path, body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), upper-cased as received.
+    pub method: String,
+    /// Request path including any query string, e.g. `/jobs/17`.
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Reads one HTTP/1.1 request, enforcing the size limits.
+///
+/// Errors are strings suitable for a 400 response (or for dropping the
+/// connection when the peer vanished mid-request).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    if line.is_empty() {
+        return Err("empty request".into());
+    }
+    if line.len() > MAX_HEADER_BYTES {
+        return Err("request line too long".into());
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
+    let path = parts.next().ok_or("missing path")?.to_string();
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err("headers too large".into());
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| "bad content-length")?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err("body too large".into());
+                }
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8")?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response and flushes; the connection is then closed by the
+/// caller dropping the stream.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response off a client connection: `(status, body)`.
+pub fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read status line: {e}"))?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line {line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?
+        }
+        None => {
+            let mut buf = String::new();
+            reader
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pump(request: &str, status: u16, body: &str) -> (Request, (u16, String)) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let request = request.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(request.as_bytes()).unwrap();
+            read_response(&mut s).unwrap()
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side).unwrap();
+        write_response(&mut server_side, status, body).unwrap();
+        drop(server_side);
+        (req, client.join().unwrap())
+    }
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let (req, (status, body)) = pump(
+            "POST /runs HTTP/1.1\r\ncontent-length: 17\r\n\r\n{\"workload\":\"x\"}!",
+            202,
+            "{\"job\":1}",
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/runs");
+        assert_eq!(req.body, "{\"workload\":\"x\"}!");
+        assert_eq!(status, 202);
+        assert_eq!(body, "{\"job\":1}");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let (req, (status, _)) = pump("GET /health HTTP/1.1\r\n\r\n", 200, "{\"ok\":true}");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert!(req.body.is_empty());
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                format!("POST /runs HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 1 << 30).as_bytes(),
+            )
+            .unwrap();
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        assert!(read_request(&mut server_side).is_err());
+        drop(client.join().unwrap());
+    }
+}

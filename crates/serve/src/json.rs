@@ -1,0 +1,318 @@
+//! Flat-JSON helpers for the serving protocol.
+//!
+//! The server speaks deliberately *flat* JSON objects — string, number
+//! and boolean values only, no nesting — so both ends can be implemented
+//! with a small hand-rolled scanner instead of a JSON dependency. (The
+//! one nested document, the `/stats` telemetry snapshot, is produced by
+//! `ramp_sim::telemetry::Snapshot::to_json` and consumed opaquely.)
+//!
+//! [`parse_flat`] accepts any standard-JSON encoding of a flat object
+//! (whitespace, string escapes, scientific notation); [`ObjWriter`]
+//! emits a canonical one (fields in insertion order, `"`-quoted strings
+//! with minimal escapes).
+
+use std::collections::BTreeMap;
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one flat JSON object, fields in insertion order.
+#[derive(Default)]
+pub struct ObjWriter {
+    body: String,
+}
+
+impl ObjWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        self.body
+            .push_str(&format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        self.body
+            .push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a float field (finite values only; non-finite become `null`).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.sep();
+        if value.is_finite() {
+            // Shortest round-trippable form, same as telemetry JSON.
+            self.body
+                .push_str(&format!("\"{}\":{}", escape(key), fmt_f64(value)));
+        } else {
+            self.body.push_str(&format!("\"{}\":null", escape(key)));
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        self.body
+            .push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Formats a finite f64 so it round-trips through `str::parse::<f64>`.
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.parse::<f64>() == Ok(v) {
+        s
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// One JSON-ish error message for 400 responses.
+pub fn error_body(msg: &str) -> String {
+    ObjWriter::new().str("error", msg).finish()
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        _ => return Err("unknown escape".into()),
+                    }
+                }
+                b => {
+                    // Re-decode multi-byte UTF-8 sequences in place.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            0xf0..=0xf7 => 4,
+                            _ => return Err("invalid UTF-8 in string".into()),
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let s =
+                            std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn bare_token(&mut self) -> String {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'+' || b == b'_'
+        }) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+}
+
+/// Parses one flat JSON object into string-valued fields.
+///
+/// Numbers, booleans and `null` are kept in their literal text form —
+/// the caller parses the fields it cares about. Nested objects and
+/// arrays are rejected.
+pub fn parse_flat(body: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut sc = Scanner {
+        bytes: body.as_bytes(),
+        pos: 0,
+    };
+    let mut out = BTreeMap::new();
+    sc.skip_ws();
+    sc.expect(b'{').map_err(|_| "body must be a JSON object")?;
+    sc.skip_ws();
+    if sc.peek() == Some(b'}') {
+        sc.pos += 1;
+    } else {
+        loop {
+            sc.skip_ws();
+            let key = sc.string()?;
+            sc.skip_ws();
+            sc.expect(b':')?;
+            sc.skip_ws();
+            let value = match sc.peek().ok_or("truncated object")? {
+                b'"' => sc.string()?,
+                b'{' | b'[' => return Err("nested values are not supported".into()),
+                _ => {
+                    let tok = sc.bare_token();
+                    if tok.is_empty() {
+                        return Err("empty value".into());
+                    }
+                    tok
+                }
+            };
+            out.insert(key, value);
+            sc.skip_ws();
+            match sc.peek() {
+                Some(b',') => {
+                    sc.pos += 1;
+                }
+                Some(b'}') => {
+                    sc.pos += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}'".into()),
+            }
+        }
+    }
+    sc.skip_ws();
+    if sc.pos != sc.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_and_parser_round_trip() {
+        let body = ObjWriter::new()
+            .str("workload", "lbm")
+            .str("note", "a\"b\\c\nd")
+            .u64("job", 17)
+            .f64("ipc", 1.25)
+            .bool("cached", true)
+            .finish();
+        let fields = parse_flat(&body).unwrap();
+        assert_eq!(fields["workload"], "lbm");
+        assert_eq!(fields["note"], "a\"b\\c\nd");
+        assert_eq!(fields["job"], "17");
+        assert_eq!(fields["ipc"].parse::<f64>().unwrap(), 1.25);
+        assert_eq!(fields["cached"], "true");
+    }
+
+    #[test]
+    fn parser_accepts_standard_json_liberties() {
+        let fields =
+            parse_flat(" { \"a\" : \"x\\u0041\" , \"b\" : -1.5e3 , \"c\" : null } ").unwrap();
+        assert_eq!(fields["a"], "xA");
+        assert_eq!(fields["b"].parse::<f64>().unwrap(), -1500.0);
+        assert_eq!(fields["c"], "null");
+        assert_eq!(parse_flat("{}").unwrap().len(), 0);
+        let uni = parse_flat("{\"w\":\"caf\u{e9}\"}").unwrap();
+        assert_eq!(uni["w"], "caf\u{e9}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_bodies() {
+        assert!(parse_flat("").is_err());
+        assert!(parse_flat("[1,2]").is_err());
+        assert!(parse_flat("{\"a\":{}}").is_err());
+        assert!(parse_flat("{\"a\":\"x\"").is_err());
+        assert!(parse_flat("{\"a\":\"x\"} extra").is_err());
+        assert!(parse_flat("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5] {
+            let body = ObjWriter::new().f64("v", v).finish();
+            let fields = parse_flat(&body).unwrap();
+            assert_eq!(fields["v"].parse::<f64>().unwrap(), v);
+        }
+        let body = ObjWriter::new().f64("v", f64::NAN).finish();
+        assert_eq!(parse_flat(&body).unwrap()["v"], "null");
+    }
+}

@@ -1,0 +1,188 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The server accepts work through [`BoundedQueue::try_push`], which
+//! *fails fast* when the queue is full — that failure becomes an HTTP
+//! 429, making overload visible to clients instead of letting latency
+//! grow without bound. The dispatcher drains work with
+//! [`BoundedQueue::pop_batch`], which blocks until at least one job is
+//! available and then takes up to a whole batch, so the work-stealing
+//! executor underneath always sees as much parallelism as is queued.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed load (HTTP 429).
+    Full,
+    /// The queue was closed for shutdown; no further work is accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex + Condvar bounded queue (std only, no channels).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, failing immediately when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available, then drains up to
+    /// `max` items. Returns `None` once the queue is closed *and* empty
+    /// (shutdown: all accepted work has been handed out).
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.items.is_empty() {
+                let take = inner.items.len().min(max);
+                return Some(inner.items.drain(..take).collect());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and `pop_batch` returns `None` once the backlog drains.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_and_fifo_order() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_batch(8), Some(vec![1, 2]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn batch_respects_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(2), Some(vec![0, 1]));
+        assert_eq!(q.pop_batch(8), Some(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        assert_eq!(q.pop_batch(4), Some(vec![7]));
+        assert_eq!(q.pop_batch(4), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn producers_and_consumers_agree_on_totals() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut pushed = 0u64;
+                    for i in 0..200u64 {
+                        loop {
+                            match q.try_push(p * 1000 + i) {
+                                Ok(()) => {
+                                    pushed += 1;
+                                    break;
+                                }
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => unreachable!(),
+                            }
+                        }
+                    }
+                    pushed
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while let Some(batch) = q.pop_batch(8) {
+                    seen += batch.len() as u64;
+                }
+                seen
+            })
+        };
+        let pushed: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        q.close();
+        assert_eq!(pushed, 800);
+        assert_eq!(consumer.join().unwrap(), 800);
+    }
+}

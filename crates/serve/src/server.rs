@@ -1,0 +1,461 @@
+//! The experiment server: HTTP front end, bounded job queue, and a
+//! dispatcher that executes batches on the work-stealing executor.
+//!
+//! Request handling never simulates anything inline. `POST /runs` either
+//! answers straight from the [`RunStore`] (a warm result costs one disk
+//! read) or enqueues a job and returns `202` with a job id; the
+//! dispatcher thread drains the queue in batches through
+//! `ramp_sim::exec::parallel_map_metrics`, so `workers` jobs simulate
+//! concurrently while the acceptor stays responsive. When the queue is
+//! full the server sheds load with `429` instead of buffering without
+//! bound, and `POST /shutdown` closes the queue, drains every accepted
+//! job, reports the final counts, and lets [`Server::run`] return.
+//!
+//! | Endpoint          | Meaning                                         |
+//! |-------------------|-------------------------------------------------|
+//! | `GET /health`     | liveness + configured worker/queue geometry     |
+//! | `POST /runs`      | submit `{"workload","kind","policy"}`           |
+//! | `GET /jobs/{id}`  | poll a submitted job                            |
+//! | `GET /runs/{key}` | fetch a stored result by content key            |
+//! | `GET /stats`      | full telemetry document (store, queue, exec)    |
+//! | `POST /shutdown`  | drain in-flight jobs, then exit                 |
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ramp_core::config::SystemConfig;
+use ramp_core::system::RunResult;
+use ramp_sim::exec::{parallel_map_metrics, ExecMetrics};
+use ramp_sim::telemetry::StatRegistry;
+
+use crate::http::{read_request, write_response, Request};
+use crate::json::{error_body, parse_flat, ObjWriter};
+use crate::queue::{BoundedQueue, PushError};
+use crate::spec::RunSpec;
+use crate::store::RunStore;
+
+/// Server tuning knobs plus the simulated system configuration.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// The system every run simulates (also part of every store key).
+    pub sim: SystemConfig,
+    /// Simulation worker threads (executor width of one dispatch batch).
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond this get HTTP 429.
+    pub queue_capacity: usize,
+    /// Per-connection socket read/write timeout.
+    pub request_timeout: Duration,
+    /// Result store; `None` disables persistence (every run simulates).
+    pub store: Option<RunStore>,
+}
+
+impl ServerConfig {
+    /// Defaults: `RAMP_THREADS`-derived workers, a 32-deep queue, 10 s
+    /// socket timeouts, and the environment-configured store.
+    pub fn new(sim: SystemConfig) -> Self {
+        ServerConfig {
+            sim,
+            workers: ramp_sim::exec::default_threads(),
+            queue_capacity: 32,
+            request_timeout: Duration::from_secs(10),
+            store: RunStore::from_env(),
+        }
+    }
+}
+
+/// A compact, flat-JSON-friendly view of one finished run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Content-addressed store key.
+    pub key: String,
+    /// Workload name.
+    pub workload: String,
+    /// Policy/scheme label.
+    pub policy: String,
+    /// Aggregate instructions per cycle.
+    pub ipc: f64,
+    /// Soft-error FIT rate of this placement.
+    pub ser_fit: f64,
+    /// SER normalized to the DDR-only baseline.
+    pub ser_vs_ddr_only: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// L2 misses per kilo-instruction.
+    pub mpki: f64,
+    /// Demand accesses served by HBM.
+    pub hbm_accesses: u64,
+    /// Demand accesses served by DDR.
+    pub ddr_accesses: u64,
+    /// Pages migrated.
+    pub migrations: u64,
+}
+
+impl RunSummary {
+    fn from_run(key: &str, run: &RunResult) -> Self {
+        RunSummary {
+            key: key.to_string(),
+            workload: run.workload.clone(),
+            policy: run.policy.clone(),
+            ipc: run.ipc,
+            ser_fit: run.ser_fit,
+            ser_vs_ddr_only: run.ser_vs_ddr_only(),
+            cycles: run.cycles,
+            instructions: run.instructions,
+            mpki: run.mpki,
+            hbm_accesses: run.hbm_accesses,
+            ddr_accesses: run.ddr_accesses,
+            migrations: run.migrations,
+        }
+    }
+
+    fn write_fields(&self, w: &mut ObjWriter) {
+        w.str("key", &self.key)
+            .str("workload", &self.workload)
+            .str("policy", &self.policy)
+            .f64("ipc", self.ipc)
+            .f64("ser_fit", self.ser_fit)
+            .f64("ser_vs_ddr_only", self.ser_vs_ddr_only)
+            .u64("cycles", self.cycles)
+            .u64("instructions", self.instructions)
+            .f64("mpki", self.mpki)
+            .u64("hbm_accesses", self.hbm_accesses)
+            .u64("ddr_accesses", self.ddr_accesses)
+            .u64("migrations", self.migrations);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done(RunSummary),
+    Failed(String),
+}
+
+struct Job {
+    id: u64,
+    spec: RunSpec,
+}
+
+struct Shared {
+    sim: SystemConfig,
+    workers: usize,
+    store: Option<RunStore>,
+    queue: BoundedQueue<Job>,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    next_job: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shutdown: AtomicBool,
+    exec_metrics: ExecMetrics,
+}
+
+impl Shared {
+    fn set_state(&self, id: u64, state: JobState) {
+        self.jobs.lock().unwrap().insert(id, state);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    request_timeout: Duration,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                sim: cfg.sim,
+                workers: cfg.workers.max(1),
+                store: cfg.store,
+                queue: BoundedQueue::new(cfg.queue_capacity),
+                jobs: Mutex::new(HashMap::new()),
+                next_job: AtomicU64::new(1),
+                accepted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                exec_metrics: ExecMetrics::new(),
+            }),
+            request_timeout: cfg.request_timeout,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// Serves requests until a `POST /shutdown` drains the queue.
+    ///
+    /// Blocks the calling thread; the dispatcher runs on its own thread
+    /// and is joined before this returns, so when `run` exits every
+    /// accepted job has completed (or failed) and its result — if a
+    /// store is configured — is on disk.
+    pub fn run(self) {
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || dispatch_loop(&shared))
+        };
+
+        for stream in self.listener.incoming() {
+            let mut stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let _ = stream.set_read_timeout(Some(self.request_timeout));
+            let _ = stream.set_write_timeout(Some(self.request_timeout));
+            let stop = handle_connection(&self.shared, &mut stream);
+            if stop {
+                break;
+            }
+        }
+
+        self.shared.queue.close();
+        let _ = dispatcher.join();
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    while let Some(batch) = shared.queue.pop_batch(shared.workers) {
+        for job in &batch {
+            shared.set_state(job.id, JobState::Running);
+        }
+        let outcomes = parallel_map_metrics(
+            shared.workers,
+            batch,
+            &shared.exec_metrics,
+            None,
+            |_, job| {
+                let spec = job.spec;
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    spec.execute(&shared.sim, shared.store.as_ref())
+                }));
+                (job.id, spec, result)
+            },
+        );
+        for (id, spec, result) in outcomes {
+            match result {
+                Ok(run) => {
+                    let key = spec.key(&shared.sim);
+                    shared.set_state(id, JobState::Done(RunSummary::from_run(&key, &run)));
+                    shared.completed.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(_) => {
+                    shared.set_state(id, JobState::Failed("simulation panicked".into()));
+                    shared.failed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+/// Handles one connection; returns `true` when the server should stop.
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> bool {
+    let req = match read_request(stream) {
+        Ok(req) => req,
+        Err(msg) => {
+            let _ = write_response(stream, 400, &error_body(&msg));
+            return false;
+        }
+    };
+    let (status, body, stop) = route(shared, &req);
+    let _ = write_response(stream, status, &body);
+    stop
+}
+
+fn route(shared: &Shared, req: &Request) -> (u16, String, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (200, health_body(shared), false),
+        ("POST", "/runs") => {
+            let (status, body) = submit(shared, &req.body);
+            (status, body, false)
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let (status, body) = job_status(shared, &path["/jobs/".len()..]);
+            (status, body, false)
+        }
+        ("GET", path) if path.starts_with("/runs/") => {
+            let (status, body) = stored_run(shared, &path["/runs/".len()..]);
+            (status, body, false)
+        }
+        ("GET", "/stats") => (200, stats_body(shared), false),
+        ("POST", "/shutdown") => {
+            let body = drain(shared);
+            (200, body, true)
+        }
+        ("GET", _) | ("POST", _) => (404, error_body("no such endpoint"), false),
+        _ => (405, error_body("method not allowed"), false),
+    }
+}
+
+fn health_body(shared: &Shared) -> String {
+    ObjWriter::new()
+        .bool("ok", true)
+        .u64("workers", shared.workers as u64)
+        .u64("queue_capacity", shared.queue.capacity() as u64)
+        .u64("queue_depth", shared.queue.len() as u64)
+        .finish()
+}
+
+fn submit(shared: &Shared, body: &str) -> (u16, String) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let fields = match parse_flat(body) {
+        Ok(f) => f,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let get = |k: &str| fields.get(k).map(String::as_str).unwrap_or("");
+    let spec = match RunSpec::parse(get("workload"), get("kind"), get("policy")) {
+        Ok(spec) => spec,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let key = spec.key(&shared.sim);
+
+    // Warm path: answer immediately from the store, no queue slot used.
+    if let Some(run) = shared.store.as_ref().and_then(|s| match spec.kind() {
+        crate::store::RunKind::Annotated => s.load_annotated(&key).map(|(run, _)| run),
+        _ => s.load_run(&key),
+    }) {
+        let mut w = ObjWriter::new();
+        w.str("state", "done").bool("cached", true);
+        RunSummary::from_run(&key, &run).write_fields(&mut w);
+        return (200, w.finish());
+    }
+
+    let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
+    match shared.queue.try_push(Job { id, spec }) {
+        Ok(()) => {
+            shared.set_state(id, JobState::Queued);
+            shared.accepted.fetch_add(1, Ordering::SeqCst);
+            let body = ObjWriter::new()
+                .u64("job", id)
+                .str("state", "queued")
+                .str("key", &key)
+                .finish();
+            (202, body)
+        }
+        Err(PushError::Full) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            (429, error_body("queue_full"))
+        }
+        Err(PushError::Closed) => (503, error_body("shutting down")),
+    }
+}
+
+fn job_status(shared: &Shared, id_str: &str) -> (u16, String) {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return (400, error_body("job id must be an integer"));
+    };
+    let state = shared.jobs.lock().unwrap().get(&id).cloned();
+    let Some(state) = state else {
+        return (404, error_body("no such job"));
+    };
+    let mut w = ObjWriter::new();
+    w.u64("job", id);
+    match state {
+        JobState::Queued => {
+            w.str("state", "queued");
+        }
+        JobState::Running => {
+            w.str("state", "running");
+        }
+        JobState::Done(summary) => {
+            w.str("state", "done");
+            summary.write_fields(&mut w);
+        }
+        JobState::Failed(msg) => {
+            w.str("state", "failed").str("error", &msg);
+        }
+    }
+    (200, w.finish())
+}
+
+fn stored_run(shared: &Shared, key: &str) -> (u16, String) {
+    if key.len() != 32 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return (400, error_body("key must be 32 hex digits"));
+    }
+    let Some(store) = shared.store.as_ref() else {
+        return (404, error_body("no store configured"));
+    };
+    let run = store
+        .load_run(key)
+        .or_else(|| store.load_annotated(key).map(|(run, _)| run));
+    match run {
+        Some(run) => {
+            let mut w = ObjWriter::new();
+            w.str("state", "done").bool("cached", true);
+            RunSummary::from_run(key, &run).write_fields(&mut w);
+            (200, w.finish())
+        }
+        None => (404, error_body("no stored run under that key")),
+    }
+}
+
+fn stats_body(shared: &Shared) -> String {
+    let mut reg = StatRegistry::new();
+    if let Some(store) = shared.store.as_ref() {
+        store.export_telemetry(&mut reg, "store");
+    }
+    reg.gauge_set("server.queue", "depth", shared.queue.len() as f64);
+    reg.gauge_set("server.queue", "capacity", shared.queue.capacity() as f64);
+    reg.counter_add(
+        "server.jobs",
+        "accepted",
+        shared.accepted.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "rejected",
+        shared.rejected.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "completed",
+        shared.completed.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "failed",
+        shared.failed.load(Ordering::SeqCst),
+    );
+    shared
+        .exec_metrics
+        .export_telemetry(&mut reg, "server.exec");
+    reg.snapshot_full().to_json()
+}
+
+/// Closes the queue and blocks until every accepted job has completed
+/// or failed; returns the final-count response body.
+fn drain(shared: &Shared) -> String {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    loop {
+        let done = shared.completed.load(Ordering::SeqCst) + shared.failed.load(Ordering::SeqCst);
+        if done >= shared.accepted.load(Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    ObjWriter::new()
+        .bool("drained", true)
+        .u64("accepted", shared.accepted.load(Ordering::SeqCst))
+        .u64("rejected", shared.rejected.load(Ordering::SeqCst))
+        .u64("completed", shared.completed.load(Ordering::SeqCst))
+        .u64("failed", shared.failed.load(Ordering::SeqCst))
+        .finish()
+}

@@ -1,0 +1,224 @@
+//! Parsed run requests and their store-aware execution.
+//!
+//! A [`RunSpec`] is the validated form of a client request ("run `lbm`
+//! under the `perf-focused` static policy"). [`RunSpec::execute`] is the
+//! single choke point between the serving layer and the simulator: it
+//! consults the [`RunStore`] first, simulates only on a miss, and
+//! persists what it simulated — including the intermediate DDR-only
+//! profile that static/migration/annotated runs depend on, so a later
+//! request for any run of the same workload starts from a warm profile.
+
+use ramp_core::config::SystemConfig;
+use ramp_core::migration::MigrationScheme;
+use ramp_core::placement::PlacementPolicy;
+use ramp_core::runner;
+use ramp_core::system::RunResult;
+use ramp_trace::Workload;
+
+use crate::store::{run_key, RunKind, RunStore};
+
+/// Policy label recorded for profile runs (a profile *is* a DDR-only run).
+pub const PROFILE_POLICY: &str = "ddr-only";
+/// Policy label recorded for annotated runs.
+pub const ANNOTATED_POLICY: &str = "annotations";
+
+/// What to do with the workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RunAction {
+    /// DDR-only profiling run.
+    Profile,
+    /// Static placement under a policy.
+    Static(PlacementPolicy),
+    /// Dynamic migration under a scheme.
+    Migration(MigrationScheme),
+    /// Programmer-annotated placement.
+    Annotated,
+}
+
+/// A validated, executable run request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunSpec {
+    /// The workload to run.
+    pub workload: Workload,
+    /// The kind of run and its policy/scheme, if any.
+    pub action: RunAction,
+}
+
+impl RunSpec {
+    /// Parses the `(workload, kind, policy)` triple of a client request.
+    ///
+    /// `kind` is one of `profile`, `static`, `migration`, `annotated`;
+    /// `policy` names a [`PlacementPolicy`] for `static` runs and a
+    /// [`MigrationScheme`] for `migration` runs (and must be empty
+    /// otherwise). Errors are human-readable strings for 400 responses.
+    pub fn parse(workload: &str, kind: &str, policy: &str) -> Result<RunSpec, String> {
+        let wl = Workload::from_name(workload)
+            .ok_or_else(|| format!("unknown workload '{workload}'"))?;
+        let action = match kind {
+            "profile" | "annotated" => {
+                if !policy.is_empty() {
+                    return Err(format!("kind '{kind}' takes no policy"));
+                }
+                if kind == "profile" {
+                    RunAction::Profile
+                } else {
+                    RunAction::Annotated
+                }
+            }
+            "static" => RunAction::Static(
+                PlacementPolicy::from_name(policy)
+                    .ok_or_else(|| format!("unknown placement policy '{policy}'"))?,
+            ),
+            "migration" => RunAction::Migration(
+                MigrationScheme::from_name(policy)
+                    .ok_or_else(|| format!("unknown migration scheme '{policy}'"))?,
+            ),
+            _ => return Err(format!("unknown run kind '{kind}'")),
+        };
+        Ok(RunSpec {
+            workload: wl,
+            action,
+        })
+    }
+
+    /// The store kind of this spec.
+    pub fn kind(&self) -> RunKind {
+        match self.action {
+            RunAction::Profile => RunKind::Profile,
+            RunAction::Static(_) => RunKind::Static,
+            RunAction::Migration(_) => RunKind::Migration,
+            RunAction::Annotated => RunKind::Annotated,
+        }
+    }
+
+    /// The policy/scheme label recorded in results and keys.
+    pub fn policy_label(&self) -> String {
+        match self.action {
+            RunAction::Profile => PROFILE_POLICY.to_string(),
+            RunAction::Static(p) => p.name(),
+            RunAction::Migration(s) => s.name().to_string(),
+            RunAction::Annotated => ANNOTATED_POLICY.to_string(),
+        }
+    }
+
+    /// The content-addressed store key of this run under `cfg`.
+    pub fn key(&self, cfg: &SystemConfig) -> String {
+        run_key(cfg, self.kind(), self.workload.name(), &self.policy_label())
+    }
+
+    /// Executes the spec, serving from `store` when possible and
+    /// persisting whatever had to be simulated.
+    pub fn execute(&self, cfg: &SystemConfig, store: Option<&RunStore>) -> RunResult {
+        let key = self.key(cfg);
+        if let Some(s) = store {
+            if self.kind() == RunKind::Annotated {
+                if let Some((run, _)) = s.load_annotated(&key) {
+                    return run;
+                }
+            } else if let Some(run) = s.load_run(&key) {
+                return run;
+            }
+        }
+        if let RunAction::Profile = self.action {
+            let run = runner::profile_workload(cfg, &self.workload);
+            if let Some(s) = store {
+                s.store_run(&key, &run);
+            }
+            return run;
+        }
+        let profile = RunSpec {
+            workload: self.workload,
+            action: RunAction::Profile,
+        }
+        .execute(cfg, store);
+        let run = match self.action {
+            RunAction::Static(policy) => {
+                let run = runner::run_static(cfg, &self.workload, policy, &profile.table);
+                if let Some(s) = store {
+                    s.store_run(&key, &run);
+                }
+                run
+            }
+            RunAction::Migration(scheme) => {
+                let run = runner::run_migration(cfg, &self.workload, scheme, &profile.table);
+                if let Some(s) = store {
+                    s.store_run(&key, &run);
+                }
+                run
+            }
+            RunAction::Annotated => {
+                let (run, set) = runner::run_annotated(cfg, &self.workload, &profile.table);
+                if let Some(s) = store {
+                    s.store_annotated(&key, &run, &set);
+                }
+                run
+            }
+            RunAction::Profile => unreachable!("handled above"),
+        };
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn parse_accepts_all_kinds() {
+        assert_eq!(
+            RunSpec::parse("lbm", "profile", "").unwrap().action,
+            RunAction::Profile
+        );
+        assert_eq!(
+            RunSpec::parse("lbm", "static", "perf-focused")
+                .unwrap()
+                .action,
+            RunAction::Static(PlacementPolicy::PerfFocused)
+        );
+        assert_eq!(
+            RunSpec::parse("mcf", "migration", "rel-fc").unwrap().action,
+            RunAction::Migration(MigrationScheme::RelFc)
+        );
+        assert_eq!(
+            RunSpec::parse("mcf", "annotated", "").unwrap().action,
+            RunAction::Annotated
+        );
+        assert!(matches!(
+            RunSpec::parse("lbm", "static", "frac-hottest-0.25").unwrap().action,
+            RunAction::Static(PlacementPolicy::FracHottest(f)) if (f - 0.25).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_triples() {
+        assert!(RunSpec::parse("nope", "profile", "").is_err());
+        assert!(RunSpec::parse("lbm", "profile", "perf-focused").is_err());
+        assert!(RunSpec::parse("lbm", "static", "").is_err());
+        assert!(RunSpec::parse("lbm", "static", "rel-fc").is_err());
+        assert!(RunSpec::parse("lbm", "migration", "perf-focused").is_err());
+        assert!(RunSpec::parse("lbm", "sweep", "x").is_err());
+    }
+
+    #[test]
+    fn execute_hits_store_on_second_call() {
+        let store = crate::store::testutil::test_store();
+        let cfg = SystemConfig {
+            insts_per_core: 20_000,
+            ..SystemConfig::smoke_test()
+        };
+        let spec = RunSpec::parse("lbm", "static", "perf-focused").unwrap();
+        let cold = spec.execute(&cfg, Some(&store));
+        // Cold run persisted the profile and the static run.
+        assert_eq!(store.metrics().writes.load(Ordering::Relaxed), 2);
+        let warm = spec.execute(&cfg, Some(&store));
+        assert_eq!(store.metrics().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(store.metrics().writes.load(Ordering::Relaxed), 2);
+        assert_eq!(cold.ipc.to_bits(), warm.ipc.to_bits());
+        assert_eq!(cold.telemetry, warm.telemetry);
+        // The cached profile also serves other policies' dependency.
+        let other = RunSpec::parse("lbm", "static", "rel-focused").unwrap();
+        other.execute(&cfg, Some(&store));
+        assert_eq!(store.metrics().hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,389 @@
+//! Persistent, content-addressed run store under `target/ramp-store/`.
+//!
+//! Every completed simulation is persisted under a key derived from
+//! *everything that determines its outcome*: the full
+//! [`SystemConfig::canonical_bytes`] encoding, the run kind, the workload
+//! name, the policy/scheme label, plus the wire-format version and a
+//! code-version salt ([`STORE_SALT`]). Change any input — or the
+//! simulator itself, by bumping the salt — and the run lands in a fresh
+//! slot instead of serving a stale result.
+//!
+//! Writes are atomic: the entry is written to a unique temp file in the
+//! store directory and `rename`d into place, so concurrent experiment
+//! binaries sharing one store never observe a torn entry. Reads that hit
+//! a corrupt, truncated or version-skewed file count as misses (and bump
+//! the `invalid` metric); the store never panics on bad bytes and never
+//! trusts them.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ramp_core::annotate::AnnotationSet;
+use ramp_core::config::SystemConfig;
+use ramp_core::system::RunResult;
+use ramp_sim::codec::{fnv1a64_seeded, ByteWriter};
+use ramp_sim::telemetry::StatRegistry;
+
+use crate::wire::{self, WIRE_VERSION};
+
+/// Bump to invalidate every existing store entry after a simulator
+/// behaviour change that [`WIRE_VERSION`] (format only) doesn't capture.
+pub const STORE_SALT: u32 = 1;
+
+/// Environment variable that disables (`off`/`0`) the store.
+pub const ENV_STORE: &str = "RAMP_STORE";
+/// Environment variable overriding the store directory.
+pub const ENV_STORE_DIR: &str = "RAMP_STORE_DIR";
+/// Default store directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = "target/ramp-store";
+
+/// The four kinds of runs the store distinguishes.
+///
+/// The kind participates in the key so e.g. a profile run and a static
+/// run of the same workload can never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunKind {
+    /// A DDR-only profiling run (produces the per-page stats table).
+    Profile,
+    /// A static placement run under some [`PlacementPolicy`] label.
+    ///
+    /// [`PlacementPolicy`]: ramp_core::placement::PlacementPolicy
+    Static,
+    /// A dynamic migration run under some [`MigrationScheme`] label.
+    ///
+    /// [`MigrationScheme`]: ramp_core::migration::MigrationScheme
+    Migration,
+    /// A programmer-annotated run (result + annotation set).
+    Annotated,
+}
+
+impl RunKind {
+    fn tag(self) -> u8 {
+        match self {
+            RunKind::Profile => 0,
+            RunKind::Static => 1,
+            RunKind::Migration => 2,
+            RunKind::Annotated => 3,
+        }
+    }
+
+    /// Stable lower-case label, used in server responses.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunKind::Profile => "profile",
+            RunKind::Static => "static",
+            RunKind::Migration => "migration",
+            RunKind::Annotated => "annotated",
+        }
+    }
+}
+
+/// Computes the content-addressed key of one run as 32 lowercase hex
+/// digits (two seeded FNV-1a passes over the canonical input encoding).
+pub fn run_key(cfg: &SystemConfig, kind: RunKind, workload: &str, policy: &str) -> String {
+    let mut w = ByteWriter::new();
+    w.u32(WIRE_VERSION);
+    w.u32(STORE_SALT);
+    let cfg_bytes = cfg.canonical_bytes();
+    w.u32(cfg_bytes.len() as u32);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(&cfg_bytes);
+    let mut tail = ByteWriter::new();
+    tail.u8(kind.tag());
+    tail.str(workload);
+    tail.str(policy);
+    bytes.extend_from_slice(tail.bytes());
+    let a = fnv1a64_seeded(0xcbf2_9ce4_8422_2325, &bytes);
+    let b = fnv1a64_seeded(a ^ 0x9e37_79b9_7f4a_7c15, &bytes);
+    format!("{a:016x}{b:016x}")
+}
+
+/// Hit/miss/write counters of one store handle.
+///
+/// These are *process-observability* numbers, not simulation results:
+/// they differ between cold and warm runs, so they are exported only
+/// into volatile-style side channels (the harness `RAMP_STATS=table`
+/// epilogue, the server `/stats` document) and never into
+/// [`RunResult::telemetry`].
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Entries served from disk.
+    pub hits: AtomicU64,
+    /// Lookups that found no (valid) entry.
+    pub misses: AtomicU64,
+    /// Entries persisted.
+    pub writes: AtomicU64,
+    /// Entries that existed but failed to decode (counted in `misses` too).
+    pub invalid: AtomicU64,
+}
+
+/// A handle on one on-disk store directory.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    metrics: StoreMetrics,
+    tmp_counter: AtomicU64,
+}
+
+impl RunStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<RunStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RunStore {
+            dir,
+            metrics: StoreMetrics::default(),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens the store configured by the environment: `RAMP_STORE=off`
+    /// (or `0`) disables it, `RAMP_STORE_DIR` overrides the directory,
+    /// and the default is `target/ramp-store` (store **on**).
+    ///
+    /// Returns `None` when disabled or when the directory cannot be
+    /// created (a read-only checkout should degrade to cold runs, not
+    /// fail).
+    pub fn from_env() -> Option<RunStore> {
+        match std::env::var(ENV_STORE) {
+            Ok(v) if v.eq_ignore_ascii_case("off") || v == "0" => return None,
+            _ => {}
+        }
+        let dir = std::env::var(ENV_STORE_DIR).unwrap_or_else(|_| DEFAULT_DIR.to_string());
+        RunStore::open(dir).ok()
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live hit/miss/write counters.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    fn path_for(&self, key: &str, ext: &str) -> PathBuf {
+        self.dir.join(format!("{key}.{ext}"))
+    }
+
+    fn load_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        match fs::read(path) {
+            Ok(bytes) => Some(bytes),
+            Err(_) => {
+                self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn note_invalid(&self) {
+        self.metrics.invalid.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically persists `bytes` under `path` (best effort: a full
+    /// disk or read-only store silently degrades to a cold cache).
+    fn store_bytes(&self, path: &Path, bytes: &[u8]) {
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!("tmp-{}-{n}", std::process::id()));
+        let ok = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(bytes))
+            .and_then(|_| fs::rename(&tmp, path));
+        match ok {
+            Ok(_) => {
+                self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Loads the run stored under `key`, if present and valid.
+    pub fn load_run(&self, key: &str) -> Option<RunResult> {
+        let bytes = self.load_bytes(&self.path_for(key, "run"))?;
+        match wire::decode_run(&bytes) {
+            Ok(run) => {
+                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                Some(run)
+            }
+            Err(_) => {
+                self.note_invalid();
+                None
+            }
+        }
+    }
+
+    /// Persists `run` under `key`.
+    pub fn store_run(&self, key: &str, run: &RunResult) {
+        self.store_bytes(&self.path_for(key, "run"), &wire::encode_run(run));
+    }
+
+    /// Loads the annotated run stored under `key`, if present and valid.
+    pub fn load_annotated(&self, key: &str) -> Option<(RunResult, AnnotationSet)> {
+        let bytes = self.load_bytes(&self.path_for(key, "ann"))?;
+        match wire::decode_annotated(&bytes) {
+            Ok(pair) => {
+                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                Some(pair)
+            }
+            Err(_) => {
+                self.note_invalid();
+                None
+            }
+        }
+    }
+
+    /// Persists an annotated run under `key`.
+    pub fn store_annotated(&self, key: &str, run: &RunResult, set: &AnnotationSet) {
+        self.store_bytes(
+            &self.path_for(key, "ann"),
+            &wire::encode_annotated(run, set),
+        );
+    }
+
+    /// Exports the hit/miss/write/invalid counters into `scope` of `reg`.
+    ///
+    /// The caller chooses the exposure context; these counters must never
+    /// reach a deterministic document (see [`StoreMetrics`]).
+    pub fn export_telemetry(&self, reg: &mut StatRegistry, scope: &str) {
+        let m = &self.metrics;
+        reg.counter_add(scope, "hits", m.hits.load(Ordering::Relaxed));
+        reg.counter_add(scope, "misses", m.misses.load(Ordering::Relaxed));
+        reg.counter_add(scope, "writes", m.writes.load(Ordering::Relaxed));
+        reg.counter_add(scope, "invalid", m.invalid.load(Ordering::Relaxed));
+    }
+}
+
+/// Test-only store fixtures shared across the crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique per-test store directory (no env vars, no external
+    /// tempdir crate).
+    pub(crate) fn test_store() -> RunStore {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ramp-store-test-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::test_store;
+    use super::*;
+    use crate::wire::testutil::sample_run;
+
+    fn hits(s: &RunStore) -> u64 {
+        s.metrics().hits.load(Ordering::Relaxed)
+    }
+    fn misses(s: &RunStore) -> u64 {
+        s.metrics().misses.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn keys_are_stable_and_discriminating() {
+        let cfg = SystemConfig::smoke_test();
+        let k = run_key(&cfg, RunKind::Static, "lbm", "perf-focused");
+        assert_eq!(k.len(), 32);
+        assert!(k.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(k, run_key(&cfg, RunKind::Static, "lbm", "perf-focused"));
+        // Every key ingredient discriminates.
+        assert_ne!(k, run_key(&cfg, RunKind::Profile, "lbm", "perf-focused"));
+        assert_ne!(k, run_key(&cfg, RunKind::Static, "mcf", "perf-focused"));
+        assert_ne!(k, run_key(&cfg, RunKind::Static, "lbm", "rel-focused"));
+        let other = SystemConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg.clone()
+        };
+        assert_ne!(k, run_key(&other, RunKind::Static, "lbm", "perf-focused"));
+    }
+
+    #[test]
+    fn round_trip_and_counters() {
+        let store = test_store();
+        let run = sample_run();
+        let key = run_key(&SystemConfig::smoke_test(), RunKind::Static, "lbm", "x");
+        assert!(store.load_run(&key).is_none());
+        assert_eq!(misses(&store), 1);
+        store.store_run(&key, &run);
+        let back = store.load_run(&key).expect("stored entry loads");
+        assert_eq!(back.ipc.to_bits(), run.ipc.to_bits());
+        assert_eq!(back.telemetry, run.telemetry);
+        assert_eq!(hits(&store), 1);
+        assert_eq!(store.metrics().writes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn corrupt_entries_are_clean_misses() {
+        let store = test_store();
+        let run = sample_run();
+        let key = run_key(&SystemConfig::smoke_test(), RunKind::Static, "lbm", "x");
+        store.store_run(&key, &run);
+        let path = store.path_for(&key, "run");
+        let good = fs::read(&path).unwrap();
+
+        // Truncated.
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(store.load_run(&key).is_none());
+        // Bit flip in the payload (checksum catches it).
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(store.load_run(&key).is_none());
+        // Version skew.
+        let mut skewed = good.clone();
+        skewed[8] ^= 0xff; // version field lives right after the magic
+        fs::write(&path, &skewed).unwrap();
+        assert!(store.load_run(&key).is_none());
+        // Empty file.
+        fs::write(&path, b"").unwrap();
+        assert!(store.load_run(&key).is_none());
+
+        assert_eq!(store.metrics().invalid.load(Ordering::Relaxed), 4);
+        // A rewrite heals the slot.
+        store.store_run(&key, &run);
+        assert!(store.load_run(&key).is_some());
+    }
+
+    #[test]
+    fn annotated_round_trip() {
+        let store = test_store();
+        let run = sample_run();
+        let set = AnnotationSet {
+            structures: vec![(ramp_trace::Benchmark::Lbm, "grid".into())],
+            pinned: [ramp_sim::PageId(3)].into_iter().collect(),
+        };
+        let key = run_key(
+            &SystemConfig::smoke_test(),
+            RunKind::Annotated,
+            "lbm",
+            "annotations",
+        );
+        assert!(store.load_annotated(&key).is_none());
+        store.store_annotated(&key, &run, &set);
+        let (_, back_set) = store.load_annotated(&key).unwrap();
+        assert_eq!(back_set.pinned, set.pinned);
+        // A `.run` entry can never be read back as annotated.
+        store.store_run(&key, &run);
+        assert!(store.load_annotated(&key).is_some()); // different extension
+    }
+
+    #[test]
+    fn from_env_respects_off_switch() {
+        // Can't mutate env safely in parallel tests; just exercise the
+        // default path, which must yield a usable store or None.
+        if let Some(store) = RunStore::from_env() {
+            assert!(store.dir().to_string_lossy().contains("ramp-store"));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! In-process integration test of the full serving choreography: the
+//! same sequence `scripts/ci.sh` drives against the release binaries —
+//! health, submit/poll/fetch, warm-cache resubmit, a concurrent burst
+//! that must trip the bounded queue's 429, and a graceful shutdown that
+//! drains every accepted job.
+
+use std::time::Duration;
+
+use ramp_core::config::SystemConfig;
+use ramp_serve::client::{scan_counter, smoke, Client};
+use ramp_serve::server::{Server, ServerConfig};
+use ramp_serve::store::RunStore;
+
+fn scratch_store(tag: &str) -> RunStore {
+    let dir = std::env::temp_dir().join(format!("ramp-server-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    RunStore::open(dir).unwrap()
+}
+
+/// A simulation small enough that debug-mode jobs take ~0.1 s: long
+/// enough for the burst to observe a full queue, short enough for CI.
+fn tiny_sim() -> SystemConfig {
+    SystemConfig {
+        insts_per_core: 40_000,
+        ..SystemConfig::smoke_test()
+    }
+}
+
+fn start(cfg: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn full_smoke_choreography() {
+    let (addr, handle) = start(ServerConfig {
+        sim: tiny_sim(),
+        workers: 1,
+        queue_capacity: 1,
+        request_timeout: Duration::from_secs(10),
+        store: Some(scratch_store("choreo")),
+    });
+    let transcript = smoke(&addr.to_string()).expect("smoke choreography");
+    assert!(transcript.contains("rejected (429)"), "{transcript}");
+    assert!(transcript.contains("graceful shutdown"), "{transcript}");
+    handle.join().unwrap();
+}
+
+#[test]
+fn bad_requests_get_400s_and_404s() {
+    let (addr, handle) = start(ServerConfig {
+        sim: tiny_sim(),
+        workers: 1,
+        queue_capacity: 4,
+        request_timeout: Duration::from_secs(10),
+        store: Some(scratch_store("errors")),
+    });
+    let client = Client::new(addr.to_string());
+
+    // Unknown workload / kind / policy.
+    assert_eq!(client.submit("zork", "profile", "").unwrap().status, 400);
+    assert_eq!(client.submit("lbm", "sweep", "").unwrap().status, 400);
+    assert_eq!(client.submit("lbm", "static", "bogus").unwrap().status, 400);
+    // Unknown job, malformed id, unknown endpoint, unknown key.
+    assert_eq!(client.job_status(999).unwrap().status, 404);
+    assert_eq!(
+        client.run_summary(&"0".repeat(32)).unwrap().status,
+        404,
+        "valid-shape key with no entry"
+    );
+    assert_eq!(client.run_summary("not-hex").unwrap().status, 400);
+    // Nothing was accepted, so shutdown drains instantly.
+    let drained = client.shutdown().unwrap();
+    assert_eq!(drained.fields["accepted"], "0");
+    handle.join().unwrap();
+}
+
+#[test]
+fn stats_track_store_and_queue_counters() {
+    let (addr, handle) = start(ServerConfig {
+        sim: tiny_sim(),
+        workers: 2,
+        queue_capacity: 8,
+        request_timeout: Duration::from_secs(10),
+        store: Some(scratch_store("stats")),
+    });
+    let client = Client::new(addr.to_string());
+
+    let submit = client.submit("mcf", "migration", "perf-fc").unwrap();
+    assert_eq!(submit.status, 202);
+    let done = client.wait_done(submit.job.unwrap(), 120_000).unwrap();
+    assert_eq!(done.state(), Some("done"));
+    assert_eq!(done.fields["policy"], "perf-fc");
+    assert!(done.fields["ipc"].parse::<f64>().unwrap() > 0.0);
+
+    // Fetch by key must agree with the job's summary field-for-field.
+    let fetched = client.run_summary(&done.fields["key"]).unwrap();
+    assert_eq!(fetched.status, 200);
+    assert_eq!(fetched.fields["ipc"], done.fields["ipc"]);
+    assert_eq!(fetched.fields["cycles"], done.fields["cycles"]);
+
+    // A duplicate submit is served straight from the store.
+    let again = client.submit("mcf", "migration", "perf-fc").unwrap();
+    assert_eq!(again.status, 200);
+    assert!(again.cached);
+    assert_eq!(again.response.fields["ipc"], done.fields["ipc"]);
+
+    let stats = client.stats().unwrap();
+    assert!(scan_counter(&stats, "hits").unwrap() >= 1, "{stats}");
+    assert!(scan_counter(&stats, "writes").unwrap() >= 2, "{stats}");
+    assert_eq!(scan_counter(&stats, "accepted"), Some(1), "{stats}");
+    assert_eq!(scan_counter(&stats, "completed"), Some(1), "{stats}");
+    assert_eq!(scan_counter(&stats, "failed"), Some(0), "{stats}");
+
+    let drained = client.shutdown().unwrap();
+    assert_eq!(drained.fields["completed"], "1");
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_waits_for_inflight_jobs() {
+    let (addr, handle) = start(ServerConfig {
+        sim: tiny_sim(),
+        workers: 1,
+        queue_capacity: 4,
+        request_timeout: Duration::from_secs(30),
+        store: Some(scratch_store("drain")),
+    });
+    let client = Client::new(addr.to_string());
+
+    // Queue three uncached runs, then immediately request shutdown.
+    let mut jobs = Vec::new();
+    for wl in ["lbm", "milc", "astar"] {
+        let submit = client.submit(wl, "profile", "").unwrap();
+        assert_eq!(submit.status, 202, "{wl}");
+        jobs.push(submit.job.unwrap());
+    }
+    let drained = client.shutdown().unwrap();
+    assert_eq!(drained.status, 200);
+    assert_eq!(drained.fields["accepted"], "3");
+    assert_eq!(drained.fields["completed"], "3");
+    assert_eq!(drained.fields["failed"], "0");
+    handle.join().unwrap();
+}

@@ -18,6 +18,9 @@
 //!   input-ordered results, plus stage timing and progress metrics.
 //! * [`check`] — a deterministic property-testing mini-harness (the
 //!   in-tree `proptest` replacement used by `tests/properties.rs`).
+//! * [`codec`] — a hand-rolled little-endian binary codec (versioned
+//!   framing, length-prefixed fields, FNV-1a checksums) backing the
+//!   `ramp-serve` persistent run store.
 //! * [`telemetry`] — a hierarchical stat registry (counters, gauges,
 //!   histograms, ratios) with deterministic JSON/table serialization,
 //!   shared by every simulator component for observability and
@@ -40,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod check;
+pub mod codec;
 pub mod event;
 pub mod exec;
 pub mod rng;

@@ -101,6 +101,26 @@ impl BinHistogram {
         self.total
     }
 
+    /// Reconstructs a histogram from serialized parts (the inverse of
+    /// reading [`Self::lo`], [`Self::hi`] and [`Self::counts`]); the
+    /// total is recomputed from the bins.
+    ///
+    /// Returns `None` instead of panicking when the parts are not a valid
+    /// geometry (no bins, empty or non-finite range, bin sum overflow) so
+    /// decoders can treat corrupt input as a clean failure.
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>) -> Option<Self> {
+        if counts.is_empty() || !(hi > lo) || !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        let total = counts.iter().try_fold(0u64, |a, &c| a.checked_add(c))?;
+        Some(BinHistogram {
+            lo,
+            hi,
+            counts,
+            total,
+        })
+    }
+
     /// Adds `other`'s bins into `self`.
     ///
     /// # Panics
@@ -301,6 +321,15 @@ impl Snapshot {
     /// The stat `name` inside `scope`, if present.
     pub fn get(&self, scope: &str, name: &str) -> Option<&Stat> {
         self.scopes.get(scope)?.get(name)
+    }
+
+    /// Inserts (or replaces) a stat — how the `ramp-serve` store decoder
+    /// rebuilds a snapshot from its serialized form.
+    pub fn insert(&mut self, scope: impl Into<String>, name: impl Into<String>, stat: Stat) {
+        self.scopes
+            .entry(scope.into())
+            .or_default()
+            .insert(name.into(), stat);
     }
 
     /// Iterates scopes in sorted order.

@@ -1,0 +1,81 @@
+//! Serving stack demo: start an in-process experiment server, drive it
+//! with the programmatic client, and show the warm-cache effect of the
+//! persistent run store.
+//!
+//! Run with: `cargo run --release --example serve_client`
+//!
+//! The same flow works across processes: start `ramp-served` in one
+//! terminal and use `ramp-client` (or this crate's `Client`) from
+//! another — the store under `target/ramp-store/` is shared, so any
+//! result simulated here is a cache hit for every later experiment
+//! binary with the same configuration.
+
+use std::time::Instant;
+
+use ramp::core::config::SystemConfig;
+use ramp::serve::client::Client;
+use ramp::serve::server::{Server, ServerConfig};
+use ramp::serve::store::RunStore;
+
+fn main() {
+    // A small system so the demo finishes in seconds; drop the override
+    // to serve full Table 1 runs instead.
+    let sim = SystemConfig {
+        insts_per_core: 150_000,
+        ..SystemConfig::smoke_test()
+    };
+    let store = RunStore::open("target/ramp-store-example").expect("store dir");
+
+    // Bind an ephemeral port and serve from a background thread.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            store: Some(store),
+            ..ServerConfig::new(sim)
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    println!("server on {addr}");
+
+    let client = Client::new(addr.to_string());
+    println!("health: {}", client.health().expect("health").body);
+
+    // Cold: submit a run, poll until done, fetch it by content key.
+    let started = Instant::now();
+    let submit = client
+        .submit("lbm", "static", "rel-focused")
+        .expect("submit");
+    let done = match submit.job {
+        Some(job) => client.wait_done(job, 300_000).expect("wait"),
+        None => submit.response.clone(), // already cached from a prior run
+    };
+    println!(
+        "cold run: ipc={} ser_vs_ddr_only={} in {:.2?}",
+        done.fields["ipc"],
+        done.fields["ser_vs_ddr_only"],
+        started.elapsed()
+    );
+    let key = &done.fields["key"];
+    let fetched = client.run_summary(key).expect("fetch");
+    println!("fetched {key}: {}", fetched.body);
+
+    // Warm: the identical submit is answered from the store.
+    let started = Instant::now();
+    let again = client
+        .submit("lbm", "static", "rel-focused")
+        .expect("resubmit");
+    println!(
+        "warm run: cached={} in {:.2?}",
+        again.cached,
+        started.elapsed()
+    );
+
+    println!("stats: {}", client.stats().expect("stats"));
+    let drained = client.shutdown().expect("shutdown");
+    println!("shutdown: {}", drained.body);
+    handle.join().expect("server thread");
+}

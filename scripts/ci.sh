@@ -26,4 +26,40 @@ RAMP_THREADS=1 cargo test -q --offline -p ramp --test golden_stats
 echo "==> golden snapshots @ RAMP_THREADS=4"
 RAMP_THREADS=4 cargo test -q --offline -p ramp --test golden_stats
 
+# Warm-start gate: a second invocation of an experiment binary must be
+# served entirely from the run store — zero simulations, byte-identical
+# stdout — and the table epilogue must show actual store hits.
+echo "==> warm-start byte-identity (fig05_perf_static)"
+STORE_DIR="$(mktemp -d)"
+WARM_ENV=(RAMP_STORE_DIR="$STORE_DIR" RAMP_WORKLOADS=lbm,mcf RAMP_INSTS=100000)
+trap 'rm -rf "$STORE_DIR"' EXIT
+env "${WARM_ENV[@]}" RAMP_STATS=json target/release/fig05_perf_static \
+    > "$STORE_DIR/cold.out" 2> "$STORE_DIR/cold.err"
+env "${WARM_ENV[@]}" RAMP_STATS=json target/release/fig05_perf_static \
+    > "$STORE_DIR/warm.out" 2> "$STORE_DIR/warm.err"
+cmp "$STORE_DIR/cold.out" "$STORE_DIR/warm.out" \
+    || { echo "FAIL: warm stdout differs from cold stdout"; exit 1; }
+if grep -qE '^\[(profile|static)\]' "$STORE_DIR/warm.err"; then
+    echo "FAIL: warm run simulated instead of hitting the store"
+    exit 1
+fi
+env "${WARM_ENV[@]}" RAMP_STATS=table target/release/fig05_perf_static \
+    > "$STORE_DIR/table.out" 2>/dev/null
+grep -A6 '\[store\]' "$STORE_DIR/table.out" | grep -qE 'hits = [1-9]' \
+    || { echo "FAIL: store hits not reported in table epilogue"; exit 1; }
+
+# Server smoke: ramp-served + ramp-client choreography — health, submit,
+# poll, fetch-by-key, cached resubmit, a burst that must see one 429,
+# then graceful drain-and-exit shutdown.
+echo "==> server smoke (ramp-served / ramp-client)"
+PORT_FILE="$STORE_DIR/port"
+RAMP_STORE_DIR="$STORE_DIR/server-store" target/release/ramp-served \
+    --smoke --addr 127.0.0.1:0 --workers 1 --queue 1 --port-file "$PORT_FILE" \
+    2> "$STORE_DIR/served.err" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
+[ -s "$PORT_FILE" ] || { echo "FAIL: server never wrote its port file"; exit 1; }
+target/release/ramp-client --addr "$(cat "$PORT_FILE")" smoke
+wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; exit 1; }
+
 echo "CI OK"

@@ -60,3 +60,7 @@ pub use ramp_avf as avf;
 /// The paper's contribution: placement policies, migration engines,
 /// annotations, and the full-system simulator.
 pub use ramp_core as core;
+
+/// The serving stack: persistent content-addressed run store and the
+/// std-only experiment server/client.
+pub use ramp_serve as serve;
