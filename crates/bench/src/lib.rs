@@ -34,7 +34,8 @@ use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_stat
 use ramp_core::system::RunResult;
 use ramp_serve::spec::{ANNOTATED_POLICY, PROFILE_POLICY};
 use ramp_serve::store::{run_key, RunKind, RunStore};
-use ramp_sim::exec::{parallel_map_metrics, ExecMetrics, StageTimer};
+use ramp_sim::chaos;
+use ramp_sim::exec::{try_parallel_map_metrics, ExecMetrics, StageTimer, TaskOptions};
 use ramp_sim::telemetry::{render_runs_json, render_runs_table, Snapshot, StatRegistry};
 use ramp_trace::Workload;
 
@@ -108,6 +109,7 @@ pub struct Harness {
     /// (steal counts, busy time; volatile — table mode only).
     pub metrics: ExecMetrics,
     store: Option<RunStore>,
+    failures: Vec<String>,
     profiles: HashMap<&'static str, RunResult>,
     statics: HashMap<(&'static str, String), RunResult>,
     migrations: HashMap<(&'static str, &'static str), RunResult>,
@@ -129,6 +131,7 @@ impl Harness {
             threads: threads(),
             metrics: ExecMetrics::new(),
             store,
+            failures: Vec::new(),
             profiles: HashMap::new(),
             statics: HashMap::new(),
             migrations: HashMap::new(),
@@ -139,6 +142,15 @@ impl Harness {
     /// The persistent run store backing this harness, if any.
     pub fn store(&self) -> Option<&RunStore> {
         self.store.as_ref()
+    }
+
+    /// Runs that failed (panicked past the retry budget) during a
+    /// `prewarm_*` stage, plus runs skipped because a dependency failed.
+    /// Empty unless `RAMP_CHAOS` (or a simulator bug) is in play — the
+    /// harness isolates such failures per task, reports them in
+    /// [`finish`]'s epilogue and keeps going with the runs that survived.
+    pub fn failures(&self) -> &[String] {
+        &self.failures
     }
 
     /// Fills the profile cache for `wls` in parallel (missing entries
@@ -172,18 +184,33 @@ impl Harness {
             self.threads
         ));
         let cfg = &self.cfg;
-        let results = parallel_map_metrics(self.threads, missing, &self.metrics, None, |_, wl| {
-            eprintln!("  [profile] {}", wl.name());
-            (wl.name(), profile_workload(cfg, wl))
-        });
-        for (name, r) in results {
-            if let Some(store) = &self.store {
-                store.store_run(
-                    &run_key(&self.cfg, RunKind::Profile, name, PROFILE_POLICY),
-                    &r,
-                );
+        let names: Vec<&'static str> = missing.iter().map(|wl| wl.name()).collect();
+        let results = try_parallel_map_metrics(
+            self.threads,
+            missing,
+            &self.metrics,
+            None,
+            &TaskOptions::from_env(),
+            |_, wl| {
+                eprintln!("  [profile] {}", wl.name());
+                (wl.name(), profile_workload(cfg, wl))
+            },
+        );
+        for result in results {
+            match result {
+                Ok((name, r)) => {
+                    if let Some(store) = &self.store {
+                        store.store_run(
+                            &run_key(&self.cfg, RunKind::Profile, name, PROFILE_POLICY),
+                            &r,
+                        );
+                    }
+                    self.profiles.insert(name, r);
+                }
+                Err(e) => self
+                    .failures
+                    .push(format!("profile {}: {e}", names[e.task()])),
             }
-            self.profiles.insert(name, r);
         }
         timer.finish();
     }
@@ -215,6 +242,22 @@ impl Harness {
         }
         let need_profiles = dedupe_workloads(missing.iter().map(|(wl, _)| *wl));
         self.prewarm_profiles(&need_profiles);
+        // A profile that failed its retry budget leaves dependents
+        // unrunnable: record the skip and keep going with the rest.
+        missing.retain(|(wl, p)| {
+            let ok = self.profiles.contains_key(wl.name());
+            if !ok {
+                self.failures.push(format!(
+                    "static {} {}: skipped (profile unavailable)",
+                    p.name(),
+                    wl.name()
+                ));
+            }
+            ok
+        });
+        if missing.is_empty() {
+            return;
+        }
         let timer = StageTimer::new(format!(
             "static x{} (threads={})",
             missing.len(),
@@ -222,22 +265,34 @@ impl Harness {
         ));
         let cfg = &self.cfg;
         let profiles = &self.profiles;
-        let results = parallel_map_metrics(
+        let labels: Vec<String> = missing
+            .iter()
+            .map(|(wl, p)| format!("{} {}", p.name(), wl.name()))
+            .collect();
+        let results = try_parallel_map_metrics(
             self.threads,
             missing,
             &self.metrics,
             None,
+            &TaskOptions::from_env(),
             |_, (wl, policy)| {
                 eprintln!("  [static {}] {}", policy.name(), wl.name());
                 let r = run_static(cfg, wl, *policy, &profiles[wl.name()].table);
                 ((wl.name(), policy.name()), r)
             },
         );
-        for (key, r) in results {
-            if let Some(store) = &self.store {
-                store.store_run(&run_key(&self.cfg, RunKind::Static, key.0, &key.1), &r);
+        for result in results {
+            match result {
+                Ok((key, r)) => {
+                    if let Some(store) = &self.store {
+                        store.store_run(&run_key(&self.cfg, RunKind::Static, key.0, &key.1), &r);
+                    }
+                    self.statics.insert(key, r);
+                }
+                Err(e) => self
+                    .failures
+                    .push(format!("static {}: {e}", labels[e.task()])),
             }
-            self.statics.insert(key, r);
         }
         timer.finish();
     }
@@ -268,6 +323,20 @@ impl Harness {
         }
         let need_profiles = dedupe_workloads(missing.iter().map(|(wl, _)| *wl));
         self.prewarm_profiles(&need_profiles);
+        missing.retain(|(wl, s)| {
+            let ok = self.profiles.contains_key(wl.name());
+            if !ok {
+                self.failures.push(format!(
+                    "migration {} {}: skipped (profile unavailable)",
+                    s.name(),
+                    wl.name()
+                ));
+            }
+            ok
+        });
+        if missing.is_empty() {
+            return;
+        }
         let timer = StageTimer::new(format!(
             "migration x{} (threads={})",
             missing.len(),
@@ -275,22 +344,34 @@ impl Harness {
         ));
         let cfg = &self.cfg;
         let profiles = &self.profiles;
-        let results = parallel_map_metrics(
+        let labels: Vec<String> = missing
+            .iter()
+            .map(|(wl, s)| format!("{} {}", s.name(), wl.name()))
+            .collect();
+        let results = try_parallel_map_metrics(
             self.threads,
             missing,
             &self.metrics,
             None,
+            &TaskOptions::from_env(),
             |_, (wl, scheme)| {
                 eprintln!("  [migration {}] {}", scheme.name(), wl.name());
                 let r = run_migration(cfg, wl, *scheme, &profiles[wl.name()].table);
                 ((wl.name(), scheme.name()), r)
             },
         );
-        for (key, r) in results {
-            if let Some(store) = &self.store {
-                store.store_run(&run_key(&self.cfg, RunKind::Migration, key.0, key.1), &r);
+        for result in results {
+            match result {
+                Ok((key, r)) => {
+                    if let Some(store) = &self.store {
+                        store.store_run(&run_key(&self.cfg, RunKind::Migration, key.0, key.1), &r);
+                    }
+                    self.migrations.insert(key, r);
+                }
+                Err(e) => self
+                    .failures
+                    .push(format!("migration {}: {e}", labels[e.task()])),
             }
-            self.migrations.insert(key, r);
         }
         timer.finish();
     }
@@ -320,6 +401,19 @@ impl Harness {
             return;
         }
         self.prewarm_profiles(&missing);
+        missing.retain(|wl| {
+            let ok = self.profiles.contains_key(wl.name());
+            if !ok {
+                self.failures.push(format!(
+                    "annotated {}: skipped (profile unavailable)",
+                    wl.name()
+                ));
+            }
+            ok
+        });
+        if missing.is_empty() {
+            return;
+        }
         let timer = StageTimer::new(format!(
             "annotated x{} (threads={})",
             missing.len(),
@@ -327,19 +421,34 @@ impl Harness {
         ));
         let cfg = &self.cfg;
         let profiles = &self.profiles;
-        let results = parallel_map_metrics(self.threads, missing, &self.metrics, None, |_, wl| {
-            eprintln!("  [annotated] {}", wl.name());
-            (
-                wl.name(),
-                run_annotated(cfg, wl, &profiles[wl.name()].table),
-            )
-        });
-        for (name, (r, set)) in results {
-            if let Some(store) = &self.store {
-                let key = run_key(&self.cfg, RunKind::Annotated, name, ANNOTATED_POLICY);
-                store.store_annotated(&key, &r, &set);
+        let names: Vec<&'static str> = missing.iter().map(|wl| wl.name()).collect();
+        let results = try_parallel_map_metrics(
+            self.threads,
+            missing,
+            &self.metrics,
+            None,
+            &TaskOptions::from_env(),
+            |_, wl| {
+                eprintln!("  [annotated] {}", wl.name());
+                (
+                    wl.name(),
+                    run_annotated(cfg, wl, &profiles[wl.name()].table),
+                )
+            },
+        );
+        for result in results {
+            match result {
+                Ok((name, (r, set))) => {
+                    if let Some(store) = &self.store {
+                        let key = run_key(&self.cfg, RunKind::Annotated, name, ANNOTATED_POLICY);
+                        store.store_annotated(&key, &r, &set);
+                    }
+                    self.annotated.insert(name, (r, set));
+                }
+                Err(e) => self
+                    .failures
+                    .push(format!("annotated {}: {e}", names[e.task()])),
             }
-            self.annotated.insert(name, (r, set));
         }
         timer.finish();
     }
@@ -469,6 +578,18 @@ fn dedupe_workloads(wls: impl Iterator<Item = Workload>) -> Vec<Workload> {
 /// configured, its hit/miss/write counters (`[store]` section). Call
 /// this as the last line of an experiment binary's `main`.
 pub fn finish(h: &Harness) {
+    // Failed/skipped runs are reported unconditionally (stderr, so the
+    // deterministic stdout stays byte-identical), before the RAMP_STATS
+    // gate: a chaos run without stats must still account for every task.
+    if !h.failures.is_empty() {
+        eprintln!(
+            "[harness] {} run(s) failed or were skipped:",
+            h.failures.len()
+        );
+        for f in &h.failures {
+            eprintln!("  [failed] {f}");
+        }
+    }
     let Ok(mode) = std::env::var(ENV_STATS) else {
         return;
     };
@@ -481,6 +602,9 @@ pub fn finish(h: &Harness) {
             h.metrics.export_telemetry(&mut reg, "exec");
             if let Some(store) = h.store() {
                 store.export_telemetry(&mut reg, "store");
+            }
+            if let Some(chaos) = chaos::global() {
+                chaos.export_telemetry(&mut reg, "chaos");
             }
             println!("=== harness ===");
             print!("{}", reg.snapshot_full().to_table());

@@ -1,58 +1,90 @@
 //! `ramp-client` — scriptable client for `ramp-served`.
 //!
 //! ```text
-//! ramp-client [--addr HOST:PORT] health
-//! ramp-client [--addr HOST:PORT] submit WORKLOAD KIND [POLICY]
-//! ramp-client [--addr HOST:PORT] job ID
-//! ramp-client [--addr HOST:PORT] wait ID [TIMEOUT_MS]
-//! ramp-client [--addr HOST:PORT] result KEY
-//! ramp-client [--addr HOST:PORT] stats
-//! ramp-client [--addr HOST:PORT] shutdown
-//! ramp-client [--addr HOST:PORT] smoke
+//! ramp-client [GLOBAL FLAGS] health
+//! ramp-client [GLOBAL FLAGS] submit WORKLOAD KIND [POLICY]
+//! ramp-client [GLOBAL FLAGS] job ID
+//! ramp-client [GLOBAL FLAGS] wait ID [TIMEOUT_MS]
+//! ramp-client [GLOBAL FLAGS] result KEY
+//! ramp-client [GLOBAL FLAGS] stats
+//! ramp-client [GLOBAL FLAGS] shutdown
+//! ramp-client [GLOBAL FLAGS] smoke
+//!
+//! GLOBAL FLAGS:
+//!   --addr HOST:PORT   server address        (default 127.0.0.1:7177)
+//!   --retries N        transport retry budget (default 3)
+//!   --backoff-ms MS    base retry backoff     (default 50)
+//!   --retry-429        also retry 429s, honoring retry-after
 //! ```
 //!
 //! Every subcommand prints the server's JSON response body on stdout and
 //! exits non-zero on transport errors or error-class statuses (except
 //! `submit`, where 429 is a meaningful answer and is reported via exit
-//! code 3 so scripts can distinguish shed load from failure). `smoke`
-//! runs the full CI choreography against a live server.
+//! code 3 so scripts can distinguish shed load from failure). Transport
+//! faults are retried with jittered exponential backoff before the
+//! classified error is reported. `smoke` runs the full CI choreography
+//! against a live server (the flags tune its client too, which is how
+//! the chaos CI stage keeps the choreography green under injected
+//! socket resets).
 
-use ramp_serve::client::{smoke, Client};
+use std::time::Duration;
+
+use ramp_serve::client::{smoke_with, Client};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ramp-client [--addr HOST:PORT] \
+        "usage: ramp-client [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--retry-429] \
          health|submit|job|wait|result|stats|shutdown|smoke [args...]"
     );
     std::process::exit(2);
 }
 
-fn fail(msg: &str) -> ! {
-    eprintln!("ramp-client: {msg}");
+fn fail(err: impl std::fmt::Display) -> ! {
+    eprintln!("ramp-client: {err}");
     std::process::exit(1);
 }
 
 fn main() {
     let mut addr = "127.0.0.1:7177".to_string();
+    let mut retries: u32 = 3;
+    let mut backoff_ms: u64 = 50;
+    let mut retry_429 = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--addr" {
-            addr = args.next().unwrap_or_else(|| usage());
-        } else {
-            rest.push(arg);
-            rest.extend(args.by_ref());
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--retries" => {
+                retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--backoff-ms" => {
+                backoff_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--retry-429" => retry_429 = true,
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
         }
     }
     if rest.is_empty() {
         usage();
     }
-    let client = Client::new(addr.clone());
+    let client = Client::new(addr.clone())
+        .with_retries(retries)
+        .with_backoff(Duration::from_millis(backoff_ms))
+        .with_retry_429(retry_429);
     let arg = |i: usize| -> &str { rest.get(i).map(String::as_str).unwrap_or("") };
 
     match rest[0].as_str() {
         "health" => {
-            let r = client.health().unwrap_or_else(|e| fail(&e));
+            let r = client.health().unwrap_or_else(|e| fail(e));
             println!("{}", r.body);
             std::process::exit(if r.status == 200 { 0 } else { 1 });
         }
@@ -62,7 +94,7 @@ fn main() {
             }
             let s = client
                 .submit(arg(1), arg(2), arg(3))
-                .unwrap_or_else(|e| fail(&e));
+                .unwrap_or_else(|e| fail(e));
             println!("{}", s.response.body);
             std::process::exit(match s.status {
                 200 | 202 => 0,
@@ -72,7 +104,7 @@ fn main() {
         }
         "job" => {
             let id = arg(1).parse().unwrap_or_else(|_| usage());
-            let r = client.job_status(id).unwrap_or_else(|e| fail(&e));
+            let r = client.job_status(id).unwrap_or_else(|e| fail(e));
             println!("{}", r.body);
             std::process::exit(if r.status == 200 { 0 } else { 1 });
         }
@@ -82,7 +114,7 @@ fn main() {
                 .get(2)
                 .map(|t| t.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(300_000);
-            let r = client.wait_done(id, timeout).unwrap_or_else(|e| fail(&e));
+            let r = client.wait_done(id, timeout).unwrap_or_else(|e| fail(e));
             println!("{}", r.body);
             std::process::exit(if r.state() == Some("done") { 0 } else { 1 });
         }
@@ -90,22 +122,22 @@ fn main() {
             if rest.len() < 2 {
                 usage();
             }
-            let r = client.run_summary(arg(1)).unwrap_or_else(|e| fail(&e));
+            let r = client.run_summary(arg(1)).unwrap_or_else(|e| fail(e));
             println!("{}", r.body);
             std::process::exit(if r.status == 200 { 0 } else { 1 });
         }
         "stats" => {
-            let doc = client.stats().unwrap_or_else(|e| fail(&e));
+            let doc = client.stats().unwrap_or_else(|e| fail(e));
             println!("{doc}");
         }
         "shutdown" => {
-            let r = client.shutdown().unwrap_or_else(|e| fail(&e));
+            let r = client.shutdown().unwrap_or_else(|e| fail(e));
             println!("{}", r.body);
             std::process::exit(if r.status == 200 { 0 } else { 1 });
         }
-        "smoke" => match smoke(&addr) {
+        "smoke" => match smoke_with(&client) {
             Ok(transcript) => print!("{transcript}"),
-            Err(e) => fail(&format!("smoke failed: {e}")),
+            Err(e) => fail(format!("smoke failed: {e}")),
         },
         _ => usage(),
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ramp-served [--addr HOST:PORT] [--workers N] [--queue N]
-//!             [--port-file PATH] [--smoke]
+//!             [--deadline-ms MS] [--port-file PATH] [--smoke]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7177`; port `0` picks an
@@ -11,14 +11,19 @@
 //! switches to the small `SystemConfig::smoke_test` system so CI runs
 //! finish in seconds; `RAMP_INSTS` overrides the per-core instruction
 //! budget either way, and `RAMP_STORE`/`RAMP_STORE_DIR` configure the
-//! result store exactly as for the experiment binaries.
+//! result store exactly as for the experiment binaries. `--deadline-ms`
+//! caps how long a queued job may wait before it is expired unrun
+//! (default 60000), and `RAMP_CHAOS` arms fault injection across the
+//! executor, store and connection handling (see DESIGN.md §8).
+
+use std::time::Duration;
 
 use ramp_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ramp-served [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--port-file PATH] [--smoke]"
+         [--deadline-ms MS] [--port-file PATH] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -27,6 +32,7 @@ fn main() {
     let mut addr = "127.0.0.1:7177".to_string();
     let mut workers: Option<usize> = None;
     let mut queue: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut port_file: Option<String> = None;
     let mut smoke = false;
 
@@ -42,6 +48,7 @@ fn main() {
             "--addr" => addr = value("--addr"),
             "--workers" => workers = value("--workers").parse().ok(),
             "--queue" => queue = value("--queue").parse().ok(),
+            "--deadline-ms" => deadline_ms = value("--deadline-ms").parse().ok(),
             "--port-file" => port_file = Some(value("--port-file")),
             "--smoke" => smoke = true,
             _ => usage(),
@@ -65,6 +72,9 @@ fn main() {
     }
     if let Some(q) = queue {
         cfg.queue_capacity = q.max(1);
+    }
+    if let Some(ms) = deadline_ms {
+        cfg.deadline = Duration::from_millis(ms.max(1));
     }
 
     let server = match Server::bind(&addr, cfg) {

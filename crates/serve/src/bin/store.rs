@@ -1,0 +1,53 @@
+//! `ramp-store` — offline maintenance for the persistent run store.
+//!
+//! ```text
+//! ramp-store scrub [--dir DIR]
+//! ```
+//!
+//! `scrub` walks the store directory (default: `RAMP_STORE_DIR` or
+//! `target/ramp-store`), removes stale `tmp-*` files left by
+//! interrupted writes, and quarantines every entry that no longer
+//! decodes (renamed `*.quarantine` with a `*.reason` file naming the
+//! decode error). The summary line on stdout is stable and greppable:
+//!
+//! ```text
+//! [scrub] dir=target/ramp-store scanned=21 valid=20 quarantined=1 already=0 tmp=0 unknown=0
+//! ```
+
+use ramp_serve::store::{RunStore, DEFAULT_DIR, ENV_STORE_DIR};
+
+fn usage() -> ! {
+    eprintln!("usage: ramp-store scrub [--dir DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    if cmd != "scrub" {
+        eprintln!("ramp-store: unknown subcommand {cmd:?}");
+        usage();
+    }
+    let mut dir = std::env::var(ENV_STORE_DIR).unwrap_or_else(|_| DEFAULT_DIR.to_string());
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--dir" => match args.next() {
+                Some(d) => dir = d,
+                None => usage(),
+            },
+            _ => {
+                eprintln!("ramp-store: unknown flag {flag:?}");
+                usage();
+            }
+        }
+    }
+    let store = match RunStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ramp-store: cannot open store at {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = store.scrub();
+    println!("[scrub] dir={dir} {report}");
+}

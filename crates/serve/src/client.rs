@@ -5,17 +5,102 @@
 //! return the response's flat JSON object as a string→string field map;
 //! [`smoke`] drives the full serving choreography (warm-cache replay,
 //! backpressure, graceful drain) and is what `scripts/ci.sh` runs.
+//!
+//! Transport faults (connect refused, reset mid-response) are retried
+//! with exponential backoff and decorrelated jitter up to a configurable
+//! budget; `429` responses honor the server's `retry-after` hint when
+//! [`Client::with_retry_429`] opts in. Retrying a `POST /runs` is safe —
+//! runs are idempotent by construction, keyed by the content-addressed
+//! run key, so a resubmit either hits the warm store or re-enqueues the
+//! byte-identical computation. Failures surface as classified
+//! [`ClientError`] values, never bare strings or panics.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use crate::http::read_response;
+use ramp_sim::codec::fnv1a64;
+use ramp_sim::rng::mix64;
+
+use crate::http::read_response_full;
 use crate::json::{parse_flat, ObjWriter};
 
 /// Default per-request socket timeout.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default transport retry budget (attempts = 1 + retries).
+pub const DEFAULT_RETRIES: u32 = 3;
+/// Default base backoff between retried attempts.
+pub const DEFAULT_BACKOFF: Duration = Duration::from_millis(50);
+/// Default backoff ceiling.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// A classified client-side failure.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// TCP connect failed on every attempt.
+    Connect {
+        /// Server address dialed.
+        addr: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Last OS error text.
+        last: String,
+    },
+    /// The request or response failed in flight on every attempt.
+    Transport {
+        /// What failed (send/read detail).
+        what: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// A job did not reach a terminal state within the wait budget.
+    Timeout {
+        /// Job id being polled.
+        job: u64,
+        /// Milliseconds waited.
+        waited_ms: u64,
+        /// Last observed job state.
+        last_state: String,
+    },
+    /// The server answered, but not in a way the caller can use.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "connect {addr} failed after {attempts} attempt(s): {last}"
+            ),
+            ClientError::Transport { what, attempts } => {
+                write!(f, "transport failed after {attempts} attempt(s): {what}")
+            }
+            ClientError::Timeout {
+                job,
+                waited_ms,
+                last_state,
+            } => write!(
+                f,
+                "job {job} not terminal after {waited_ms} ms (last state: {last_state})"
+            ),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for String {
+    fn from(e: ClientError) -> String {
+        e.to_string()
+    }
+}
 
 /// One parsed server response.
 #[derive(Clone, Debug)]
@@ -27,15 +112,18 @@ pub struct Response {
     pub fields: BTreeMap<String, String>,
     /// Raw body text.
     pub body: String,
+    /// The `retry-after` header in whole seconds, when sent (429s).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
-    fn parse(status: u16, body: String) -> Response {
+    fn parse(status: u16, body: String, retry_after: Option<u64>) -> Response {
         let fields = parse_flat(&body).unwrap_or_default();
         Response {
             status,
             fields,
             body,
+            retry_after,
         }
     }
 
@@ -65,6 +153,10 @@ pub struct Submit {
 pub struct Client {
     addr: String,
     timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
+    retry_429: bool,
 }
 
 impl Client {
@@ -73,6 +165,10 @@ impl Client {
         Client {
             addr,
             timeout: DEFAULT_TIMEOUT,
+            retries: DEFAULT_RETRIES,
+            backoff: DEFAULT_BACKOFF,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
+            retry_429: false,
         }
     }
 
@@ -82,14 +178,98 @@ impl Client {
         self
     }
 
+    /// Overrides the transport retry budget (`0` fails fast).
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Overrides the base backoff (the cap scales to `40×` base, at
+    /// least the default cap).
+    pub fn with_backoff(mut self, backoff: Duration) -> Client {
+        self.backoff = backoff;
+        self.backoff_cap = DEFAULT_BACKOFF_CAP.max(backoff * 40);
+        self
+    }
+
+    /// Also retry `429` responses (honoring `retry-after`). Off by
+    /// default: shed load is a meaningful answer for load probes like
+    /// the smoke choreography's backpressure burst.
+    pub fn with_retry_429(mut self, retry: bool) -> Client {
+        self.retry_429 = retry;
+        self
+    }
+
     /// The server address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
-    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, String> {
-        let mut stream =
-            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+    /// The deterministic decorrelated-jitter delay before retry
+    /// `attempt`: `base + unit * (3·prev − base)`, capped. The jitter
+    /// unit is hashed from `(addr, path, attempt)`, so a replay backs
+    /// off identically while distinct callers decorrelate.
+    fn backoff_delay(&self, path: &str, attempt: u32, prev: Duration) -> Duration {
+        let seed = fnv1a64(self.addr.as_bytes()) ^ fnv1a64(path.as_bytes()).rotate_left(17);
+        let h = mix64(seed ^ mix64(attempt as u64 + 1));
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let base = self.backoff.as_secs_f64();
+        let spread = (prev.as_secs_f64() * 3.0 - base).max(0.0);
+        Duration::from_secs_f64((base + unit * spread).min(self.backoff_cap.as_secs_f64()))
+    }
+
+    fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, ClientError> {
+        let mut prev_delay = self.backoff;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            match self.request_once(method, path, body) {
+                Ok(resp) => {
+                    if resp.status == 429 && self.retry_429 && attempt <= self.retries {
+                        // Honor the server's hint, floor it at our own
+                        // jittered backoff so tight hints still spread.
+                        let hinted = Duration::from_secs(resp.retry_after.unwrap_or(0));
+                        let delay = self.backoff_delay(path, attempt, prev_delay).max(hinted);
+                        std::thread::sleep(delay);
+                        prev_delay = delay;
+                        continue;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if attempt <= self.retries => {
+                    let delay = self.backoff_delay(path, attempt, prev_delay);
+                    std::thread::sleep(delay);
+                    prev_delay = delay;
+                    let _ = e;
+                }
+                Err((connect_phase, last)) => {
+                    return Err(if connect_phase {
+                        ClientError::Connect {
+                            addr: self.addr.clone(),
+                            attempts: attempt,
+                            last,
+                        }
+                    } else {
+                        ClientError::Transport {
+                            what: last,
+                            attempts: attempt,
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    /// One connect–send–read exchange; the error side carries whether
+    /// the failure was in the connect phase.
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<Response, (bool, String)> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| (true, format!("connect {}: {e}", self.addr)))?;
         let _ = stream.set_read_timeout(Some(self.timeout));
         let _ = stream.set_write_timeout(Some(self.timeout));
         let head = format!(
@@ -100,19 +280,25 @@ impl Client {
         stream
             .write_all(head.as_bytes())
             .and_then(|_| stream.write_all(body.as_bytes()))
-            .map_err(|e| format!("send request: {e}"))?;
-        let (status, body) = read_response(&mut stream)?;
-        Ok(Response::parse(status, body))
+            .map_err(|e| (false, format!("send request: {e}")))?;
+        let resp = read_response_full(&mut stream).map_err(|e| (false, e))?;
+        let retry_after = resp.retry_after_secs();
+        Ok(Response::parse(resp.status, resp.body, retry_after))
     }
 
     /// `GET /health`.
-    pub fn health(&self) -> Result<Response, String> {
+    pub fn health(&self) -> Result<Response, ClientError> {
         self.request("GET", "/health", "")
     }
 
     /// `POST /runs` with the given triple; `policy` may be empty for
     /// `profile`/`annotated` runs.
-    pub fn submit(&self, workload: &str, kind: &str, policy: &str) -> Result<Submit, String> {
+    ///
+    /// Safe to retry (and retried automatically on transport faults):
+    /// the run is identified by its content-addressed key, so a
+    /// resubmit after a torn response is idempotent — it is served warm
+    /// from the store or re-enqueues the identical computation.
+    pub fn submit(&self, workload: &str, kind: &str, policy: &str) -> Result<Submit, ClientError> {
         let mut w = ObjWriter::new();
         w.str("workload", workload).str("kind", kind);
         if !policy.is_empty() {
@@ -132,44 +318,65 @@ impl Client {
     }
 
     /// `GET /jobs/{id}`.
-    pub fn job_status(&self, id: u64) -> Result<Response, String> {
+    pub fn job_status(&self, id: u64) -> Result<Response, ClientError> {
         self.request("GET", &format!("/jobs/{id}"), "")
     }
 
     /// Polls `GET /jobs/{id}` until the job leaves the queue/run states.
     ///
-    /// Returns the terminal response (`state` is `done` or `failed`) or
-    /// an error after `timeout_ms` milliseconds.
-    pub fn wait_done(&self, id: u64, timeout_ms: u64) -> Result<Response, String> {
-        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    /// Returns the terminal response (`state` is `done`, `failed` or
+    /// `expired`) or [`ClientError::Timeout`] after `timeout_ms`
+    /// milliseconds. Polling sleeps between attempts with a growing
+    /// interval (10 ms doubling to 500 ms), so a slow job — or a server
+    /// that refuses connections while restarting — is never busy-spun.
+    pub fn wait_done(&self, id: u64, timeout_ms: u64) -> Result<Response, ClientError> {
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(timeout_ms);
+        let mut interval = Duration::from_millis(10);
         loop {
             let response = self.job_status(id)?;
             match response.state() {
-                Some("done") | Some("failed") => return Ok(response),
-                _ if Instant::now() >= deadline => {
-                    return Err(format!("job {id} still pending after {timeout_ms} ms"))
+                Some("done") | Some("failed") | Some("expired") => return Ok(response),
+                state => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Timeout {
+                            job: id,
+                            waited_ms: started.elapsed().as_millis() as u64,
+                            last_state: state.unwrap_or("unknown").to_string(),
+                        });
+                    }
+                    std::thread::sleep(
+                        interval.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    interval = (interval * 2).min(Duration::from_millis(500));
                 }
-                _ => std::thread::sleep(Duration::from_millis(10)),
             }
         }
     }
 
     /// `GET /runs/{key}` — fetch a stored result by content key.
-    pub fn run_summary(&self, key: &str) -> Result<Response, String> {
+    pub fn run_summary(&self, key: &str) -> Result<Response, ClientError> {
         self.request("GET", &format!("/runs/{key}"), "")
     }
 
     /// `GET /stats` — the raw telemetry JSON document.
-    pub fn stats(&self) -> Result<String, String> {
+    pub fn stats(&self) -> Result<String, ClientError> {
         let response = self.request("GET", "/stats", "")?;
         if response.status != 200 {
-            return Err(format!("stats returned {}", response.status));
+            return Err(ClientError::Protocol(format!(
+                "stats returned {}",
+                response.status
+            )));
         }
         Ok(response.body)
     }
 
     /// `POST /shutdown` — drains the server and returns the final counts.
-    pub fn shutdown(&self) -> Result<Response, String> {
+    ///
+    /// The one non-idempotent endpoint: it is still transport-retried
+    /// (the server exempts it from injected resets, and a repeat drain
+    /// of a drained server is a no-op answered after the first).
+    pub fn shutdown(&self) -> Result<Response, ClientError> {
         self.request("POST", "/shutdown", "")
     }
 }
@@ -209,12 +416,22 @@ pub fn scan_counter(doc: &str, name: &str) -> Option<u64> {
 ///    and `/stats` shows `store.hits > 0`,
 /// 4. a burst of concurrent submits on distinct workloads gets at least
 ///    one `202` *and* at least one `429` (bounded queue sheds load),
-/// 5. `POST /shutdown` drains: accepted == completed + failed, and the
-///    server really exits (subsequent connects fail).
+/// 5. `POST /shutdown` drains: accepted == completed + failed + expired,
+///    and the server really exits (subsequent connects fail).
 ///
 /// Returns a human-readable transcript of what was checked.
 pub fn smoke(addr: &str) -> Result<String, String> {
-    let client = Client::new(addr.to_string());
+    smoke_with(&Client::new(addr.to_string()))
+}
+
+/// [`smoke`] with a caller-configured client — the chaos CI stage passes
+/// one with a larger retry budget so the choreography stays green under
+/// injected socket resets. The backpressure burst still requires raw
+/// `429`s, so the client must not have [`Client::with_retry_429`] set.
+pub fn smoke_with(client: &Client) -> Result<String, String> {
+    let client = client.clone();
+    let addr = client.addr().to_string();
+    let addr = addr.as_str();
     let mut transcript = String::new();
     let mut note = |line: String| {
         transcript.push_str(&line);
@@ -311,7 +528,7 @@ pub fn smoke(addr: &str) -> Result<String, String> {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0)
     };
-    if count("completed") + count("failed") < count("accepted") {
+    if count("completed") + count("failed") + count("expired") < count("accepted") {
         return Err(format!("shutdown did not drain: {}", drained.body));
     }
     note(format!("graceful shutdown: {}", drained.body));
@@ -343,5 +560,61 @@ mod tests {
                     \"misses\":{\"type\":\"counter\",\"value\":0}}}";
         assert_eq!(scan_counter(doc, "hits"), Some(4));
         assert_eq!(scan_counter(doc, "misses"), Some(0));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let client = Client::new("127.0.0.1:7177".to_string());
+        let mut prev = DEFAULT_BACKOFF;
+        let mut delays = Vec::new();
+        for attempt in 1..12 {
+            let d = client.backoff_delay("/runs", attempt, prev);
+            assert!(d >= DEFAULT_BACKOFF, "never below base: {d:?}");
+            assert!(d <= DEFAULT_BACKOFF_CAP, "never above cap: {d:?}");
+            delays.push(d);
+            prev = d;
+        }
+        // Bit-identical on replay.
+        let replay = Client::new("127.0.0.1:7177".to_string());
+        let mut prev = DEFAULT_BACKOFF;
+        for (attempt, d) in delays.iter().enumerate() {
+            let r = replay.backoff_delay("/runs", attempt as u32 + 1, prev);
+            assert_eq!(&r, d);
+            prev = r;
+        }
+        // A different path draws a different jitter stream.
+        let other = client.backoff_delay("/jobs/1", 3, DEFAULT_BACKOFF);
+        assert_ne!(other, delays[2]);
+    }
+
+    #[test]
+    fn connect_refusal_classifies_after_the_retry_budget() {
+        // Bind then drop a listener: the port is very likely refused.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let client = Client::new(addr.clone())
+            .with_retries(1)
+            .with_backoff(Duration::from_millis(1));
+        match client.health() {
+            Err(ClientError::Connect { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected classified connect failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_error_display_is_informative() {
+        let e = ClientError::Timeout {
+            job: 4,
+            waited_ms: 1500,
+            last_state: "running".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "job 4 not terminal after 1500 ms (last state: running)"
+        );
+        let s: String = ClientError::Protocol("bad".into()).into();
+        assert_eq!(s, "protocol: bad");
     }
 }

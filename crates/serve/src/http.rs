@@ -99,19 +99,65 @@ fn reason(status: u16) -> &'static str {
 /// Writes one response and flushes; the connection is then closed by the
 /// caller dropping the stream.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        status,
-        reason(status),
+    write_response_with(stream, status, &[], body)
+}
+
+/// [`write_response`] with extra headers (e.g. `retry-after` on a 429).
+/// Header names must already be lower-case.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
-    );
+    ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
+/// A parsed response: status, headers (names lower-cased), body.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers with lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header value under `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `retry-after` header parsed as whole seconds, if present.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
+}
+
 /// Reads one response off a client connection: `(status, body)`.
 pub fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
+    let r = read_response_full(stream)?;
+    Ok((r.status, r.body))
+}
+
+/// Reads one full response (status + headers + body) off a client
+/// connection.
+pub fn read_response_full(stream: &mut TcpStream) -> Result<HttpResponse, String> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader
@@ -122,6 +168,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("bad status line {line:?}"))?;
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
@@ -133,9 +180,12 @@ pub fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse::<usize>().ok();
             }
+            headers.push((name, value));
         }
     }
     let body = match content_length {
@@ -154,7 +204,11 @@ pub fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
             buf
         }
     };
-    Ok((status, body))
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +253,32 @@ mod tests {
         assert_eq!(req.path, "/health");
         assert!(req.body.is_empty());
         assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn extra_headers_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /runs HTTP/1.1\r\n\r\n").unwrap();
+            read_response_full(&mut s).unwrap()
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let _ = read_request(&mut server_side).unwrap();
+        write_response_with(
+            &mut server_side,
+            429,
+            &[("retry-after", "1")],
+            "{\"error\":\"queue_full\"}",
+        )
+        .unwrap();
+        drop(server_side);
+        let resp = client.join().unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after_secs(), Some(1));
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body, "{\"error\":\"queue_full\"}");
     }
 
     #[test]

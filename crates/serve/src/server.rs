@@ -7,9 +7,19 @@
 //! dispatcher thread drains the queue in batches through
 //! `ramp_sim::exec::parallel_map_metrics`, so `workers` jobs simulate
 //! concurrently while the acceptor stays responsive. When the queue is
-//! full the server sheds load with `429` instead of buffering without
-//! bound, and `POST /shutdown` closes the queue, drains every accepted
-//! job, reports the final counts, and lets [`Server::run`] return.
+//! full the server sheds load with `429` (carrying `retry-after: 1`)
+//! instead of buffering without bound, and `POST /shutdown` closes the
+//! queue, drains every accepted job, reports the final counts, and lets
+//! [`Server::run`] return.
+//!
+//! Failure handling: jobs carry a submission deadline — entries that sat
+//! queued past it expire (state `expired`) instead of running; a worker
+//! panic is caught with its message captured into the job state (and the
+//! `chaos.panics_caught` counter in `/stats`); a failed store write
+//! degrades to serving the in-memory result with a warning, never a 500.
+//! Under `RAMP_CHAOS` (see [`ramp_sim::chaos`]) the server additionally
+//! injects slow reads, queue stalls and mid-response socket resets so
+//! the whole retry/degradation machinery is testable deterministically.
 //!
 //! | Endpoint          | Meaning                                         |
 //! |-------------------|-------------------------------------------------|
@@ -21,17 +31,19 @@
 //! | `POST /shutdown`  | drain in-flight jobs, then exit                 |
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ramp_core::config::SystemConfig;
 use ramp_core::system::RunResult;
+use ramp_sim::chaos::{self, Chaos, FaultKind};
 use ramp_sim::exec::{parallel_map_metrics, ExecMetrics};
 use ramp_sim::telemetry::StatRegistry;
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_with, Request};
 use crate::json::{error_body, parse_flat, ObjWriter};
 use crate::queue::{BoundedQueue, PushError};
 use crate::spec::RunSpec;
@@ -48,20 +60,28 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Per-connection socket read/write timeout.
     pub request_timeout: Duration,
+    /// Per-job deadline: a job still waiting past this after submission
+    /// expires (state `expired`) instead of running.
+    pub deadline: Duration,
     /// Result store; `None` disables persistence (every run simulates).
     pub store: Option<RunStore>,
+    /// Fault-injection registry; defaults to the `RAMP_CHAOS` global.
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl ServerConfig {
     /// Defaults: `RAMP_THREADS`-derived workers, a 32-deep queue, 10 s
-    /// socket timeouts, and the environment-configured store.
+    /// socket timeouts, a 60 s job deadline, the environment-configured
+    /// store, and the environment-configured chaos registry.
     pub fn new(sim: SystemConfig) -> Self {
         ServerConfig {
             sim,
             workers: ramp_sim::exec::default_threads(),
             queue_capacity: 32,
             request_timeout: Duration::from_secs(10),
+            deadline: Duration::from_secs(60),
             store: RunStore::from_env(),
+            chaos: chaos::global(),
         }
     }
 }
@@ -135,17 +155,21 @@ enum JobState {
     Running,
     Done(RunSummary),
     Failed(String),
+    Expired,
 }
 
 struct Job {
     id: u64,
     spec: RunSpec,
+    submitted: Instant,
 }
 
 struct Shared {
     sim: SystemConfig,
     workers: usize,
     store: Option<RunStore>,
+    chaos: Option<Arc<Chaos>>,
+    deadline: Duration,
     queue: BoundedQueue<Job>,
     jobs: Mutex<HashMap<u64, JobState>>,
     next_job: AtomicU64,
@@ -153,6 +177,9 @@ struct Shared {
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    expired: AtomicU64,
+    degraded: AtomicU64,
+    panics_caught: AtomicU64,
     shutdown: AtomicBool,
     exec_metrics: ExecMetrics,
 }
@@ -160,6 +187,12 @@ struct Shared {
 impl Shared {
     fn set_state(&self, id: u64, state: JobState) {
         self.jobs.lock().unwrap().insert(id, state);
+    }
+
+    fn chaos_slow(&self, site: &str) {
+        if let Some(c) = self.chaos.as_ref() {
+            c.maybe_slow(site);
+        }
     }
 }
 
@@ -180,6 +213,8 @@ impl Server {
                 sim: cfg.sim,
                 workers: cfg.workers.max(1),
                 store: cfg.store,
+                chaos: cfg.chaos,
+                deadline: cfg.deadline,
                 queue: BoundedQueue::new(cfg.queue_capacity),
                 jobs: Mutex::new(HashMap::new()),
                 next_job: AtomicU64::new(1),
@@ -187,6 +222,9 @@ impl Server {
                 rejected: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                expired: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                panics_caught: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 exec_metrics: ExecMetrics::new(),
             }),
@@ -231,31 +269,57 @@ impl Server {
 
 fn dispatch_loop(shared: &Shared) {
     while let Some(batch) = shared.queue.pop_batch(shared.workers) {
-        for job in &batch {
-            shared.set_state(job.id, JobState::Running);
+        // Jobs that sat past their deadline expire instead of running:
+        // under backlog the server sheds stale work deterministically
+        // rather than simulating results nobody is waiting for.
+        let mut runnable = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.submitted.elapsed() >= shared.deadline {
+                shared.set_state(job.id, JobState::Expired);
+                shared.expired.fetch_add(1, Ordering::SeqCst);
+            } else {
+                shared.set_state(job.id, JobState::Running);
+                runnable.push(job);
+            }
         }
         let outcomes = parallel_map_metrics(
             shared.workers,
-            batch,
+            runnable,
             &shared.exec_metrics,
             None,
             |_, job| {
                 let spec = job.spec;
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    spec.execute(&shared.sim, shared.store.as_ref())
+                    if let Some(c) = shared.chaos.as_ref() {
+                        c.maybe_slow("server.job");
+                        c.maybe_panic("server.job");
+                    }
+                    spec.execute_tracked(&shared.sim, shared.store.as_ref())
                 }));
                 (job.id, spec, result)
             },
         );
         for (id, spec, result) in outcomes {
             match result {
-                Ok(run) => {
+                Ok((run, persisted)) => {
                     let key = spec.key(&shared.sim);
+                    if !persisted {
+                        // Degraded mode: the simulation succeeded but the
+                        // store write didn't — serve the in-memory result
+                        // and warn, never 500.
+                        shared.degraded.fetch_add(1, Ordering::SeqCst);
+                        eprintln!(
+                            "[served] warn: job {id} ({key}) could not be persisted; \
+                             serving from memory"
+                        );
+                    }
                     shared.set_state(id, JobState::Done(RunSummary::from_run(&key, &run)));
                     shared.completed.fetch_add(1, Ordering::SeqCst);
                 }
-                Err(_) => {
-                    shared.set_state(id, JobState::Failed("simulation panicked".into()));
+                Err(payload) => {
+                    let msg = chaos::panic_message(payload.as_ref());
+                    shared.panics_caught.fetch_add(1, Ordering::SeqCst);
+                    shared.set_state(id, JobState::Failed(format!("simulation panicked: {msg}")));
                     shared.failed.fetch_add(1, Ordering::SeqCst);
                 }
             }
@@ -265,6 +329,7 @@ fn dispatch_loop(shared: &Shared) {
 
 /// Handles one connection; returns `true` when the server should stop.
 fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> bool {
+    shared.chaos_slow("server.read");
     let req = match read_request(stream) {
         Ok(req) => req,
         Err(msg) => {
@@ -273,7 +338,27 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> bool {
         }
     };
     let (status, body, stop) = route(shared, &req);
-    let _ = write_response(stream, status, &body);
+    // Injected mid-response reset: write a torn head and hang up, so the
+    // client exercises its transport-retry path. `POST /shutdown` — the
+    // one non-idempotent endpoint — is exempt: resetting it would retry
+    // a drain that already happened.
+    let resettable = !(req.method == "POST" && req.path == "/shutdown");
+    if resettable
+        && shared
+            .chaos
+            .as_ref()
+            .is_some_and(|c| c.roll(FaultKind::Net, "server.response"))
+    {
+        let _ = stream.write_all(b"HTTP/1.1 ");
+        let _ = stream.flush();
+        return stop;
+    }
+    if status == 429 {
+        // Back-pressured clients get an explicit retry hint.
+        let _ = write_response_with(stream, status, &[("retry-after", "1")], &body);
+    } else {
+        let _ = write_response(stream, status, &body);
+    }
     stop
 }
 
@@ -337,8 +422,13 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
         return (200, w.finish());
     }
 
+    shared.chaos_slow("server.queue");
     let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
-    match shared.queue.try_push(Job { id, spec }) {
+    match shared.queue.try_push(Job {
+        id,
+        spec,
+        submitted: Instant::now(),
+    }) {
         Ok(()) => {
             shared.set_state(id, JobState::Queued);
             shared.accepted.fetch_add(1, Ordering::SeqCst);
@@ -380,6 +470,10 @@ fn job_status(shared: &Shared, id_str: &str) -> (u16, String) {
         }
         JobState::Failed(msg) => {
             w.str("state", "failed").str("error", &msg);
+        }
+        JobState::Expired => {
+            w.str("state", "expired")
+                .str("error", "job deadline exceeded before execution");
         }
     }
     (200, w.finish())
@@ -433,19 +527,39 @@ fn stats_body(shared: &Shared) -> String {
         "failed",
         shared.failed.load(Ordering::SeqCst),
     );
+    reg.counter_add(
+        "server.jobs",
+        "expired",
+        shared.expired.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "degraded",
+        shared.degraded.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "chaos",
+        "panics_caught",
+        shared.panics_caught.load(Ordering::SeqCst),
+    );
+    if let Some(c) = shared.chaos.as_ref() {
+        c.export_telemetry(&mut reg, "chaos");
+    }
     shared
         .exec_metrics
         .export_telemetry(&mut reg, "server.exec");
     reg.snapshot_full().to_json()
 }
 
-/// Closes the queue and blocks until every accepted job has completed
-/// or failed; returns the final-count response body.
+/// Closes the queue and blocks until every accepted job has completed,
+/// failed or expired; returns the final-count response body.
 fn drain(shared: &Shared) -> String {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.queue.close();
     loop {
-        let done = shared.completed.load(Ordering::SeqCst) + shared.failed.load(Ordering::SeqCst);
+        let done = shared.completed.load(Ordering::SeqCst)
+            + shared.failed.load(Ordering::SeqCst)
+            + shared.expired.load(Ordering::SeqCst);
         if done >= shared.accepted.load(Ordering::SeqCst) {
             break;
         }
@@ -457,5 +571,6 @@ fn drain(shared: &Shared) -> String {
         .u64("rejected", shared.rejected.load(Ordering::SeqCst))
         .u64("completed", shared.completed.load(Ordering::SeqCst))
         .u64("failed", shared.failed.load(Ordering::SeqCst))
+        .u64("expired", shared.expired.load(Ordering::SeqCst))
         .finish()
 }

@@ -109,53 +109,67 @@ impl RunSpec {
     /// Executes the spec, serving from `store` when possible and
     /// persisting whatever had to be simulated.
     pub fn execute(&self, cfg: &SystemConfig, store: Option<&RunStore>) -> RunResult {
+        self.execute_tracked(cfg, store).0
+    }
+
+    /// [`RunSpec::execute`] that also reports persistence: the second
+    /// element is `false` when any store write of this execution (the
+    /// run itself or an intermediate profile) failed, i.e. the result is
+    /// correct but served from memory only — the caller can degrade
+    /// gracefully instead of erroring.
+    pub fn execute_tracked(
+        &self,
+        cfg: &SystemConfig,
+        store: Option<&RunStore>,
+    ) -> (RunResult, bool) {
         let key = self.key(cfg);
         if let Some(s) = store {
             if self.kind() == RunKind::Annotated {
                 if let Some((run, _)) = s.load_annotated(&key) {
-                    return run;
+                    return (run, true);
                 }
             } else if let Some(run) = s.load_run(&key) {
-                return run;
+                return (run, true);
             }
         }
         if let RunAction::Profile = self.action {
             let run = runner::profile_workload(cfg, &self.workload);
-            if let Some(s) = store {
-                s.store_run(&key, &run);
-            }
-            return run;
+            let persisted = match store {
+                Some(s) => s.store_run(&key, &run),
+                None => true,
+            };
+            return (run, persisted);
         }
-        let profile = RunSpec {
+        let (profile, mut persisted) = RunSpec {
             workload: self.workload,
             action: RunAction::Profile,
         }
-        .execute(cfg, store);
+        .execute_tracked(cfg, store);
         let run = match self.action {
             RunAction::Static(policy) => {
                 let run = runner::run_static(cfg, &self.workload, policy, &profile.table);
                 if let Some(s) = store {
-                    s.store_run(&key, &run);
+                    persisted &= s.store_run(&key, &run);
                 }
                 run
             }
             RunAction::Migration(scheme) => {
                 let run = runner::run_migration(cfg, &self.workload, scheme, &profile.table);
                 if let Some(s) = store {
-                    s.store_run(&key, &run);
+                    persisted &= s.store_run(&key, &run);
                 }
                 run
             }
             RunAction::Annotated => {
                 let (run, set) = runner::run_annotated(cfg, &self.workload, &profile.table);
                 if let Some(s) = store {
-                    s.store_annotated(&key, &run, &set);
+                    persisted &= s.store_annotated(&key, &run, &set);
                 }
                 run
             }
             RunAction::Profile => unreachable!("handled above"),
         };
-        run
+        (run, persisted)
     }
 }
 

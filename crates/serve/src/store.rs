@@ -10,19 +10,34 @@
 //!
 //! Writes are atomic: the entry is written to a unique temp file in the
 //! store directory and `rename`d into place, so concurrent experiment
-//! binaries sharing one store never observe a torn entry. Reads that hit
-//! a corrupt, truncated or version-skewed file count as misses (and bump
-//! the `invalid` metric); the store never panics on bad bytes and never
-//! trusts them.
+//! binaries sharing one store never observe a torn entry — and every
+//! write is read back and byte-compared before it counts as persisted.
+//! Reads that hit a corrupt, truncated or version-skewed file count as
+//! misses (and bump the `invalid` metric); the offending file is
+//! **quarantined** — renamed `*.quarantine` next to a `*.reason` file
+//! recording the decode error — so bad bytes are preserved for autopsy
+//! instead of being silently overwritten. [`RunStore::scrub`] walks a
+//! store offline, removes stale temp files and quarantines every entry
+//! that no longer decodes (exposed as the `ramp-store scrub`
+//! subcommand). The store never panics on bad bytes and never trusts
+//! them.
+//!
+//! Under `RAMP_CHAOS` (see [`ramp_sim::chaos`]) the store injects its
+//! own faults at three sites — `store.read` (read I/O error),
+//! `store.write` (failed write) and `store.corrupt` (post-write bit
+//! rot) — which is how the resilience test matrix exercises the
+//! quarantine and degraded-mode paths deterministically.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ramp_core::annotate::AnnotationSet;
 use ramp_core::config::SystemConfig;
 use ramp_core::system::RunResult;
+use ramp_sim::chaos::{self, Chaos, FaultKind};
 use ramp_sim::codec::{fnv1a64_seeded, ByteWriter};
 use ramp_sim::telemetry::StatRegistry;
 
@@ -113,10 +128,16 @@ pub struct StoreMetrics {
     pub hits: AtomicU64,
     /// Lookups that found no (valid) entry.
     pub misses: AtomicU64,
-    /// Entries persisted.
+    /// Entries persisted (write + read-back verify both succeeded).
     pub writes: AtomicU64,
     /// Entries that existed but failed to decode (counted in `misses` too).
     pub invalid: AtomicU64,
+    /// Undecodable entries renamed `*.quarantine` (by reads or scrub).
+    pub quarantined: AtomicU64,
+    /// Writes that failed at the I/O layer (real or injected).
+    pub write_failures: AtomicU64,
+    /// Writes whose read-back did not match what was written.
+    pub verify_failures: AtomicU64,
 }
 
 /// A handle on one on-disk store directory.
@@ -125,10 +146,12 @@ pub struct RunStore {
     dir: PathBuf,
     metrics: StoreMetrics,
     tmp_counter: AtomicU64,
+    chaos: Option<Arc<Chaos>>,
 }
 
 impl RunStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, with no
+    /// fault injection attached.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<RunStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
@@ -136,7 +159,21 @@ impl RunStore {
             dir,
             metrics: StoreMetrics::default(),
             tmp_counter: AtomicU64::new(0),
+            chaos: None,
         })
+    }
+
+    /// Attaches a fault-injection registry: subsequent reads and writes
+    /// roll the `store.read` / `store.write` / `store.corrupt` sites.
+    pub fn with_chaos(mut self, chaos: Option<Arc<Chaos>>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    fn chaos_roll(&self, site: &str) -> bool {
+        self.chaos
+            .as_ref()
+            .is_some_and(|c| c.roll(FaultKind::Io, site))
     }
 
     /// Opens the store configured by the environment: `RAMP_STORE=off`
@@ -152,7 +189,9 @@ impl RunStore {
             _ => {}
         }
         let dir = std::env::var(ENV_STORE_DIR).unwrap_or_else(|_| DEFAULT_DIR.to_string());
-        RunStore::open(dir).ok()
+        RunStore::open(dir)
+            .ok()
+            .map(|s| s.with_chaos(chaos::global()))
     }
 
     /// The directory this store reads and writes.
@@ -170,6 +209,10 @@ impl RunStore {
     }
 
     fn load_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        if self.chaos_roll("store.read") {
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            return None; // injected read I/O error: a clean miss
+        }
         match fs::read(path) {
             Ok(bytes) => Some(bytes),
             Err(_) => {
@@ -179,70 +222,176 @@ impl RunStore {
         }
     }
 
-    fn note_invalid(&self) {
-        self.metrics.invalid.fetch_add(1, Ordering::Relaxed);
-        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+    /// Quarantines the undecodable file at `path`: renames it
+    /// `<name>.quarantine` and records `why` in `<name>.reason`, so the
+    /// bad bytes survive for autopsy and never serve another read.
+    fn quarantine(&self, path: &Path, why: &str) {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            return;
+        };
+        let jail = path.with_file_name(format!("{name}.quarantine"));
+        if fs::rename(path, &jail).is_ok() {
+            let reason = path.with_file_name(format!("{name}.reason"));
+            let _ = fs::write(&reason, format!("{name}: {why}\n"));
+            self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Atomically persists `bytes` under `path` (best effort: a full
-    /// disk or read-only store silently degrades to a cold cache).
-    fn store_bytes(&self, path: &Path, bytes: &[u8]) {
+    fn note_invalid(&self, path: &Path, why: &str) {
+        self.metrics.invalid.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        self.quarantine(path, why);
+    }
+
+    /// Atomically persists `bytes` under `path` and verifies the write
+    /// by reading it back. Returns `false` (best effort: a full disk or
+    /// read-only store degrades to a cold cache, never an abort) when
+    /// the entry did not durably land.
+    fn store_bytes(&self, path: &Path, bytes: &[u8]) -> bool {
+        if self.chaos_roll("store.write") {
+            self.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+            return false; // injected write failure
+        }
         let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!("tmp-{}-{n}", std::process::id()));
         let ok = fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(bytes))
             .and_then(|_| fs::rename(&tmp, path));
-        match ok {
-            Ok(_) => {
-                self.metrics.writes.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                let _ = fs::remove_file(&tmp);
+        if ok.is_err() {
+            let _ = fs::remove_file(&tmp);
+            self.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // Read-back verify: the entry only counts once the bytes on disk
+        // are the bytes we meant to write.
+        match fs::read(path) {
+            Ok(back) if back == bytes => {}
+            _ => {
+                let _ = fs::remove_file(path);
+                self.metrics.verify_failures.fetch_add(1, Ordering::Relaxed);
+                return false;
             }
         }
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        if self.chaos_roll("store.corrupt") {
+            // Injected post-write bit rot (after verify, so the write
+            // itself succeeded): future reads must quarantine this entry.
+            let mut rotted = bytes.to_vec();
+            if rotted.len() % 2 == 0 {
+                rotted.truncate(rotted.len() / 2);
+            } else {
+                let mid = rotted.len() / 2;
+                rotted[mid] ^= 0x40;
+            }
+            let _ = fs::write(path, &rotted);
+        }
+        true
     }
 
     /// Loads the run stored under `key`, if present and valid.
+    /// Undecodable entries are quarantined and count as misses.
     pub fn load_run(&self, key: &str) -> Option<RunResult> {
-        let bytes = self.load_bytes(&self.path_for(key, "run"))?;
+        let path = self.path_for(key, "run");
+        let bytes = self.load_bytes(&path)?;
         match wire::decode_run(&bytes) {
             Ok(run) => {
                 self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                 Some(run)
             }
-            Err(_) => {
-                self.note_invalid();
+            Err(e) => {
+                self.note_invalid(&path, &format!("{e:?}"));
                 None
             }
         }
     }
 
-    /// Persists `run` under `key`.
-    pub fn store_run(&self, key: &str, run: &RunResult) {
-        self.store_bytes(&self.path_for(key, "run"), &wire::encode_run(run));
+    /// Persists `run` under `key`; `true` once it is verified on disk.
+    pub fn store_run(&self, key: &str, run: &RunResult) -> bool {
+        self.store_bytes(&self.path_for(key, "run"), &wire::encode_run(run))
     }
 
     /// Loads the annotated run stored under `key`, if present and valid.
+    /// Undecodable entries are quarantined and count as misses.
     pub fn load_annotated(&self, key: &str) -> Option<(RunResult, AnnotationSet)> {
-        let bytes = self.load_bytes(&self.path_for(key, "ann"))?;
+        let path = self.path_for(key, "ann");
+        let bytes = self.load_bytes(&path)?;
         match wire::decode_annotated(&bytes) {
             Ok(pair) => {
                 self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                 Some(pair)
             }
-            Err(_) => {
-                self.note_invalid();
+            Err(e) => {
+                self.note_invalid(&path, &format!("{e:?}"));
                 None
             }
         }
     }
 
-    /// Persists an annotated run under `key`.
-    pub fn store_annotated(&self, key: &str, run: &RunResult, set: &AnnotationSet) {
+    /// Persists an annotated run under `key`; `true` once it is
+    /// verified on disk.
+    pub fn store_annotated(&self, key: &str, run: &RunResult, set: &AnnotationSet) -> bool {
         self.store_bytes(
             &self.path_for(key, "ann"),
             &wire::encode_annotated(run, set),
-        );
+        )
+    }
+
+    /// Walks the whole store directory, removing stale temp files and
+    /// quarantining every entry that no longer decodes. Deterministic
+    /// order (sorted by file name); never panics on foreign files.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return report;
+        };
+        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for path in paths {
+            if !path.is_file() {
+                continue;
+            }
+            report.scanned += 1;
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            let Some(name) = name else { continue };
+            if name.starts_with("tmp-") {
+                // An interrupted write that never got renamed into place.
+                let _ = fs::remove_file(&path);
+                report.tmp_removed += 1;
+            } else if name.ends_with(".quarantine") || name.ends_with(".reason") {
+                report.already_quarantined += 1;
+            } else if name.ends_with(".run") {
+                match fs::read(&path)
+                    .map_err(|e| format!("read failed: {e}"))
+                    .and_then(|bytes| {
+                        wire::decode_run(&bytes)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}"))
+                    }) {
+                    Ok(()) => report.valid += 1,
+                    Err(why) => {
+                        self.quarantine(&path, &why);
+                        report.quarantined += 1;
+                    }
+                }
+            } else if name.ends_with(".ann") {
+                match fs::read(&path)
+                    .map_err(|e| format!("read failed: {e}"))
+                    .and_then(|bytes| {
+                        wire::decode_annotated(&bytes)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}"))
+                    }) {
+                    Ok(()) => report.valid += 1,
+                    Err(why) => {
+                        self.quarantine(&path, &why);
+                        report.quarantined += 1;
+                    }
+                }
+            } else {
+                report.unknown += 1;
+            }
+        }
+        report
     }
 
     /// Exports the hit/miss/write/invalid counters into `scope` of `reg`.
@@ -255,6 +404,49 @@ impl RunStore {
         reg.counter_add(scope, "misses", m.misses.load(Ordering::Relaxed));
         reg.counter_add(scope, "writes", m.writes.load(Ordering::Relaxed));
         reg.counter_add(scope, "invalid", m.invalid.load(Ordering::Relaxed));
+        reg.counter_add(scope, "quarantined", m.quarantined.load(Ordering::Relaxed));
+        reg.counter_add(
+            scope,
+            "write_failures",
+            m.write_failures.load(Ordering::Relaxed),
+        );
+        reg.counter_add(
+            scope,
+            "verify_failures",
+            m.verify_failures.load(Ordering::Relaxed),
+        );
+    }
+}
+
+/// What [`RunStore::scrub`] found and repaired in one walk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Files examined.
+    pub scanned: u64,
+    /// Entries that decoded cleanly.
+    pub valid: u64,
+    /// Undecodable entries quarantined by this walk.
+    pub quarantined: u64,
+    /// Quarantine artifacts (`*.quarantine` / `*.reason`) from earlier.
+    pub already_quarantined: u64,
+    /// Stale `tmp-*` files removed (interrupted writes).
+    pub tmp_removed: u64,
+    /// Foreign files left untouched.
+    pub unknown: u64,
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scanned={} valid={} quarantined={} already={} tmp={} unknown={}",
+            self.scanned,
+            self.valid,
+            self.quarantined,
+            self.already_quarantined,
+            self.tmp_removed,
+            self.unknown
+        )
     }
 }
 
@@ -350,9 +542,103 @@ mod tests {
         assert!(store.load_run(&key).is_none());
 
         assert_eq!(store.metrics().invalid.load(Ordering::Relaxed), 4);
+        // Every bad read quarantined the file instead of leaving it.
+        assert_eq!(store.metrics().quarantined.load(Ordering::Relaxed), 4);
+        assert!(!path.exists());
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(path.with_file_name(format!("{name}.quarantine")).exists());
+        let reason = fs::read_to_string(path.with_file_name(format!("{name}.reason"))).unwrap();
+        assert!(
+            reason.contains(&name),
+            "reason file names the entry: {reason}"
+        );
         // A rewrite heals the slot.
         store.store_run(&key, &run);
         assert!(store.load_run(&key).is_some());
+    }
+
+    #[test]
+    fn scrub_repairs_a_damaged_store() {
+        let store = test_store();
+        let run = sample_run();
+        let cfg = SystemConfig::smoke_test();
+        let good_key = run_key(&cfg, RunKind::Static, "lbm", "x");
+        let bad_key = run_key(&cfg, RunKind::Static, "mcf", "x");
+        store.store_run(&good_key, &run);
+        store.store_run(&bad_key, &run);
+        // Damage one entry, drop a stale temp file and a foreign file.
+        let bad_path = store.path_for(&bad_key, "run");
+        let good_bytes = fs::read(&bad_path).unwrap();
+        fs::write(&bad_path, &good_bytes[..good_bytes.len() / 3]).unwrap();
+        fs::write(store.dir().join("tmp-999-0"), b"interrupted").unwrap();
+        fs::write(store.dir().join("notes.txt"), b"not ours").unwrap();
+
+        let report = store.scrub();
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.tmp_removed, 1);
+        assert_eq!(report.unknown, 1);
+        assert_eq!(report.scanned, 4);
+        assert!(!store.dir().join("tmp-999-0").exists());
+        assert!(!bad_path.exists());
+        assert!(store.load_run(&good_key).is_some());
+        assert!(store.load_run(&bad_key).is_none());
+
+        // A second walk finds the store clean, with the quarantine
+        // artifacts (entry + reason) accounted separately.
+        let again = store.scrub();
+        assert_eq!(again.quarantined, 0);
+        assert_eq!(again.valid, 1);
+        assert_eq!(again.already_quarantined, 2);
+        assert_eq!(
+            report.to_string(),
+            "scanned=4 valid=1 quarantined=1 already=0 tmp=1 unknown=1"
+        );
+    }
+
+    #[test]
+    fn injected_write_failure_degrades_to_a_cold_cache() {
+        let chaos = Arc::new(ramp_sim::chaos::Chaos::from_spec(3, "io=1.0").unwrap());
+        let store = test_store().with_chaos(Some(chaos));
+        let run = sample_run();
+        let key = run_key(&SystemConfig::smoke_test(), RunKind::Static, "lbm", "x");
+        assert!(!store.store_run(&key, &run)); // every write injected to fail
+        assert!(!store.path_for(&key, "run").exists());
+        assert_eq!(store.metrics().write_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(store.metrics().writes.load(Ordering::Relaxed), 0);
+        assert!(store.load_run(&key).is_none()); // injected read error: a miss
+    }
+
+    #[test]
+    fn store_chaos_classifies_every_fault_and_never_serves_garbage() {
+        // io=0.5 exercises all three sites (failed writes, read errors,
+        // post-write rot) across 40 write+read pairs. The invariants:
+        // never panic, never a wrong payload, every load is exactly one
+        // of hit/miss, and some of every failure class fires.
+        let chaos = Arc::new(ramp_sim::chaos::Chaos::from_spec(5, "io=0.5").unwrap());
+        let store = test_store().with_chaos(Some(chaos));
+        let run = sample_run();
+        let cfg = SystemConfig::smoke_test();
+        for i in 0..40 {
+            let key = run_key(&cfg, RunKind::Static, &format!("wl{i}"), "x");
+            store.store_run(&key, &run);
+            if let Some(back) = store.load_run(&key) {
+                // A served entry is bit-correct, chaos or not.
+                assert_eq!(back.ipc.to_bits(), run.ipc.to_bits());
+                assert_eq!(back.telemetry, run.telemetry);
+            }
+        }
+        let m = store.metrics();
+        let hits = m.hits.load(Ordering::Relaxed);
+        let misses = m.misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, 40, "each load is exactly one of hit/miss");
+        assert!(m.write_failures.load(Ordering::Relaxed) > 0);
+        assert!(m.quarantined.load(Ordering::Relaxed) > 0);
+        assert_eq!(
+            m.quarantined.load(Ordering::Relaxed),
+            m.invalid.load(Ordering::Relaxed),
+            "every undecodable entry was quarantined"
+        );
     }
 
     #[test]

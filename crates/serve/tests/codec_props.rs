@@ -215,6 +215,63 @@ fn store_survives_random_garbage_files() {
     });
 }
 
+#[test]
+fn corrupted_persisted_entries_quarantine_and_never_serve_garbage() {
+    // A persisted entry damaged on disk — one flipped bit or a random
+    // truncation — must read back as a clean miss AND be quarantined
+    // (renamed `*.quarantine` beside a `*.reason` autopsy note). It must
+    // never panic and never serve a payload that differs from what was
+    // written.
+    let dir = std::env::temp_dir().join(format!("ramp-codec-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ramp_serve::store::RunStore::open(&dir).unwrap();
+    let cfg = ramp_core::config::SystemConfig::smoke_test();
+    let key = ramp_serve::store::run_key(
+        &cfg,
+        ramp_serve::store::RunKind::Static,
+        Workload::all()[0].name(),
+        "perf-focused",
+    );
+    let path = dir.join(format!("{key}.run"));
+    let jail = dir.join(format!("{key}.run.quarantine"));
+    let reason = dir.join(format!("{key}.run.reason"));
+    check("store: damaged entries quarantine", |g| {
+        let _ = std::fs::remove_file(&jail);
+        let _ = std::fs::remove_file(&reason);
+        let run = gen_run(g);
+        assert!(store.store_run(&key, &run), "persist a fresh entry");
+        let good = std::fs::read(&path).unwrap();
+        let mut bad = good.clone();
+        if g.u64_below(2) == 0 {
+            let at = g.usize_in(0, bad.len());
+            bad[at] ^= 1 << g.u64_below(8);
+        } else {
+            bad.truncate(g.usize_in(0, bad.len()));
+        }
+        std::fs::write(&path, &bad).unwrap();
+        match store.load_run(&key) {
+            None => {
+                assert!(!path.exists(), "damaged file must leave the serving path");
+                assert!(jail.exists(), "damaged file must be jailed");
+                let note = std::fs::read_to_string(&reason).unwrap();
+                assert!(note.contains(&format!("{key}.run")), "{note}");
+                assert_eq!(
+                    std::fs::read(&jail).unwrap(),
+                    bad,
+                    "jail preserves the bytes"
+                );
+            }
+            // Only a bit-exact reproduction may ever serve.
+            Some(back) => assert_bit_equal(&run, &back),
+        }
+    });
+    let quarantined = store
+        .metrics()
+        .quarantined
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(quarantined > 0, "at least one iteration must quarantine");
+}
+
 fn test_gen() -> Gen {
     Gen::from_seed(0x52414d50)
 }

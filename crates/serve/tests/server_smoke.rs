@@ -40,7 +40,9 @@ fn full_smoke_choreography() {
         workers: 1,
         queue_capacity: 1,
         request_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(60),
         store: Some(scratch_store("choreo")),
+        chaos: None,
     });
     let transcript = smoke(&addr.to_string()).expect("smoke choreography");
     assert!(transcript.contains("rejected (429)"), "{transcript}");
@@ -55,7 +57,9 @@ fn bad_requests_get_400s_and_404s() {
         workers: 1,
         queue_capacity: 4,
         request_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(60),
         store: Some(scratch_store("errors")),
+        chaos: None,
     });
     let client = Client::new(addr.to_string());
 
@@ -84,7 +88,9 @@ fn stats_track_store_and_queue_counters() {
         workers: 2,
         queue_capacity: 8,
         request_timeout: Duration::from_secs(10),
+        deadline: Duration::from_secs(60),
         store: Some(scratch_store("stats")),
+        chaos: None,
     });
     let client = Client::new(addr.to_string());
 
@@ -126,7 +132,9 @@ fn shutdown_waits_for_inflight_jobs() {
         workers: 1,
         queue_capacity: 4,
         request_timeout: Duration::from_secs(30),
+        deadline: Duration::from_secs(60),
         store: Some(scratch_store("drain")),
+        chaos: None,
     });
     let client = Client::new(addr.to_string());
 

@@ -25,6 +25,9 @@
 //!   histograms, ratios) with deterministic JSON/table serialization,
 //!   shared by every simulator component for observability and
 //!   golden-snapshot regression testing.
+//! * [`chaos`] — a seeded software fault-injection registry
+//!   (`RAMP_CHAOS=<seed>:<spec>`) threaded through the executor, run
+//!   store, server and client for deterministic resilience testing.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod check;
 pub mod codec;
 pub mod event;

@@ -62,4 +62,45 @@ for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
 target/release/ramp-client --addr "$(cat "$PORT_FILE")" smoke
 wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; exit 1; }
 
+# Chaos smoke: the same gates must hold under deterministic fault
+# injection (RAMP_CHAOS, see DESIGN.md "Failure model & chaos testing").
+# Fixed seeds keep the runs reproducible: injected store faults must
+# degrade to cold-cache behavior with byte-identical stdout, deliberate
+# on-disk damage must be quarantined by `ramp-store scrub`, and the
+# server choreography must ride out injected resets via client retries.
+echo "==> chaos-smoke: experiment under store faults (seed 101)"
+CHAOS_DIR="$STORE_DIR/chaos-store"
+env "${WARM_ENV[@]}" RAMP_STORE_DIR="$CHAOS_DIR" RAMP_STATS=json \
+    RAMP_CHAOS="101:io=0.25,slow=1ms" target/release/fig05_perf_static \
+    > "$STORE_DIR/chaos1.out" 2> "$STORE_DIR/chaos1.err"
+cmp "$STORE_DIR/cold.out" "$STORE_DIR/chaos1.out" \
+    || { echo "FAIL: chaos stdout differs from fault-free stdout"; exit 1; }
+
+echo "==> chaos-smoke: scrub quarantines deliberate damage"
+VICTIM="$(ls "$CHAOS_DIR"/*.run 2>/dev/null | head -n1 || true)"
+[ -n "$VICTIM" ] || { echo "FAIL: chaos store persisted nothing"; exit 1; }
+head -c 7 "$VICTIM" > "$VICTIM.cut" && mv "$VICTIM.cut" "$VICTIM"
+target/release/ramp-store scrub --dir "$CHAOS_DIR" > "$STORE_DIR/scrub.out"
+cat "$STORE_DIR/scrub.out"
+grep -qE ' quarantined=[1-9]' "$STORE_DIR/scrub.out" \
+    || { echo "FAIL: scrub did not quarantine the damaged entry"; exit 1; }
+
+echo "==> chaos-smoke: healing replay (seed 202)"
+env "${WARM_ENV[@]}" RAMP_STORE_DIR="$CHAOS_DIR" RAMP_STATS=json \
+    RAMP_CHAOS="202:io=0.2" target/release/fig05_perf_static \
+    > "$STORE_DIR/chaos2.out" 2>/dev/null
+cmp "$STORE_DIR/cold.out" "$STORE_DIR/chaos2.out" \
+    || { echo "FAIL: healing replay differs from fault-free stdout"; exit 1; }
+
+echo "==> chaos-smoke: server choreography under injected resets (seed 7)"
+PORT_FILE2="$STORE_DIR/chaos-port"
+RAMP_STORE_DIR="$STORE_DIR/chaos-server-store" RAMP_CHAOS="7:net=0.05,slow=2ms" \
+    target/release/ramp-served --smoke --addr 127.0.0.1:0 --workers 1 --queue 1 \
+    --port-file "$PORT_FILE2" 2> "$STORE_DIR/chaos-served.err" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do [ -s "$PORT_FILE2" ] && break; sleep 0.1; done
+[ -s "$PORT_FILE2" ] || { echo "FAIL: chaos server never wrote its port file"; exit 1; }
+target/release/ramp-client --addr "$(cat "$PORT_FILE2")" --retries 8 --backoff-ms 10 smoke
+wait "$SERVER_PID" || { echo "FAIL: chaos server exited non-zero"; exit 1; }
+
 echo "CI OK"
