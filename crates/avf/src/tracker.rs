@@ -162,6 +162,52 @@ impl AvfTracker {
         self.pages.len()
     }
 
+    /// Serializes the tracker (sorted by page id so the byte stream is
+    /// independent of `HashMap` iteration order).
+    pub fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        w.u64(self.start.0);
+        let mut pages: Vec<(&PageId, &PageTrack)> = self.pages.iter().collect();
+        pages.sort_by_key(|(p, _)| **p);
+        w.u32(pages.len() as u32);
+        for (page, t) in pages {
+            w.u64(page.0);
+            for &last in t.last_access.iter() {
+                w.u64(last);
+            }
+            w.u64(t.ace[0]);
+            w.u64(t.ace[1]);
+            w.u64(t.reads);
+            w.u64(t.writes);
+        }
+    }
+
+    /// Restores the state captured by [`AvfTracker::save_state`], replacing
+    /// the tracker's contents.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        self.start = Cycle(r.u64()?);
+        let n = r.seq_len(8 + 8 * LINES_PER_PAGE + 32)?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let page = PageId(r.u64()?);
+            let mut last_access = Box::new([0u64; LINES_PER_PAGE]);
+            for last in last_access.iter_mut() {
+                *last = r.u64()?;
+            }
+            let track = PageTrack {
+                last_access,
+                ace: [r.u64()?, r.u64()?],
+                reads: r.u64()?,
+                writes: r.u64()?,
+            };
+            pages.insert(page, track);
+        }
+        self.pages = pages;
+        Ok(())
+    }
+
     /// Finalizes tracking at `end` and produces the per-page statistics.
     ///
     /// The interval from each line's last access to `end` is un-ACE (the

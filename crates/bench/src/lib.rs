@@ -30,9 +30,11 @@ use ramp_core::annotate::AnnotationSet;
 use ramp_core::config::SystemConfig;
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_static};
+use ramp_core::runner::{
+    build_annotated_sim, build_migration_sim, build_profile_sim, build_static_sim,
+};
 use ramp_core::system::RunResult;
-use ramp_serve::spec::{ANNOTATED_POLICY, PROFILE_POLICY};
+use ramp_serve::spec::{run_with_recovery, ANNOTATED_POLICY, PROFILE_POLICY};
 use ramp_serve::store::{run_key, RunKind, RunStore};
 use ramp_sim::chaos;
 use ramp_sim::exec::{try_parallel_map_metrics, ExecMetrics, StageTimer, TaskOptions};
@@ -184,6 +186,7 @@ impl Harness {
             self.threads
         ));
         let cfg = &self.cfg;
+        let store = self.store.as_ref();
         let names: Vec<&'static str> = missing.iter().map(|wl| wl.name()).collect();
         let results = try_parallel_map_metrics(
             self.threads,
@@ -193,7 +196,11 @@ impl Harness {
             &TaskOptions::from_env(),
             |_, wl| {
                 eprintln!("  [profile] {}", wl.name());
-                (wl.name(), profile_workload(cfg, wl))
+                let key = run_key(cfg, RunKind::Profile, wl.name(), PROFILE_POLICY);
+                let label = format!("{}/{PROFILE_POLICY}", wl.name());
+                let (r, _) =
+                    run_with_recovery(|| build_profile_sim(cfg, wl), &key, &label, store, None);
+                (wl.name(), r)
             },
         );
         for result in results {
@@ -264,6 +271,7 @@ impl Harness {
             self.threads
         ));
         let cfg = &self.cfg;
+        let store = self.store.as_ref();
         let profiles = &self.profiles;
         let labels: Vec<String> = missing
             .iter()
@@ -277,7 +285,15 @@ impl Harness {
             &TaskOptions::from_env(),
             |_, (wl, policy)| {
                 eprintln!("  [static {}] {}", policy.name(), wl.name());
-                let r = run_static(cfg, wl, *policy, &profiles[wl.name()].table);
+                let key = run_key(cfg, RunKind::Static, wl.name(), &policy.name());
+                let label = format!("{}/{}", wl.name(), policy.name());
+                let (r, _) = run_with_recovery(
+                    || build_static_sim(cfg, wl, *policy, &profiles[wl.name()].table),
+                    &key,
+                    &label,
+                    store,
+                    None,
+                );
                 ((wl.name(), policy.name()), r)
             },
         );
@@ -343,6 +359,7 @@ impl Harness {
             self.threads
         ));
         let cfg = &self.cfg;
+        let store = self.store.as_ref();
         let profiles = &self.profiles;
         let labels: Vec<String> = missing
             .iter()
@@ -356,7 +373,15 @@ impl Harness {
             &TaskOptions::from_env(),
             |_, (wl, scheme)| {
                 eprintln!("  [migration {}] {}", scheme.name(), wl.name());
-                let r = run_migration(cfg, wl, *scheme, &profiles[wl.name()].table);
+                let key = run_key(cfg, RunKind::Migration, wl.name(), scheme.name());
+                let label = format!("{}/{}", wl.name(), scheme.name());
+                let (r, _) = run_with_recovery(
+                    || build_migration_sim(cfg, wl, *scheme, &profiles[wl.name()].table),
+                    &key,
+                    &label,
+                    store,
+                    None,
+                );
                 ((wl.name(), scheme.name()), r)
             },
         );
@@ -420,6 +445,7 @@ impl Harness {
             self.threads
         ));
         let cfg = &self.cfg;
+        let store = self.store.as_ref();
         let profiles = &self.profiles;
         let names: Vec<&'static str> = missing.iter().map(|wl| wl.name()).collect();
         let results = try_parallel_map_metrics(
@@ -430,10 +456,18 @@ impl Harness {
             &TaskOptions::from_env(),
             |_, wl| {
                 eprintln!("  [annotated] {}", wl.name());
-                (
-                    wl.name(),
-                    run_annotated(cfg, wl, &profiles[wl.name()].table),
-                )
+                let key = run_key(cfg, RunKind::Annotated, wl.name(), ANNOTATED_POLICY);
+                let label = format!("{}/{ANNOTATED_POLICY}", wl.name());
+                let table = &profiles[wl.name()].table;
+                let set = build_annotated_sim(cfg, wl, table).1;
+                let (r, _) = run_with_recovery(
+                    || build_annotated_sim(cfg, wl, table).0,
+                    &key,
+                    &label,
+                    store,
+                    None,
+                );
+                (wl.name(), (r, set))
             },
         );
         for result in results {
@@ -469,7 +503,14 @@ impl Harness {
                 Some(r) => r,
                 None => {
                     eprintln!("  [profile] {}", wl.name());
-                    let r = profile_workload(&self.cfg, wl);
+                    let label = format!("{}/{PROFILE_POLICY}", wl.name());
+                    let (r, _) = run_with_recovery(
+                        || build_profile_sim(&self.cfg, wl),
+                        &store_key,
+                        &label,
+                        self.store.as_ref(),
+                        None,
+                    );
                     if let Some(store) = &self.store {
                         store.store_run(&store_key, &r);
                     }
@@ -491,7 +532,14 @@ impl Harness {
                 None => {
                     let profile = self.profile(wl);
                     eprintln!("  [static {}] {}", policy.name(), wl.name());
-                    let r = run_static(&self.cfg, wl, policy, &profile.table);
+                    let label = format!("{}/{}", wl.name(), policy.name());
+                    let (r, _) = run_with_recovery(
+                        || build_static_sim(&self.cfg, wl, policy, &profile.table),
+                        &store_key,
+                        &label,
+                        self.store.as_ref(),
+                        None,
+                    );
                     if let Some(store) = &self.store {
                         store.store_run(&store_key, &r);
                     }
@@ -513,7 +561,14 @@ impl Harness {
                 None => {
                     let profile = self.profile(wl);
                     eprintln!("  [migration {}] {}", scheme.name(), wl.name());
-                    let r = run_migration(&self.cfg, wl, scheme, &profile.table);
+                    let label = format!("{}/{}", wl.name(), scheme.name());
+                    let (r, _) = run_with_recovery(
+                        || build_migration_sim(&self.cfg, wl, scheme, &profile.table),
+                        &store_key,
+                        &label,
+                        self.store.as_ref(),
+                        None,
+                    );
                     if let Some(store) = &self.store {
                         store.store_run(&store_key, &r);
                     }

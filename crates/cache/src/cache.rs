@@ -242,6 +242,48 @@ impl SetAssocCache {
         self.ways.iter().filter(|w| w.valid).count()
     }
 
+    /// Serializes the cache's dynamic state (ways, LRU tick, stats) into
+    /// `w`. Geometry is not written: restore into a cache built with the
+    /// same [`CacheConfig`].
+    pub fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        w.u32(self.ways.len() as u32);
+        for way in &self.ways {
+            w.u64(way.tag);
+            w.u64(way.lru);
+            w.u8(u8::from(way.valid));
+            w.u8(u8::from(way.dirty));
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.dirty_evictions);
+    }
+
+    /// Restores the state captured by [`SetAssocCache::save_state`] into a
+    /// cache of identical geometry.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        let n = r.seq_len(18)?;
+        if n != self.ways.len() {
+            return Err(ramp_sim::codec::CodecError::Malformed(
+                "cache way count mismatch",
+            ));
+        }
+        for way in &mut self.ways {
+            way.tag = r.u64()?;
+            way.lru = r.u64()?;
+            way.valid = r.u8()? != 0;
+            way.dirty = r.u8()? != 0;
+        }
+        self.tick = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.dirty_evictions = r.u64()?;
+        Ok(())
+    }
+
     /// Every valid line with its dirty flag (used to flush at end of run).
     pub fn valid_lines(&self) -> Vec<(LineAddr, bool)> {
         let assoc = self.config.assoc;

@@ -155,6 +155,34 @@ impl Hierarchy {
         export(reg, &format!("{prefix}.l2"), self.l2.stats());
     }
 
+    /// Serializes every cache's dynamic state into `w` (geometry is
+    /// rebuilt from the config on restore).
+    pub fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        w.u32(self.l1.len() as u32);
+        for l1 in &self.l1 {
+            l1.save_state(w);
+        }
+        self.l2.save_state(w);
+    }
+
+    /// Restores the state captured by [`Hierarchy::save_state`] into a
+    /// hierarchy of identical configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        let n = r.seq_len(1)?;
+        if n != self.l1.len() {
+            return Err(ramp_sim::codec::CodecError::Malformed(
+                "L1 cache count mismatch",
+            ));
+        }
+        for l1 in &mut self.l1 {
+            l1.restore_state(r)?;
+        }
+        self.l2.restore_state(r)
+    }
+
     /// Flushes every dirty line in the hierarchy, emitting writebacks.
     ///
     /// Called at end of simulation so writeback-only data is fully

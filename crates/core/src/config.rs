@@ -88,6 +88,19 @@ impl SystemConfig {
         }
     }
 
+    /// Lower-bound estimate of the FC-interval epochs a run spans, used
+    /// for coarse progress reporting (`epochs_done / epochs_total`).
+    ///
+    /// Derived from the zero-stall cycle count (`insts_per_core` at full
+    /// issue width), so real runs — which stall on memory — overshoot it;
+    /// progress consumers must treat `done > total` as "still running",
+    /// not an error.
+    pub fn epochs_estimate(&self) -> u64 {
+        (self.insts_per_core / self.issue_width as u64)
+            .div_ceil(self.fc_interval_cycles)
+            .max(1)
+    }
+
     /// A canonical byte encoding of every simulation-relevant parameter.
     ///
     /// Two configs produce identical bytes iff they run identical

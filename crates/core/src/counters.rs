@@ -135,6 +135,36 @@ impl FullCounters {
     pub fn reset(&mut self) {
         self.counts.clear();
     }
+
+    /// Serializes the counters (sorted by page id so the byte stream is
+    /// independent of `HashMap` iteration order). The saturation limit is
+    /// static per scheme and rebuilt on restore.
+    pub(crate) fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        let mut entries: Vec<(PageId, (u32, u32))> =
+            self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        entries.sort_by_key(|(p, _)| *p);
+        w.u32(entries.len() as u32);
+        for (page, (r, wr)) in entries {
+            w.u64(page.0);
+            w.u32(r);
+            w.u32(wr);
+        }
+    }
+
+    /// Restores the state captured by [`FullCounters::save_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        let n = r.seq_len(16)?;
+        let mut counts = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let page = PageId(r.u64()?);
+            counts.insert(page, (r.u32()?, r.u32()?));
+        }
+        self.counts = counts;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

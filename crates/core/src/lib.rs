@@ -57,4 +57,4 @@ pub use placement::PlacementPolicy;
 pub use runner::{
     profile_workload, run_annotated, run_annotated_with_migration, run_migration, run_static,
 };
-pub use system::{RunResult, SystemSim};
+pub use system::{RunHooks, RunResult, SystemSim, CHECKPOINT_KIND, CHECKPOINT_VERSION};

@@ -81,6 +81,37 @@ impl MeaTracker {
         self.accesses = 0;
         hot
     }
+
+    /// Serializes the tracker; entry order is preserved verbatim because
+    /// the Misra-Gries update sequence depends on it.
+    pub(crate) fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        w.u64(self.accesses);
+        w.u32(self.entries.len() as u32);
+        for &(page, count) in &self.entries {
+            w.u64(page.0);
+            w.u32(count);
+        }
+    }
+
+    /// Restores the state captured by [`MeaTracker::save_state`] into a
+    /// tracker of identical capacity.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        self.accesses = r.u64()?;
+        let n = r.seq_len(12)?;
+        if n > self.capacity {
+            return Err(ramp_sim::codec::CodecError::Malformed(
+                "MEA entries over capacity",
+            ));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push((PageId(r.u64()?), r.u32()?));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -292,6 +292,71 @@ impl MigrationEngine {
         moves
     }
 
+    /// Serializes the engine's dynamic state (the scheme itself is static
+    /// and rebuilt on restore). Map-backed state is written sorted by page
+    /// id; the MEA entry list and pending-eviction list keep their order,
+    /// which their algorithms depend on.
+    pub(crate) fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        self.counters.save_state(w);
+        self.mea.save_state(w);
+        w.u32(self.pending_high_risk.len() as u32);
+        for &p in &self.pending_high_risk {
+            w.u64(p.0);
+        }
+        w.u64(self.migrations);
+        w.u64(self.fc_intervals);
+        w.u64(self.mea_intervals);
+        w.u64(self.pingpongs);
+        w.u64(self.bytes_copied);
+        let mut dests: Vec<(PageId, MemoryKind)> =
+            self.last_dest.iter().map(|(&p, &k)| (p, k)).collect();
+        dests.sort_by_key(|(p, _)| *p);
+        w.u32(dests.len() as u32);
+        for (page, kind) in dests {
+            w.u64(page.0);
+            w.u8(match kind {
+                MemoryKind::Hbm => 0,
+                MemoryKind::Ddr => 1,
+            });
+        }
+        self.moves_per_fc_interval.save_state(w);
+    }
+
+    /// Restores the state captured by [`MigrationEngine::save_state`] into
+    /// an engine of the same scheme.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        use ramp_sim::codec::CodecError;
+        self.counters.restore_state(r)?;
+        self.mea.restore_state(r)?;
+        let n_pending = r.seq_len(8)?;
+        self.pending_high_risk.clear();
+        for _ in 0..n_pending {
+            self.pending_high_risk.push(PageId(r.u64()?));
+        }
+        self.migrations = r.u64()?;
+        self.fc_intervals = r.u64()?;
+        self.mea_intervals = r.u64()?;
+        self.pingpongs = r.u64()?;
+        self.bytes_copied = r.u64()?;
+        let n_dests = r.seq_len(9)?;
+        let mut last_dest = HashMap::with_capacity(n_dests);
+        for _ in 0..n_dests {
+            let page = PageId(r.u64()?);
+            let kind = match r.u8()? {
+                0 => MemoryKind::Hbm,
+                1 => MemoryKind::Ddr,
+                _ => return Err(CodecError::Malformed("bad memory-kind tag")),
+            };
+            last_dest.insert(page, kind);
+        }
+        self.last_dest = last_dest;
+        self.moves_per_fc_interval = BinHistogram::read_state(r)?;
+        Ok(())
+    }
+
     /// Shared FC swap generation: candidates in from DDR, victims out of
     /// HBM, paired.
     fn fc_swaps(

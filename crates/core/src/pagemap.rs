@@ -149,6 +149,74 @@ impl PageMap {
         self.map.is_empty()
     }
 
+    /// Serializes the map (sorted by page id) and both free lists. The
+    /// free lists keep their order verbatim: frames recycle LIFO, so list
+    /// order determines future allocations.
+    pub(crate) fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        let mut entries: Vec<(PageId, (MemoryKind, u64))> =
+            self.map.iter().map(|(&p, &e)| (p, e)).collect();
+        entries.sort_by_key(|(p, _)| *p);
+        w.u32(entries.len() as u32);
+        for (page, (kind, frame)) in entries {
+            w.u64(page.0);
+            w.u8(match kind {
+                MemoryKind::Hbm => 0,
+                MemoryKind::Ddr => 1,
+            });
+            w.u64(frame);
+        }
+        w.u32(self.free_hbm.len() as u32);
+        for &f in &self.free_hbm {
+            w.u64(f);
+        }
+        w.u64(self.next_hbm);
+        w.u32(self.free_ddr.len() as u32);
+        for &f in &self.free_ddr {
+            w.u64(f);
+        }
+        w.u64(self.next_ddr);
+    }
+
+    /// Restores the state captured by [`PageMap::save_state`] into a map
+    /// of identical HBM capacity.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        use ramp_sim::codec::CodecError;
+        let n = r.seq_len(17)?;
+        let mut map = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let page = PageId(r.u64()?);
+            let kind = match r.u8()? {
+                0 => MemoryKind::Hbm,
+                1 => MemoryKind::Ddr,
+                _ => return Err(CodecError::Malformed("bad memory-kind tag")),
+            };
+            map.insert(page, (kind, r.u64()?));
+        }
+        let n_hbm = r.seq_len(8)?;
+        let mut free_hbm = Vec::with_capacity(n_hbm);
+        for _ in 0..n_hbm {
+            free_hbm.push(r.u64()?);
+        }
+        let next_hbm = r.u64()?;
+        if next_hbm > self.hbm_capacity {
+            return Err(CodecError::Malformed("HBM watermark over capacity"));
+        }
+        let n_ddr = r.seq_len(8)?;
+        let mut free_ddr = Vec::with_capacity(n_ddr);
+        for _ in 0..n_ddr {
+            free_ddr.push(r.u64()?);
+        }
+        self.next_ddr = r.u64()?;
+        self.map = map;
+        self.free_hbm = free_hbm;
+        self.next_hbm = next_hbm;
+        self.free_ddr = free_ddr;
+        Ok(())
+    }
+
     fn alloc_hbm(&mut self) -> Option<u64> {
         if let Some(f) = self.free_hbm.pop() {
             return Some(f);

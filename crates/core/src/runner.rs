@@ -16,10 +16,13 @@ use crate::migration::{MigrationEngine, MigrationScheme};
 use crate::placement::PlacementPolicy;
 use crate::system::{RunResult, SystemSim};
 
-/// Runs the workload on a DDR-only system and returns its page statistics
-/// (the profiling pass that feeds every oracular placement — the paper's
-/// Section 4.2 methodology).
-pub fn profile_workload(cfg: &SystemConfig, workload: &Workload) -> RunResult {
+/// Builds the DDR-only profiling simulator without running it.
+///
+/// The `build_*` constructors are deterministic in their arguments, so a
+/// simulator built twice from the same inputs is identical — which is what
+/// lets a checkpoint ([`SystemSim::save_state`]) restore into a freshly
+/// built instance and resume.
+pub fn build_profile_sim(cfg: &SystemConfig, workload: &Workload) -> SystemSim {
     SystemSim::new(
         cfg.clone(),
         workload,
@@ -28,16 +31,23 @@ pub fn profile_workload(cfg: &SystemConfig, workload: &Workload) -> RunResult {
         HashSet::new(),
         None,
     )
-    .run()
 }
 
-/// Runs a static placement chosen by `policy` from profiling statistics.
-pub fn run_static(
+/// Runs the workload on a DDR-only system and returns its page statistics
+/// (the profiling pass that feeds every oracular placement — the paper's
+/// Section 4.2 methodology).
+pub fn profile_workload(cfg: &SystemConfig, workload: &Workload) -> RunResult {
+    build_profile_sim(cfg, workload).run()
+}
+
+/// Builds the static-placement simulator without running it (see
+/// [`build_profile_sim`] on why builders exist).
+pub fn build_static_sim(
     cfg: &SystemConfig,
     workload: &Workload,
     policy: PlacementPolicy,
     profile: &StatsTable,
-) -> RunResult {
+) -> SystemSim {
     let initial = policy.select(profile, cfg.hbm_capacity_pages as usize);
     SystemSim::new(
         cfg.clone(),
@@ -47,7 +57,16 @@ pub fn run_static(
         HashSet::new(),
         None,
     )
-    .run()
+}
+
+/// Runs a static placement chosen by `policy` from profiling statistics.
+pub fn run_static(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    policy: PlacementPolicy,
+    profile: &StatsTable,
+) -> RunResult {
+    build_static_sim(cfg, workload, policy, profile).run()
 }
 
 /// Runs a dynamic migration scheme.
@@ -62,6 +81,17 @@ pub fn run_migration(
     scheme: MigrationScheme,
     profile: &StatsTable,
 ) -> RunResult {
+    build_migration_sim(cfg, workload, scheme, profile).run()
+}
+
+/// Builds the dynamic-migration simulator without running it (see
+/// [`build_profile_sim`] on why builders exist).
+pub fn build_migration_sim(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    scheme: MigrationScheme,
+    profile: &StatsTable,
+) -> SystemSim {
     let capacity = cfg.hbm_capacity_pages as usize;
     let initial = match scheme {
         MigrationScheme::PerfFc => PlacementPolicy::PerfFocused.select(profile, capacity),
@@ -95,7 +125,6 @@ pub fn run_migration(
         HashSet::new(),
         Some(MigrationEngine::new(scheme)),
     )
-    .run()
 }
 
 /// Runs the annotation-based placement of Section 7: profile-selected
@@ -109,6 +138,17 @@ pub fn run_annotated(
     workload: &Workload,
     profile: &StatsTable,
 ) -> (RunResult, AnnotationSet) {
+    let (sim, annotations) = build_annotated_sim(cfg, workload, profile);
+    (sim.run(), annotations)
+}
+
+/// Builds the annotation-run simulator without running it (see
+/// [`build_profile_sim`] on why builders exist).
+pub fn build_annotated_sim(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    profile: &StatsTable,
+) -> (SystemSim, AnnotationSet) {
     let capacity = cfg.hbm_capacity_pages as usize;
     let annotations = select_annotations(workload, profile, capacity, cfg.seed);
     let mut initial: HashSet<PageId> = annotations.pinned.clone();
@@ -124,16 +164,15 @@ pub fn run_annotated(
             initial.insert(p);
         }
     }
-    let result = SystemSim::new(
+    let sim = SystemSim::new(
         cfg.clone(),
         workload,
         "annotations",
         &initial,
         annotations.pinned.clone(),
         None,
-    )
-    .run();
-    (result, annotations)
+    );
+    (sim, annotations)
 }
 
 /// The paper's Section 7 closing suggestion, implemented as an extension:
@@ -146,6 +185,18 @@ pub fn run_annotated_with_migration(
     scheme: MigrationScheme,
     profile: &StatsTable,
 ) -> (RunResult, AnnotationSet) {
+    let (sim, annotations) = build_annotated_migration_sim(cfg, workload, scheme, profile);
+    (sim.run(), annotations)
+}
+
+/// Builds the annotations-plus-migration simulator without running it (see
+/// [`build_profile_sim`] on why builders exist).
+pub fn build_annotated_migration_sim(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    scheme: MigrationScheme,
+    profile: &StatsTable,
+) -> (SystemSim, AnnotationSet) {
     let capacity = cfg.hbm_capacity_pages as usize;
     let annotations = select_annotations(workload, profile, capacity, cfg.seed);
     let mut initial: HashSet<PageId> = annotations.pinned.clone();
@@ -163,16 +214,15 @@ pub fn run_annotated_with_migration(
             initial.insert(p);
         }
     }
-    let result = SystemSim::new(
+    let sim = SystemSim::new(
         cfg.clone(),
         workload,
         format!("annotations+{}", scheme.name()),
         &initial,
         annotations.pinned.clone(),
         Some(MigrationEngine::new(scheme)),
-    )
-    .run();
-    (result, annotations)
+    );
+    (sim, annotations)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use std::collections::{HashSet, VecDeque};
 use ramp_avf::{AvfTracker, SerModel, StatsTable};
 use ramp_cache::Hierarchy;
 use ramp_dram::{Completion, MemRequest, MemoryKind, MemorySystem};
+use ramp_sim::codec::{self, ByteReader, ByteWriter, CodecError};
 use ramp_sim::telemetry::{BinHistogram, Snapshot, StatRegistry};
 use ramp_sim::units::{AccessKind, Cycle, LineAddr, PageId, LINES_PER_PAGE};
 use ramp_trace::{InstanceGen, MemEvent, Workload};
@@ -89,6 +90,40 @@ impl RunResult {
     }
 }
 
+/// Frame kind tag of checkpoint blobs written by
+/// [`SystemSim::save_state`] (shares the `ramp_sim::codec` framing used by
+/// the persistent run store, under a distinct kind).
+pub const CHECKPOINT_KIND: u8 = 3;
+/// Version of the checkpoint payload layout. Bump on any layout change so
+/// stale checkpoints are rejected instead of misread.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Epoch-granular observation hooks for [`SystemSim::run_with_hooks`].
+///
+/// An epoch is one FC interval; the hooks fire at the first chunk boundary
+/// past each epoch tick, after every subsystem has settled for the chunk,
+/// which is exactly the cut [`SystemSim::save_state`] serializes.
+#[derive(Default)]
+pub struct RunHooks<'a> {
+    /// Serialize a checkpoint every this many epochs (0 = never).
+    pub checkpoint_every: u64,
+    /// Called at every epoch boundary with the epochs completed so far.
+    pub on_epoch: Option<&'a mut dyn FnMut(u64)>,
+    /// Called with `(epoch, serialized state)` at checkpoint boundaries
+    /// (only when `checkpoint_every > 0`).
+    pub on_checkpoint: Option<&'a mut dyn FnMut(u64, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("on_epoch", &self.on_epoch.is_some())
+            .field("on_checkpoint", &self.on_checkpoint.is_some())
+            .finish()
+    }
+}
+
 /// The simulator.
 #[derive(Debug)]
 pub struct SystemSim {
@@ -116,6 +151,16 @@ pub struct SystemSim {
     epoch_ipc: BinHistogram,
     epochs: u64,
     last_epoch_insts: u64,
+    /// Next FC-interval boundary (migration engine).
+    next_fc: u64,
+    /// Next MEA-interval boundary (migration engine).
+    next_mea: u64,
+    /// Next epoch boundary (always FC-interval spaced, engine or not).
+    next_epoch: u64,
+    /// Demand-read latency accumulator for HBM: `(cycle sum, count)`.
+    hbm_lat: (f64, u64),
+    /// Demand-read latency accumulator for DDR: `(cycle sum, count)`.
+    ddr_lat: (f64, u64),
 }
 
 /// Bins of the epoch-IPC histogram, spanning `[0, cores × issue width)`.
@@ -175,6 +220,14 @@ impl SystemSim {
             epoch_ipc: BinHistogram::new(0.0, peak_ipc, EPOCH_IPC_BINS),
             epochs: 0,
             last_epoch_insts: 0,
+            next_fc: cfg.fc_interval_cycles,
+            next_mea: cfg.mea_interval_cycles,
+            // Epoch boundaries follow the FC interval whether or not a
+            // migration engine is attached, so static runs get the same
+            // interval-level IPC series.
+            next_epoch: cfg.fc_interval_cycles,
+            hbm_lat: (0.0, 0),
+            ddr_lat: (0.0, 0),
             hierarchy: Hierarchy::new(cfg.hierarchy),
             hbm: MemorySystem::hbm(),
             ddr: MemorySystem::ddr3(),
@@ -319,17 +372,183 @@ impl SystemSim {
         }
     }
 
+    /// Hash binding a checkpoint to the run that wrote it: config,
+    /// workload and policy. Static state (trace profiles, footprint,
+    /// pinned set, DRAM geometry) is a pure function of these, so it is
+    /// rebuilt through [`SystemSim::new`] rather than serialized.
+    fn identity_hash(&self) -> u64 {
+        let h = codec::fnv1a64(&self.cfg.canonical_bytes());
+        let h = codec::fnv1a64_seeded(h, self.workload_name.as_bytes());
+        codec::fnv1a64_seeded(h, self.policy_name.as_bytes())
+    }
+
+    /// Serializes the complete dynamic simulation state as a framed,
+    /// checksummed blob. Restoring it into a freshly built simulator of
+    /// identical arguments (via [`SystemSim::restore_state`]) and running
+    /// on yields results byte-identical to the uninterrupted run.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.identity_hash());
+        w.u64(self.now);
+        w.u64(self.next_id);
+        w.u64(self.epochs);
+        w.u64(self.last_epoch_insts);
+        w.u64(self.next_fc);
+        w.u64(self.next_mea);
+        w.u64(self.next_epoch);
+        w.u64(self.demand_hbm);
+        w.u64(self.demand_ddr);
+        w.f64(self.hbm_lat.0);
+        w.u64(self.hbm_lat.1);
+        w.f64(self.ddr_lat.0);
+        w.u64(self.ddr_lat.1);
+        w.u32(self.cores.len() as u32);
+        for c in &self.cores {
+            c.gen.save_state(&mut w);
+            w.u64(c.cycle);
+            w.u64(c.retired);
+            w.u64(c.budget);
+            w.u32(c.outstanding);
+            w.u32(c.pending.len() as u32);
+            for ev in &c.pending {
+                w.u64(ev.line.0);
+                w.u8(u8::from(ev.kind.is_write()));
+                w.u64(ev.core as u64);
+            }
+            w.u8(u8::from(c.done));
+            w.u64(c.finish);
+        }
+        self.hierarchy.save_state(&mut w);
+        self.hbm.save_state(&mut w);
+        self.ddr.save_state(&mut w);
+        self.pagemap.save_state(&mut w);
+        self.avf.save_state(&mut w);
+        match &self.engine {
+            None => w.u8(0),
+            Some(e) => {
+                w.u8(1);
+                e.save_state(&mut w);
+            }
+        }
+        w.u32(self.backlog.len() as u32);
+        for &(mk, line, kind) in &self.backlog {
+            w.u8(match mk {
+                MemoryKind::Hbm => 0,
+                MemoryKind::Ddr => 1,
+            });
+            w.u64(line.0);
+            w.u8(u8::from(kind.is_write()));
+        }
+        w.u32(self.outstanding_hist.len() as u32);
+        for h in &self.outstanding_hist {
+            h.save_state(&mut w);
+        }
+        self.epoch_ipc.save_state(&mut w);
+        codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, w.bytes())
+    }
+
+    /// Restores a checkpoint written by [`SystemSim::save_state`] into a
+    /// freshly built simulator with identical constructor arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any corruption — bad framing, wrong kind/version, checksum failure,
+    /// truncation, or a checkpoint from a different run — returns a
+    /// [`CodecError`] and never panics. The simulator may be partially
+    /// mutated on failure; callers must discard it and rebuild.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let payload = codec::decode_framed(bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION)?;
+        let mut r = ByteReader::new(payload);
+        if r.u64()? != self.identity_hash() {
+            return Err(CodecError::Malformed("checkpoint is for a different run"));
+        }
+        self.now = r.u64()?;
+        self.next_id = r.u64()?;
+        self.epochs = r.u64()?;
+        self.last_epoch_insts = r.u64()?;
+        self.next_fc = r.u64()?;
+        self.next_mea = r.u64()?;
+        self.next_epoch = r.u64()?;
+        self.demand_hbm = r.u64()?;
+        self.demand_ddr = r.u64()?;
+        self.hbm_lat = (r.f64()?, r.u64()?);
+        self.ddr_lat = (r.f64()?, r.u64()?);
+        let n_cores = r.seq_len(64)?;
+        if n_cores != self.cores.len() {
+            return Err(CodecError::Malformed("core count mismatch"));
+        }
+        for c in &mut self.cores {
+            c.gen.restore_state(&mut r)?;
+            c.cycle = r.u64()?;
+            c.retired = r.u64()?;
+            c.budget = r.u64()?;
+            c.outstanding = r.u32()?;
+            let n_pending = r.seq_len(17)?;
+            c.pending.clear();
+            for _ in 0..n_pending {
+                let line = LineAddr(r.u64()?);
+                let write = r.u8()? != 0;
+                let core = r.u64()? as usize;
+                c.pending.push_back(if write {
+                    MemEvent::write(line, core)
+                } else {
+                    MemEvent::read(line, core)
+                });
+            }
+            c.done = r.u8()? != 0;
+            c.finish = r.u64()?;
+        }
+        self.hierarchy.restore_state(&mut r)?;
+        self.hbm.restore_state(&mut r)?;
+        self.ddr.restore_state(&mut r)?;
+        self.pagemap.restore_state(&mut r)?;
+        self.avf.restore_state(&mut r)?;
+        match (r.u8()?, &mut self.engine) {
+            (0, None) => {}
+            (1, Some(e)) => e.restore_state(&mut r)?,
+            _ => return Err(CodecError::Malformed("migration-engine presence mismatch")),
+        }
+        let n_backlog = r.seq_len(10)?;
+        self.backlog.clear();
+        for _ in 0..n_backlog {
+            let mk = match r.u8()? {
+                0 => MemoryKind::Hbm,
+                1 => MemoryKind::Ddr,
+                _ => return Err(CodecError::Malformed("bad memory-kind tag")),
+            };
+            let line = LineAddr(r.u64()?);
+            let kind = if r.u8()? != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            self.backlog.push_back((mk, line, kind));
+        }
+        let n_hist = r.seq_len(1)?;
+        if n_hist != self.outstanding_hist.len() {
+            return Err(CodecError::Malformed("core histogram count mismatch"));
+        }
+        for h in &mut self.outstanding_hist {
+            *h = BinHistogram::read_state(&mut r)?;
+        }
+        self.epoch_ipc = BinHistogram::read_state(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CodecError::Malformed("trailing bytes in checkpoint"));
+        }
+        Ok(())
+    }
+
     /// Runs the workload to completion and produces the result.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_with_hooks(RunHooks::default())
+    }
+
+    /// Runs the workload to completion, invoking `hooks` at every epoch
+    /// boundary (an epoch is one FC interval). A run resumed from a
+    /// checkpoint via [`SystemSim::restore_state`] continues here and
+    /// produces a byte-identical [`RunResult`].
+    pub fn run_with_hooks(mut self, mut hooks: RunHooks<'_>) -> RunResult {
         let mut tmp = Vec::new();
-        let mut next_fc = self.cfg.fc_interval_cycles;
-        let mut next_mea = self.cfg.mea_interval_cycles;
-        // Epoch boundaries follow the FC interval whether or not a
-        // migration engine is attached, so static runs get the same
-        // interval-level IPC series.
-        let mut next_epoch = self.cfg.fc_interval_cycles;
-        let mut hbm_lat = (0.0f64, 0u64);
-        let mut ddr_lat = (0.0f64, 0u64);
 
         loop {
             let chunk_end = self.now + CHUNK;
@@ -347,9 +566,9 @@ impl SystemSim {
                     let c = &mut self.cores[comp.core];
                     c.outstanding = c.outstanding.saturating_sub(1);
                     let lat = if idx < hbm_split {
-                        &mut hbm_lat
+                        &mut self.hbm_lat
                     } else {
-                        &mut ddr_lat
+                        &mut self.ddr_lat
                     };
                     lat.0 += comp.latency as f64;
                     lat.1 += 1;
@@ -360,8 +579,9 @@ impl SystemSim {
             for (i, c) in self.cores.iter().enumerate() {
                 self.outstanding_hist[i].observe(c.outstanding as f64);
             }
-            if chunk_end >= next_epoch {
-                next_epoch += self.cfg.fc_interval_cycles;
+            let epoch_fired = chunk_end >= self.next_epoch;
+            if epoch_fired {
+                self.next_epoch += self.cfg.fc_interval_cycles;
                 self.epochs += 1;
                 let insts: u64 = self.cores.iter().map(|c| c.retired).sum();
                 let delta = insts - self.last_epoch_insts;
@@ -372,8 +592,8 @@ impl SystemSim {
 
             let all_done = self.cores.iter().all(|c| c.done);
             if !all_done && self.engine.is_some() {
-                if chunk_end >= next_mea {
-                    next_mea += self.cfg.mea_interval_cycles;
+                if chunk_end >= self.next_mea {
+                    self.next_mea += self.cfg.mea_interval_cycles;
                     let hbm_pages = self.pagemap.hbm_pages();
                     let free = self.pagemap.hbm_free();
                     let moves = self
@@ -388,8 +608,8 @@ impl SystemSim {
                         );
                     self.apply_moves(moves);
                 }
-                if chunk_end >= next_fc {
-                    next_fc += self.cfg.fc_interval_cycles;
+                if chunk_end >= self.next_fc {
+                    self.next_fc += self.cfg.fc_interval_cycles;
                     let hbm_pages = self.pagemap.hbm_pages();
                     let free = self.pagemap.hbm_free();
                     let max = self.cfg.max_swaps_per_interval;
@@ -403,6 +623,22 @@ impl SystemSim {
             }
 
             self.now = chunk_end;
+            if epoch_fired {
+                // The chunk boundary after an epoch tick is the checkpoint
+                // cut: every subsystem is between chunks, so the serialized
+                // state resumes at the top of the loop deterministically.
+                if let Some(on_epoch) = hooks.on_epoch.as_mut() {
+                    on_epoch(self.epochs);
+                }
+                if hooks.checkpoint_every > 0 && self.epochs % hooks.checkpoint_every == 0 {
+                    if let Some(on_checkpoint) = hooks.on_checkpoint.as_mut() {
+                        on_checkpoint(self.epochs, self.save_state());
+                        if let Some(chaos) = ramp_sim::chaos::global() {
+                            chaos.maybe_panic("sim.checkpoint");
+                        }
+                    }
+                }
+            }
             if all_done && self.backlog.is_empty() && self.hbm.is_idle() && self.ddr.is_idle() {
                 break;
             }
@@ -481,13 +717,13 @@ impl SystemSim {
             ddr_accesses: self.demand_ddr,
             migrations: self.engine.as_ref().map_or(0, |e| e.migrations),
             mean_read_latency: (
-                if hbm_lat.1 > 0 {
-                    hbm_lat.0 / hbm_lat.1 as f64
+                if self.hbm_lat.1 > 0 {
+                    self.hbm_lat.0 / self.hbm_lat.1 as f64
                 } else {
                     0.0
                 },
-                if ddr_lat.1 > 0 {
-                    ddr_lat.0 / ddr_lat.1 as f64
+                if self.ddr_lat.1 > 0 {
+                    self.ddr_lat.0 / self.ddr_lat.1 as f64
                 } else {
                     0.0
                 },
@@ -614,6 +850,105 @@ mod tests {
         )
         .run();
         assert_eq!(r.telemetry.to_json(), r2.telemetry.to_json());
+    }
+
+    fn migration_sim() -> SystemSim {
+        use crate::migration::{MigrationEngine, MigrationScheme};
+        let cfg = SystemConfig::smoke_test();
+        let wl = Workload::Homogeneous(Benchmark::Libquantum);
+        SystemSim::new(
+            cfg,
+            &wl,
+            "perf-fc",
+            &HashSet::new(),
+            HashSet::new(),
+            Some(MigrationEngine::new(MigrationScheme::PerfFc)),
+        )
+    }
+
+    #[test]
+    fn checkpoint_restore_then_save_is_byte_identical() {
+        // Capture a mid-run checkpoint...
+        let mut blobs: Vec<Vec<u8>> = Vec::new();
+        let mut save = |_epoch: u64, blob: Vec<u8>| blobs.push(blob);
+        migration_sim().run_with_hooks(RunHooks {
+            checkpoint_every: 2,
+            on_checkpoint: Some(&mut save),
+            ..RunHooks::default()
+        });
+        assert!(blobs.len() >= 2, "expected several checkpoints");
+        // ...restore it into a fresh sim and re-serialize: the blob must
+        // round-trip exactly (nothing was lost or reordered).
+        let blob = &blobs[blobs.len() / 2];
+        let mut sim = migration_sim();
+        sim.restore_state(blob).unwrap();
+        assert_eq!(&sim.save_state(), blob);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_uninterrupted_run() {
+        let reference = migration_sim().run();
+
+        let mut blobs: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut save = |epoch: u64, blob: Vec<u8>| blobs.push((epoch, blob));
+        let interrupted = migration_sim().run_with_hooks(RunHooks {
+            checkpoint_every: 1,
+            on_checkpoint: Some(&mut save),
+            ..RunHooks::default()
+        });
+        assert_eq!(
+            reference.telemetry.to_json(),
+            interrupted.telemetry.to_json()
+        );
+
+        // Resume from a mid-run checkpoint as if the first process died.
+        let (epoch, blob) = &blobs[blobs.len() / 2];
+        assert!(*epoch > 0);
+        let mut sim = migration_sim();
+        sim.restore_state(blob).unwrap();
+        let resumed = sim.run();
+        assert_eq!(reference.cycles, resumed.cycles);
+        assert_eq!(reference.instructions, resumed.instructions);
+        assert_eq!(reference.ser_fit.to_bits(), resumed.ser_fit.to_bits());
+        assert_eq!(reference.ipc.to_bits(), resumed.ipc.to_bits());
+        assert_eq!(reference.migrations, resumed.migrations);
+        assert_eq!(
+            reference.mean_read_latency.0.to_bits(),
+            resumed.mean_read_latency.0.to_bits()
+        );
+        assert_eq!(reference.telemetry.to_json(), resumed.telemetry.to_json());
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption_and_foreign_runs() {
+        let mut blobs: Vec<Vec<u8>> = Vec::new();
+        let mut save = |_epoch: u64, blob: Vec<u8>| blobs.push(blob);
+        migration_sim().run_with_hooks(RunHooks {
+            checkpoint_every: 2,
+            on_checkpoint: Some(&mut save),
+            ..RunHooks::default()
+        });
+        let blob = blobs.remove(0);
+        // Truncated tail.
+        assert!(migration_sim()
+            .restore_state(&blob[..blob.len() - 3])
+            .is_err());
+        // Flipped byte mid-payload breaks the frame checksum.
+        let mut flipped = blob.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(migration_sim().restore_state(&flipped).is_err());
+        // A different run (other policy label) must be rejected.
+        let wl = Workload::Homogeneous(Benchmark::Libquantum);
+        let mut other = SystemSim::new(
+            SystemConfig::smoke_test(),
+            &wl,
+            "ddr-only",
+            &HashSet::new(),
+            HashSet::new(),
+            None,
+        );
+        assert!(other.restore_state(&blob).is_err());
     }
 
     #[test]

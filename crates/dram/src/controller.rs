@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use ramp_sim::codec::{ByteReader, ByteWriter, CodecError};
 use ramp_sim::stats::OnlineStats;
 use ramp_sim::telemetry::{BinHistogram, StatRegistry};
 use ramp_sim::units::{AccessKind, Cycle};
@@ -487,6 +488,178 @@ impl ChannelController {
         while let Some((_, c)) = self.in_flight.pop_due(now) {
             out.push(c);
         }
+    }
+
+    /// Serializes the full controller state into `w` (timing parameters are
+    /// static and rebuilt from the config on restore).
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        w.u32(self.banks.len() as u32);
+        for b in &self.banks {
+            match b.open_row {
+                None => w.u8(0),
+                Some(row) => {
+                    w.u8(1);
+                    w.u64(row);
+                }
+            }
+            w.u64(b.next_act.0);
+            w.u64(b.next_pre.0);
+            w.u64(b.next_rdwr.0);
+            w.u32(b.hit_streak);
+        }
+        write_request_queue(w, &self.read_q);
+        write_request_queue(w, &self.write_q);
+        w.u64(self.bus_free.0);
+        w.u64(self.next_col_cmd.0);
+        w.u64(self.next_read_ok.0);
+        w.u64(self.next_act_any.0);
+        w.u32(self.act_history.len() as u32);
+        for &c in &self.act_history {
+            w.u64(c.0);
+        }
+        w.u64(self.next_refresh.0);
+        w.u64(self.decision_time.0);
+        w.u8(u8::from(self.draining));
+        let in_flight = self.in_flight.snapshot();
+        w.u32(in_flight.len() as u32);
+        for (at, c) in in_flight {
+            w.u64(at.0);
+            w.u64(c.id);
+            w.u8(u8::from(c.kind.is_write()));
+            w.u64(c.finish.0);
+            w.u64(c.latency);
+            w.u64(c.core as u64);
+        }
+        let st = &self.stats;
+        w.u64(st.reads);
+        w.u64(st.writes);
+        w.u64(st.row_hits);
+        w.u64(st.row_misses);
+        w.u64(st.row_conflicts);
+        w.u64(st.activates);
+        w.u64(st.precharges);
+        w.u64(st.drain_events);
+        w.u64(st.refreshes);
+        w.u64(st.busy_cycles);
+        let (n, mean, m2, min, max) = st.read_latency.raw_parts();
+        w.u64(n);
+        w.f64(mean);
+        w.f64(m2);
+        w.f64(min);
+        w.f64(max);
+        st.read_q_occupancy.save_state(w);
+        st.write_q_occupancy.save_state(w);
+    }
+
+    /// Restores the state captured by [`ChannelController::save_state`] into
+    /// a controller of identical timing and bank count. Queue coordinates
+    /// are re-decoded through `decode` (the address mapping is static).
+    pub fn restore_state(
+        &mut self,
+        r: &mut ByteReader,
+        decode: impl Fn(&MemRequest) -> DramCoord,
+    ) -> Result<(), CodecError> {
+        let n_banks = r.seq_len(29)?;
+        if n_banks != self.banks.len() {
+            return Err(CodecError::Malformed("bank count mismatch"));
+        }
+        for b in &mut self.banks {
+            b.open_row = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(CodecError::Malformed("bad open-row tag")),
+            };
+            b.next_act = Cycle(r.u64()?);
+            b.next_pre = Cycle(r.u64()?);
+            b.next_rdwr = Cycle(r.u64()?);
+            b.hit_streak = r.u32()?;
+        }
+        self.read_q = read_request_queue(r, READ_QUEUE_CAP)?;
+        self.read_coords = self.read_q.iter().map(&decode).collect();
+        self.write_q = read_request_queue(r, WRITE_QUEUE_CAP)?;
+        self.write_coords = self.write_q.iter().map(&decode).collect();
+        self.bus_free = Cycle(r.u64()?);
+        self.next_col_cmd = Cycle(r.u64()?);
+        self.next_read_ok = Cycle(r.u64()?);
+        self.next_act_any = Cycle(r.u64()?);
+        let n_acts = r.seq_len(8)?;
+        if n_acts > 4 {
+            return Err(CodecError::Malformed("tFAW history too long"));
+        }
+        self.act_history.clear();
+        for _ in 0..n_acts {
+            self.act_history.push_back(Cycle(r.u64()?));
+        }
+        self.next_refresh = Cycle(r.u64()?);
+        self.decision_time = Cycle(r.u64()?);
+        self.draining = r.u8()? != 0;
+        let n_in_flight = r.seq_len(41)?;
+        let mut in_flight = Vec::with_capacity(n_in_flight);
+        for _ in 0..n_in_flight {
+            let at = Cycle(r.u64()?);
+            let c = Completion {
+                id: r.u64()?,
+                kind: read_kind(r)?,
+                finish: Cycle(r.u64()?),
+                latency: r.u64()?,
+                core: r.u64()? as usize,
+            };
+            in_flight.push((at, c));
+        }
+        self.in_flight = ramp_sim::EventQueue::rebuild(in_flight);
+        let st = &mut self.stats;
+        st.reads = r.u64()?;
+        st.writes = r.u64()?;
+        st.row_hits = r.u64()?;
+        st.row_misses = r.u64()?;
+        st.row_conflicts = r.u64()?;
+        st.activates = r.u64()?;
+        st.precharges = r.u64()?;
+        st.drain_events = r.u64()?;
+        st.refreshes = r.u64()?;
+        st.busy_cycles = r.u64()?;
+        let (n, mean, m2, min, max) = (r.u64()?, r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+        st.read_latency = OnlineStats::from_raw_parts(n, mean, m2, min, max);
+        st.read_q_occupancy = BinHistogram::read_state(r)?;
+        st.write_q_occupancy = BinHistogram::read_state(r)?;
+        Ok(())
+    }
+}
+
+fn write_request_queue(w: &mut ByteWriter, q: &VecDeque<MemRequest>) {
+    w.u32(q.len() as u32);
+    for req in q {
+        w.u64(req.id);
+        w.u64(req.line.0);
+        w.u8(u8::from(req.kind.is_write()));
+        w.u64(req.core as u64);
+        w.u64(req.arrive.0);
+    }
+}
+
+fn read_request_queue(r: &mut ByteReader, cap: usize) -> Result<VecDeque<MemRequest>, CodecError> {
+    let n = r.seq_len(33)?;
+    if n > cap {
+        return Err(CodecError::Malformed("request queue over capacity"));
+    }
+    let mut q = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        q.push_back(MemRequest {
+            id: r.u64()?,
+            line: ramp_sim::units::LineAddr(r.u64()?),
+            kind: read_kind(r)?,
+            core: r.u64()? as usize,
+            arrive: Cycle(r.u64()?),
+        });
+    }
+    Ok(q)
+}
+
+fn read_kind(r: &mut ByteReader) -> Result<AccessKind, CodecError> {
+    match r.u8()? {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        _ => Err(CodecError::Malformed("bad access-kind tag")),
     }
 }
 

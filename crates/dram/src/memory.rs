@@ -171,6 +171,34 @@ impl MemorySystem {
         reg.gauge_set(prefix, "mean_read_latency", self.mean_read_latency());
     }
 
+    /// Serializes every channel's dynamic state into `w` (timing,
+    /// organization and address mapping are static configuration).
+    pub fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
+        w.u32(self.channels.len() as u32);
+        for ch in &self.channels {
+            ch.save_state(w);
+        }
+    }
+
+    /// Restores the state captured by [`MemorySystem::save_state`] into a
+    /// memory of identical configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut ramp_sim::codec::ByteReader,
+    ) -> Result<(), ramp_sim::codec::CodecError> {
+        let n = r.seq_len(1)?;
+        if n != self.channels.len() {
+            return Err(ramp_sim::codec::CodecError::Malformed(
+                "channel count mismatch",
+            ));
+        }
+        let mapping = self.mapping;
+        for ch in &mut self.channels {
+            ch.restore_state(r, |req| mapping.decode(req.line))?;
+        }
+        Ok(())
+    }
+
     /// Row-buffer hit ratio over all column commands.
     pub fn row_hit_ratio(&self) -> f64 {
         let (h, m) = self.channels.iter().fold((0u64, 0u64), |(h, m), c| {

@@ -2,37 +2,56 @@
 //!
 //! ```text
 //! ramp-store scrub [--dir DIR]
+//! ramp-store ckpt [--dir DIR] [--rm KEY]
 //! ```
 //!
 //! `scrub` walks the store directory (default: `RAMP_STORE_DIR` or
 //! `target/ramp-store`), removes stale `tmp-*` files left by
 //! interrupted writes, and quarantines every entry that no longer
 //! decodes (renamed `*.quarantine` with a `*.reason` file naming the
-//! decode error). The summary line on stdout is stable and greppable:
+//! decode error) — including `*.ckpt` checkpoint segments, which are
+//! validated against the checkpoint frame format. The summary line on
+//! stdout is stable and greppable:
 //!
 //! ```text
 //! [scrub] dir=target/ramp-store scanned=21 valid=20 quarantined=1 already=0 tmp=0 unknown=0
 //! ```
+//!
+//! `ckpt` lists the checkpoint segments interrupted runs left behind
+//! (one `[ckpt] key=... epoch=... bytes=...` line per segment plus a
+//! summary), and `ckpt --rm KEY` deletes the trail of one run.
 
 use ramp_serve::store::{RunStore, DEFAULT_DIR, ENV_STORE_DIR};
 
 fn usage() -> ! {
     eprintln!("usage: ramp-store scrub [--dir DIR]");
+    eprintln!("       ramp-store ckpt [--dir DIR] [--rm KEY]");
     std::process::exit(2);
+}
+
+fn open(dir: &str) -> RunStore {
+    match RunStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ramp-store: cannot open store at {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
-    if cmd != "scrub" {
-        eprintln!("ramp-store: unknown subcommand {cmd:?}");
-        usage();
-    }
     let mut dir = std::env::var(ENV_STORE_DIR).unwrap_or_else(|_| DEFAULT_DIR.to_string());
+    let mut rm_key: Option<String> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--dir" => match args.next() {
                 Some(d) => dir = d,
+                None => usage(),
+            },
+            "--rm" if cmd == "ckpt" => match args.next() {
+                Some(k) => rm_key = Some(k),
                 None => usage(),
             },
             _ => {
@@ -41,13 +60,33 @@ fn main() {
             }
         }
     }
-    let store = match RunStore::open(&dir) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("ramp-store: cannot open store at {dir}: {e}");
-            std::process::exit(1);
+    match cmd.as_str() {
+        "scrub" => {
+            let report = open(&dir).scrub();
+            println!("[scrub] dir={dir} {report}");
         }
-    };
-    let report = store.scrub();
-    println!("[scrub] dir={dir} {report}");
+        "ckpt" => {
+            let store = open(&dir);
+            if let Some(key) = rm_key {
+                let removed = store.remove_checkpoints(&key);
+                println!("[ckpt] dir={dir} key={key} removed={removed}");
+                return;
+            }
+            let segments = store.all_checkpoints();
+            let mut runs = std::collections::BTreeSet::new();
+            for (key, epoch, bytes) in &segments {
+                runs.insert(key.clone());
+                println!("[ckpt] key={key} epoch={epoch} bytes={bytes}");
+            }
+            println!(
+                "[ckpt] dir={dir} segments={} runs={}",
+                segments.len(),
+                runs.len()
+            );
+        }
+        other => {
+            eprintln!("ramp-store: unknown subcommand {other:?}");
+            usage();
+        }
+    }
 }

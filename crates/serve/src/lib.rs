@@ -59,6 +59,6 @@ pub mod store;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{Server, ServerConfig};
-pub use spec::RunSpec;
+pub use server::{render_job_status, JobState, Server, ServerConfig};
+pub use spec::{RunProgress, RunSpec};
 pub use store::{RunKind, RunStore};

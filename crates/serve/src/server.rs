@@ -46,7 +46,7 @@ use ramp_sim::telemetry::StatRegistry;
 use crate::http::{read_request, write_response, write_response_with, Request};
 use crate::json::{error_body, parse_flat, ObjWriter};
 use crate::queue::{BoundedQueue, PushError};
-use crate::spec::RunSpec;
+use crate::spec::{RunProgress, RunSpec};
 use crate::store::RunStore;
 
 /// Server tuning knobs plus the simulated system configuration.
@@ -149,12 +149,18 @@ impl RunSummary {
     }
 }
 
+/// Lifecycle of one submitted job, as rendered by `GET /jobs/{id}`.
 #[derive(Clone, Debug)]
-enum JobState {
+pub enum JobState {
+    /// Accepted, waiting for a dispatch slot.
     Queued,
-    Running,
+    /// Executing; carries the live progress the worker updates.
+    Running(Arc<RunProgress>),
+    /// Finished, with its result summary.
     Done(RunSummary),
+    /// The worker panicked; the message is captured.
     Failed(String),
+    /// Sat queued past its deadline and was never run.
     Expired,
 }
 
@@ -180,6 +186,8 @@ struct Shared {
     expired: AtomicU64,
     degraded: AtomicU64,
     panics_caught: AtomicU64,
+    resumed: AtomicU64,
+    restarted: AtomicU64,
     shutdown: AtomicBool,
     exec_metrics: ExecMetrics,
 }
@@ -225,6 +233,8 @@ impl Server {
                 expired: AtomicU64::new(0),
                 degraded: AtomicU64::new(0),
                 panics_caught: AtomicU64::new(0),
+                resumed: AtomicU64::new(0),
+                restarted: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 exec_metrics: ExecMetrics::new(),
             }),
@@ -278,7 +288,6 @@ fn dispatch_loop(shared: &Shared) {
                 shared.set_state(job.id, JobState::Expired);
                 shared.expired.fetch_add(1, Ordering::SeqCst);
             } else {
-                shared.set_state(job.id, JobState::Running);
                 runnable.push(job);
             }
         }
@@ -289,21 +298,49 @@ fn dispatch_loop(shared: &Shared) {
             None,
             |_, job| {
                 let spec = job.spec;
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if let Some(c) = shared.chaos.as_ref() {
-                        c.maybe_slow("server.job");
-                        c.maybe_panic("server.job");
+                let progress = Arc::new(RunProgress::default());
+                shared.set_state(job.id, JobState::Running(Arc::clone(&progress)));
+                let attempt = || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if let Some(c) = shared.chaos.as_ref() {
+                            c.maybe_slow("server.job");
+                            c.maybe_panic("server.job");
+                        }
+                        spec.execute_with_progress(
+                            &shared.sim,
+                            shared.store.as_ref(),
+                            Some(&progress),
+                        )
+                    }))
+                };
+                let mut result = attempt();
+                if result.is_err() {
+                    shared.panics_caught.fetch_add(1, Ordering::SeqCst);
+                    // An interrupted job that left a checkpoint trail is
+                    // restartable: one retry resumes from the newest valid
+                    // checkpoint instead of surfacing the crash.
+                    let key = spec.key(&shared.sim);
+                    let has_trail = shared
+                        .store
+                        .as_ref()
+                        .is_some_and(|s| !s.list_checkpoints(&key).is_empty());
+                    if has_trail {
+                        shared.restarted.fetch_add(1, Ordering::SeqCst);
+                        eprintln!(
+                            "[served] job {} ({key}) died mid-run; restarting from checkpoint",
+                            job.id
+                        );
+                        result = attempt();
                     }
-                    spec.execute_tracked(&shared.sim, shared.store.as_ref())
-                }));
+                }
                 (job.id, spec, result)
             },
         );
         for (id, spec, result) in outcomes {
             match result {
-                Ok((run, persisted)) => {
+                Ok(outcome) => {
                     let key = spec.key(&shared.sim);
-                    if !persisted {
+                    if !outcome.persisted {
                         // Degraded mode: the simulation succeeded but the
                         // store write didn't — serve the in-memory result
                         // and warn, never 500.
@@ -313,12 +350,14 @@ fn dispatch_loop(shared: &Shared) {
                              serving from memory"
                         );
                     }
-                    shared.set_state(id, JobState::Done(RunSummary::from_run(&key, &run)));
+                    if outcome.resumed {
+                        shared.resumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    shared.set_state(id, JobState::Done(RunSummary::from_run(&key, &outcome.run)));
                     shared.completed.fetch_add(1, Ordering::SeqCst);
                 }
                 Err(payload) => {
                     let msg = chaos::panic_message(payload.as_ref());
-                    shared.panics_caught.fetch_add(1, Ordering::SeqCst);
                     shared.set_state(id, JobState::Failed(format!("simulation panicked: {msg}")));
                     shared.failed.fetch_add(1, Ordering::SeqCst);
                 }
@@ -455,28 +494,47 @@ fn job_status(shared: &Shared, id_str: &str) -> (u16, String) {
     let Some(state) = state else {
         return (404, error_body("no such job"));
     };
+    (200, render_job_status(id, &state))
+}
+
+/// Renders the `GET /jobs/{id}` response body for one job state.
+///
+/// Public so the golden-snapshot tests can pin the poll wire format
+/// (field names, order, progress semantics) without a live server.
+/// Running jobs report `epochs_done` / `epochs_total` (the total is the
+/// [`SystemConfig::epochs_estimate`] lower bound, so `done > total`
+/// means "still running"), the last durable checkpoint epoch, and
+/// whether the run resumed from a checkpoint.
+pub fn render_job_status(id: u64, state: &JobState) -> String {
     let mut w = ObjWriter::new();
     w.u64("job", id);
     match state {
         JobState::Queued => {
             w.str("state", "queued");
         }
-        JobState::Running => {
-            w.str("state", "running");
+        JobState::Running(progress) => {
+            w.str("state", "running")
+                .u64("epochs_done", progress.epochs_done.load(Ordering::Relaxed))
+                .u64(
+                    "epochs_total",
+                    progress.epochs_total.load(Ordering::Relaxed),
+                )
+                .u64("ckpt_epoch", progress.ckpt_epoch.load(Ordering::Relaxed))
+                .bool("resumed", progress.resumed.load(Ordering::Relaxed));
         }
         JobState::Done(summary) => {
             w.str("state", "done");
             summary.write_fields(&mut w);
         }
         JobState::Failed(msg) => {
-            w.str("state", "failed").str("error", &msg);
+            w.str("state", "failed").str("error", msg);
         }
         JobState::Expired => {
             w.str("state", "expired")
                 .str("error", "job deadline exceeded before execution");
         }
     }
-    (200, w.finish())
+    w.finish()
 }
 
 fn stored_run(shared: &Shared, key: &str) -> (u16, String) {
@@ -536,6 +594,16 @@ fn stats_body(shared: &Shared) -> String {
         "server.jobs",
         "degraded",
         shared.degraded.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "resumed",
+        shared.resumed.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "restarted",
+        shared.restarted.load(Ordering::SeqCst),
     );
     reg.counter_add(
         "chaos",

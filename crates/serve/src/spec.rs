@@ -8,11 +8,13 @@
 //! profile that static/migration/annotated runs depend on, so a later
 //! request for any run of the same workload starts from a warm profile.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
 use ramp_core::config::SystemConfig;
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
 use ramp_core::runner;
-use ramp_core::system::RunResult;
+use ramp_core::system::{RunHooks, RunResult, SystemSim};
 use ramp_trace::Workload;
 
 use crate::store::{run_key, RunKind, RunStore};
@@ -21,6 +23,137 @@ use crate::store::{run_key, RunKind, RunStore};
 pub const PROFILE_POLICY: &str = "ddr-only";
 /// Policy label recorded for annotated runs.
 pub const ANNOTATED_POLICY: &str = "annotations";
+/// Environment variable: checkpoint every K FC-interval epochs
+/// (`0`/unset disables checkpointing).
+pub const ENV_CKPT_EPOCHS: &str = "RAMP_CKPT_EPOCHS";
+
+/// Reads the [`ENV_CKPT_EPOCHS`] knob: checkpoint every K epochs, 0 = off.
+/// The simulator core never reads the environment; this serving-layer
+/// shim is the only place the knob is interpreted.
+pub fn ckpt_epochs_from_env() -> u64 {
+    std::env::var(ENV_CKPT_EPOCHS)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Live progress of one executing run, shared lock-free between the
+/// worker thread driving the simulation and poll responses reading it.
+#[derive(Debug, Default)]
+pub struct RunProgress {
+    /// FC-interval epochs completed so far.
+    pub epochs_done: AtomicU64,
+    /// Lower-bound estimate of the run's total epochs
+    /// ([`SystemConfig::epochs_estimate`]); real runs overshoot it, so
+    /// `done > total` means "still running", not an error.
+    pub epochs_total: AtomicU64,
+    /// Epoch of the last durable checkpoint (0 = none yet).
+    pub ckpt_epoch: AtomicU64,
+    /// Whether this execution resumed from a checkpoint.
+    pub resumed: AtomicBool,
+}
+
+/// What [`RunSpec::execute_with_progress`] produced.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// The simulation result.
+    pub run: RunResult,
+    /// `false` when any store write of this execution failed, i.e. the
+    /// result is correct but served from memory only.
+    pub persisted: bool,
+    /// `true` when any simulated phase of this execution (the run
+    /// itself or its intermediate profile) resumed from a checkpoint
+    /// instead of starting cold.
+    pub resumed: bool,
+}
+
+/// Runs `build()`'s simulator to completion with epoch-granular
+/// checkpointing into `store` under `key`, resuming from the newest
+/// restorable checkpoint when one exists.
+///
+/// Torn or corrupt segments are filtered (and quarantined) by
+/// [`RunStore::load_latest_checkpoint`]; a segment that *frames*
+/// cleanly but fails to restore — e.g. one written for a different run
+/// — is quarantined here and the walk falls back further, so worst
+/// case the run simply starts cold. On completion the run's checkpoint
+/// trail is removed. Returns the result and whether the run resumed.
+///
+/// Public because the `ramp-bench` harness drives its simulations
+/// through the same path: any process that can reach the run store gets
+/// kill-and-resume for free.
+pub fn run_with_recovery(
+    build: impl Fn() -> SystemSim,
+    key: &str,
+    label: &str,
+    store: Option<&RunStore>,
+    progress: Option<&RunProgress>,
+) -> (RunResult, bool) {
+    run_with_recovery_every(build, key, label, store, progress, ckpt_epochs_from_env())
+}
+
+/// [`run_with_recovery`] with an explicit checkpoint interval instead of
+/// the environment knob (0 disables checkpointing). The recovery test
+/// suite uses this to exercise kill/resume without mutating process env.
+pub fn run_with_recovery_every(
+    build: impl Fn() -> SystemSim,
+    key: &str,
+    label: &str,
+    store: Option<&RunStore>,
+    progress: Option<&RunProgress>,
+    ckpt_every: u64,
+) -> (RunResult, bool) {
+    let mut sim = build();
+    let mut resumed = false;
+    if ckpt_every > 0 {
+        if let Some(s) = store {
+            while let Some((epoch, bytes)) = s.load_latest_checkpoint(key) {
+                match sim.restore_state(&bytes) {
+                    Ok(()) => {
+                        if let Some(p) = progress {
+                            p.epochs_done.store(epoch, Ordering::Relaxed);
+                            p.ckpt_epoch.store(epoch, Ordering::Relaxed);
+                            p.resumed.store(true, Ordering::Relaxed);
+                        }
+                        // Stderr only: stdout of a resumed run must stay
+                        // byte-identical to an uninterrupted one.
+                        eprintln!("[ckpt] resumed {label} from epoch {epoch}");
+                        resumed = true;
+                        break;
+                    }
+                    Err(e) => {
+                        s.quarantine_checkpoint(key, epoch, &format!("{e:?}"));
+                        sim = build(); // restore may have partially mutated it
+                    }
+                }
+            }
+        }
+    }
+    let mut on_epoch = |epoch: u64| {
+        if let Some(p) = progress {
+            p.epochs_done.store(epoch, Ordering::Relaxed);
+        }
+    };
+    let mut on_checkpoint = |epoch: u64, blob: Vec<u8>| {
+        if let Some(s) = store {
+            if s.store_checkpoint(key, epoch, &blob) {
+                if let Some(p) = progress {
+                    p.ckpt_epoch.store(epoch, Ordering::Relaxed);
+                }
+            }
+        }
+    };
+    let run = sim.run_with_hooks(RunHooks {
+        checkpoint_every: if store.is_some() { ckpt_every } else { 0 },
+        on_epoch: Some(&mut on_epoch),
+        on_checkpoint: Some(&mut on_checkpoint),
+    });
+    if ckpt_every > 0 {
+        if let Some(s) = store {
+            s.remove_checkpoints(key);
+        }
+    }
+    (run, resumed)
+}
 
 /// What to do with the workload.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -122,54 +255,123 @@ impl RunSpec {
         cfg: &SystemConfig,
         store: Option<&RunStore>,
     ) -> (RunResult, bool) {
+        let outcome = self.execute_with_progress(cfg, store, None);
+        (outcome.run, outcome.persisted)
+    }
+
+    /// [`RunSpec::execute_tracked`] with live progress reporting and
+    /// epoch-granular checkpoint/resume.
+    ///
+    /// When `RAMP_CKPT_EPOCHS` is set (and a store is attached), every
+    /// simulated phase checkpoints its full state every K epochs and —
+    /// if a previous process died mid-run — resumes from the newest
+    /// valid checkpoint, producing a byte-identical result to an
+    /// uninterrupted run. `progress` (shared with poll responses) tracks
+    /// the *requested* run; intermediate profile phases keep
+    /// `epochs_done` at zero rather than reporting a misleading reset.
+    pub fn execute_with_progress(
+        &self,
+        cfg: &SystemConfig,
+        store: Option<&RunStore>,
+        progress: Option<&RunProgress>,
+    ) -> ExecOutcome {
+        if let Some(p) = progress {
+            p.epochs_total
+                .store(cfg.epochs_estimate(), Ordering::Relaxed);
+        }
         let key = self.key(cfg);
+        let label = format!("{}/{}", self.workload.name(), self.policy_label());
         if let Some(s) = store {
             if self.kind() == RunKind::Annotated {
                 if let Some((run, _)) = s.load_annotated(&key) {
-                    return (run, true);
+                    return ExecOutcome {
+                        run,
+                        persisted: true,
+                        resumed: false,
+                    };
                 }
             } else if let Some(run) = s.load_run(&key) {
-                return (run, true);
+                return ExecOutcome {
+                    run,
+                    persisted: true,
+                    resumed: false,
+                };
             }
         }
+        let wl = self.workload;
         if let RunAction::Profile = self.action {
-            let run = runner::profile_workload(cfg, &self.workload);
+            let (run, resumed) = run_with_recovery(
+                || runner::build_profile_sim(cfg, &wl),
+                &key,
+                &label,
+                store,
+                progress,
+            );
             let persisted = match store {
                 Some(s) => s.store_run(&key, &run),
                 None => true,
             };
-            return (run, persisted);
+            return ExecOutcome {
+                run,
+                persisted,
+                resumed,
+            };
         }
-        let (profile, mut persisted) = RunSpec {
+        let profile_outcome = RunSpec {
             workload: self.workload,
             action: RunAction::Profile,
         }
-        .execute_tracked(cfg, store);
-        let run = match self.action {
+        .execute_with_progress(cfg, store, None);
+        let mut persisted = profile_outcome.persisted;
+        let profile = profile_outcome.run;
+        let (run, resumed) = match self.action {
             RunAction::Static(policy) => {
-                let run = runner::run_static(cfg, &self.workload, policy, &profile.table);
+                let (run, resumed) = run_with_recovery(
+                    || runner::build_static_sim(cfg, &wl, policy, &profile.table),
+                    &key,
+                    &label,
+                    store,
+                    progress,
+                );
                 if let Some(s) = store {
                     persisted &= s.store_run(&key, &run);
                 }
-                run
+                (run, resumed)
             }
             RunAction::Migration(scheme) => {
-                let run = runner::run_migration(cfg, &self.workload, scheme, &profile.table);
+                let (run, resumed) = run_with_recovery(
+                    || runner::build_migration_sim(cfg, &wl, scheme, &profile.table),
+                    &key,
+                    &label,
+                    store,
+                    progress,
+                );
                 if let Some(s) = store {
                     persisted &= s.store_run(&key, &run);
                 }
-                run
+                (run, resumed)
             }
             RunAction::Annotated => {
-                let (run, set) = runner::run_annotated(cfg, &self.workload, &profile.table);
+                let set = runner::build_annotated_sim(cfg, &wl, &profile.table).1;
+                let (run, resumed) = run_with_recovery(
+                    || runner::build_annotated_sim(cfg, &wl, &profile.table).0,
+                    &key,
+                    &label,
+                    store,
+                    progress,
+                );
                 if let Some(s) = store {
                     persisted &= s.store_annotated(&key, &run, &set);
                 }
-                run
+                (run, resumed)
             }
             RunAction::Profile => unreachable!("handled above"),
         };
-        (run, persisted)
+        ExecOutcome {
+            run,
+            persisted,
+            resumed: profile_outcome.resumed || resumed,
+        }
     }
 }
 

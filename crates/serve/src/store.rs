@@ -36,9 +36,9 @@ use std::sync::Arc;
 
 use ramp_core::annotate::AnnotationSet;
 use ramp_core::config::SystemConfig;
-use ramp_core::system::RunResult;
+use ramp_core::system::{RunResult, CHECKPOINT_KIND, CHECKPOINT_VERSION};
 use ramp_sim::chaos::{self, Chaos, FaultKind};
-use ramp_sim::codec::{fnv1a64_seeded, ByteWriter};
+use ramp_sim::codec::{decode_framed, fnv1a64_seeded, ByteWriter};
 use ramp_sim::telemetry::StatRegistry;
 
 use crate::wire::{self, WIRE_VERSION};
@@ -336,6 +336,100 @@ impl RunStore {
         )
     }
 
+    fn checkpoint_path(&self, key: &str, epoch: u64) -> PathBuf {
+        // Zero-padded epochs keep lexicographic file order equal to
+        // numeric epoch order (handy for humans listing the directory).
+        self.dir.join(format!("{key}-e{epoch:08}.ckpt"))
+    }
+
+    /// Persists a checkpoint blob for epoch `epoch` of run `key`;
+    /// `true` once it is verified on disk. Earlier checkpoints of the
+    /// same run are kept: they are the fallback when this one turns out
+    /// torn or corrupt on resume.
+    pub fn store_checkpoint(&self, key: &str, epoch: u64, bytes: &[u8]) -> bool {
+        self.store_bytes(&self.checkpoint_path(key, epoch), bytes)
+    }
+
+    /// Lists the checkpoint segments of run `key`, ascending by epoch.
+    pub fn list_checkpoints(&self, key: &str) -> Vec<(u64, PathBuf)> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut found: Vec<(u64, PathBuf)> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter_map(|path| {
+                let name = path.file_name()?.to_string_lossy().into_owned();
+                let (k, epoch) = parse_checkpoint_name(&name)?;
+                (k == key).then_some((epoch, path))
+            })
+            .collect();
+        found.sort();
+        found
+    }
+
+    /// Loads the newest *valid* checkpoint of run `key`.
+    ///
+    /// Walks the segments newest-first: a torn or corrupt tail (the
+    /// typical kill-during-write artifact) is quarantined and the walk
+    /// falls back to the previous segment, so a resume never sees
+    /// garbage — at worst it restarts from an older epoch or cold.
+    pub fn load_latest_checkpoint(&self, key: &str) -> Option<(u64, Vec<u8>)> {
+        for (epoch, path) in self.list_checkpoints(key).into_iter().rev() {
+            let Some(bytes) = self.load_bytes(&path) else {
+                continue;
+            };
+            match decode_framed(&bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+                Ok(_) => {
+                    self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((epoch, bytes));
+                }
+                Err(e) => self.note_invalid(&path, &format!("{e:?}")),
+            }
+        }
+        None
+    }
+
+    /// Lists every checkpoint segment in the store as
+    /// `(key, epoch, size_bytes)`, sorted by key then epoch (the
+    /// `ramp-store ckpt` listing).
+    pub fn all_checkpoints(&self) -> Vec<(String, u64, u64)> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut found: Vec<(String, u64, u64)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_name()?.to_string_lossy().into_owned();
+                let (key, epoch) = parse_checkpoint_name(&name)?;
+                let len = fs::metadata(&path).ok()?.len();
+                Some((key.to_string(), epoch, len))
+            })
+            .collect();
+        found.sort();
+        found
+    }
+
+    /// Quarantines one checkpoint segment whose *payload* failed to
+    /// restore (the frame decoded, but the state inside was rejected —
+    /// e.g. a checkpoint from a different run landing under this key).
+    pub fn quarantine_checkpoint(&self, key: &str, epoch: u64, why: &str) {
+        self.note_invalid(&self.checkpoint_path(key, epoch), why);
+    }
+
+    /// Deletes every checkpoint segment of run `key` (a completed run
+    /// no longer needs its resume trail). Returns how many were removed.
+    pub fn remove_checkpoints(&self, key: &str) -> usize {
+        let mut removed = 0;
+        for (_, path) in self.list_checkpoints(key) {
+            if fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Walks the whole store directory, removing stale temp files and
     /// quarantining every entry that no longer decodes. Deterministic
     /// order (sorted by file name); never panics on foreign files.
@@ -387,6 +481,20 @@ impl RunStore {
                         report.quarantined += 1;
                     }
                 }
+            } else if name.ends_with(".ckpt") {
+                match fs::read(&path)
+                    .map_err(|e| format!("read failed: {e}"))
+                    .and_then(|bytes| {
+                        decode_framed(&bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}"))
+                    }) {
+                    Ok(()) => report.valid += 1,
+                    Err(why) => {
+                        self.quarantine(&path, &why);
+                        report.quarantined += 1;
+                    }
+                }
             } else {
                 report.unknown += 1;
             }
@@ -416,6 +524,13 @@ impl RunStore {
             m.verify_failures.load(Ordering::Relaxed),
         );
     }
+}
+
+/// Parses a `<key>-e<epoch>.ckpt` checkpoint file name.
+fn parse_checkpoint_name(name: &str) -> Option<(&str, u64)> {
+    let stem = name.strip_suffix(".ckpt")?;
+    let (key, epoch) = stem.rsplit_once("-e")?;
+    Some((key, epoch.parse().ok()?))
 }
 
 /// What [`RunStore::scrub`] found and repaired in one walk.
@@ -662,6 +777,69 @@ mod tests {
         // A `.run` entry can never be read back as annotated.
         store.store_run(&key, &run);
         assert!(store.load_annotated(&key).is_some()); // different extension
+    }
+
+    #[test]
+    fn checkpoint_namespace_round_trip_and_fallback() {
+        let store = test_store();
+        let key = run_key(&SystemConfig::smoke_test(), RunKind::Migration, "lbm", "x");
+        assert!(store.load_latest_checkpoint(&key).is_none());
+
+        let blob = |epoch: u8| {
+            ramp_sim::codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, &[epoch; 32])
+        };
+        assert!(store.store_checkpoint(&key, 2, &blob(2)));
+        assert!(store.store_checkpoint(&key, 4, &blob(4)));
+        assert!(store.store_checkpoint(&key, 10, &blob(10)));
+        assert_eq!(
+            store
+                .list_checkpoints(&key)
+                .iter()
+                .map(|(e, _)| *e)
+                .collect::<Vec<_>>(),
+            vec![2, 4, 10]
+        );
+        // Another run's checkpoints don't alias.
+        let other = run_key(&SystemConfig::smoke_test(), RunKind::Migration, "mcf", "x");
+        assert!(store.store_checkpoint(&other, 7, &blob(7)));
+        assert_eq!(store.list_checkpoints(&key).len(), 3);
+
+        let (epoch, bytes) = store.load_latest_checkpoint(&key).unwrap();
+        assert_eq!(epoch, 10);
+        assert_eq!(bytes, blob(10));
+
+        // Tear the newest segment: the load quarantines it and falls
+        // back to epoch 4, never serving garbage.
+        let torn = store.checkpoint_path(&key, 10);
+        let good = fs::read(&torn).unwrap();
+        fs::write(&torn, &good[..good.len() - 5]).unwrap();
+        let (epoch, bytes) = store.load_latest_checkpoint(&key).unwrap();
+        assert_eq!(epoch, 4);
+        assert_eq!(bytes, blob(4));
+        assert!(!torn.exists());
+        assert_eq!(store.metrics().quarantined.load(Ordering::Relaxed), 1);
+
+        // Completed runs clean up their trail.
+        assert_eq!(store.remove_checkpoints(&key), 2);
+        assert!(store.load_latest_checkpoint(&key).is_none());
+        assert_eq!(store.list_checkpoints(&other).len(), 1);
+    }
+
+    #[test]
+    fn scrub_validates_checkpoint_segments() {
+        let store = test_store();
+        let key = run_key(&SystemConfig::smoke_test(), RunKind::Migration, "lbm", "x");
+        let good = ramp_sim::codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, &[9; 16]);
+        store.store_checkpoint(&key, 1, &good);
+        store.store_checkpoint(&key, 2, &good);
+        let bad = store.checkpoint_path(&key, 2);
+        fs::write(&bad, &good[..good.len() / 2]).unwrap();
+
+        let report = store.scrub();
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.quarantined, 1);
+        assert!(!bad.exists());
+        assert_eq!(store.load_latest_checkpoint(&key).unwrap().0, 1);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Golden-snapshot coverage for `GET /jobs/{id}` poll bodies.
+//!
+//! Every [`JobState`] variant — including the running state's live
+//! checkpoint-progress fields (`epochs_done`, `epochs_total`,
+//! `ckpt_epoch`, `resumed`) — is rendered through the production
+//! [`render_job_status`] and pinned byte-for-byte against the committed
+//! golden file. A schema drift in poll responses (renamed field,
+//! reordered keys, changed formatting) fails here before any client
+//! breaks.
+//!
+//! Regenerating after an intentional schema change:
+//!
+//! ```text
+//! RAMP_BLESS=1 cargo test -p ramp-serve --test golden_progress
+//! ```
+//!
+//! then commit the updated `tests/golden/job_status.json` and call out
+//! the schema change in the PR description.
+
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Arc;
+
+use ramp_serve::server::{render_job_status, JobState, RunSummary};
+use ramp_serve::spec::RunProgress;
+
+const GOLDEN_PATH: &str = "tests/golden/job_status.json";
+
+fn sample_states() -> Vec<(&'static str, JobState)> {
+    let fresh = RunProgress::default();
+    let running = RunProgress {
+        epochs_done: AtomicU64::new(7),
+        epochs_total: AtomicU64::new(12),
+        ckpt_epoch: AtomicU64::new(6),
+        resumed: AtomicBool::new(false),
+    };
+    let resumed = RunProgress {
+        epochs_done: AtomicU64::new(9),
+        epochs_total: AtomicU64::new(12),
+        ckpt_epoch: AtomicU64::new(8),
+        resumed: AtomicBool::new(true),
+    };
+    let summary = RunSummary {
+        key: "0123456789abcdef0123456789abcdef".to_string(),
+        workload: "lbm".to_string(),
+        policy: "perf-fc".to_string(),
+        ipc: 1.25,
+        ser_fit: 420.5,
+        ser_vs_ddr_only: 0.875,
+        cycles: 1_000_000,
+        instructions: 1_250_000,
+        mpki: 12.5,
+        hbm_accesses: 9_000,
+        ddr_accesses: 3_000,
+        migrations: 42,
+    };
+    vec![
+        ("queued", JobState::Queued),
+        ("running-fresh", JobState::Running(Arc::new(fresh))),
+        ("running-mid", JobState::Running(Arc::new(running))),
+        ("running-resumed", JobState::Running(Arc::new(resumed))),
+        ("done", JobState::Done(summary)),
+        (
+            "failed",
+            JobState::Failed("worker panicked: boom".to_string()),
+        ),
+        ("expired", JobState::Expired),
+    ]
+}
+
+fn render_document() -> String {
+    let mut out = String::new();
+    for (i, (label, state)) in sample_states().iter().enumerate() {
+        out.push_str(&format!("# {label}\n"));
+        out.push_str(&render_job_status(i as u64 + 1, state));
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn job_status_bodies_match_committed_golden_snapshot() {
+    let rendered = render_document();
+    let path = golden_file();
+    if std::env::var("RAMP_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with RAMP_BLESS=1 cargo test -p ramp-serve --test golden_progress",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "job-status snapshot drifted from {GOLDEN_PATH}; if the change is \
+         intentional, regenerate with RAMP_BLESS=1 cargo test -p ramp-serve \
+         --test golden_progress"
+    );
+}
+
+#[test]
+fn running_state_exposes_checkpoint_progress_fields() {
+    let (_, state) = &sample_states()[3]; // running-resumed
+    let body = render_job_status(9, state);
+    for needle in [
+        "\"state\":\"running\"",
+        "\"epochs_done\":9",
+        "\"epochs_total\":12",
+        "\"ckpt_epoch\":8",
+        "\"resumed\":true",
+    ] {
+        assert!(body.contains(needle), "poll body missing {needle}: {body}");
+    }
+}

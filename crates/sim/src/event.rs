@@ -100,6 +100,29 @@ impl<T> EventQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot`]. Sequence numbers
+    /// restart from zero but the snapshot's time-then-FIFO order is
+    /// preserved, so pop order is identical to the captured queue's.
+    pub fn rebuild(events: Vec<(Cycle, T)>) -> Self {
+        let mut q = EventQueue::new();
+        for (at, payload) in events {
+            q.schedule(at, payload);
+        }
+        q
+    }
+}
+
+impl<T: Clone> EventQueue<T> {
+    /// Time-ordered copies of every pending event, for checkpointing.
+    pub fn snapshot(&self) -> Vec<(Cycle, T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort();
+        entries
+            .into_iter()
+            .map(|e| (e.at, e.payload.clone()))
+            .collect()
+    }
 }
 
 impl<T> Default for EventQueue<T> {

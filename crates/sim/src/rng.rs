@@ -97,6 +97,21 @@ impl SimRng {
         self.seed
     }
 
+    /// The full generator state `(seed, xoshiro words)`, for
+    /// checkpointing. Restoring via [`SimRng::from_state`] resumes the
+    /// stream exactly where it left off.
+    pub fn state(&self) -> (u64, [u64; 4]) {
+        (self.seed, self.inner.s)
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`].
+    pub fn from_state(seed: u64, s: [u64; 4]) -> Self {
+        SimRng {
+            seed,
+            inner: Xoshiro256pp { s },
+        }
+    }
+
     /// A uniformly random `u64`.
     pub fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()

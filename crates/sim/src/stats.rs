@@ -85,6 +85,23 @@ impl OnlineStats {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// The raw accumulator fields `(n, mean, m2, min, max)`, for
+    /// checkpointing with exact `f64` bit patterns.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::raw_parts`] output.
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 impl Extend<f64> for OnlineStats {

@@ -121,6 +121,31 @@ impl BinHistogram {
         })
     }
 
+    /// Serializes the histogram (bounds plus per-bin counts) into `w`.
+    pub fn save_state(&self, w: &mut crate::codec::ByteWriter) {
+        w.f64(self.lo);
+        w.f64(self.hi);
+        w.u32(self.counts.len() as u32);
+        for &c in &self.counts {
+            w.u64(c);
+        }
+    }
+
+    /// Decodes a histogram serialized by [`BinHistogram::save_state`],
+    /// rejecting corrupt geometry via [`BinHistogram::from_parts`].
+    pub fn read_state(r: &mut crate::codec::ByteReader) -> Result<Self, crate::codec::CodecError> {
+        let lo = r.f64()?;
+        let hi = r.f64()?;
+        let n = r.seq_len(8)?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(r.u64()?);
+        }
+        BinHistogram::from_parts(lo, hi, counts).ok_or(crate::codec::CodecError::Malformed(
+            "bad histogram geometry",
+        ))
+    }
+
     /// Adds `other`'s bins into `self`.
     ///
     /// # Panics

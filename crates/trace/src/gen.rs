@@ -4,6 +4,7 @@
 //! deterministic stream of [`TraceRecord`]s driven by the benchmark's
 //! [`RegionSpec`]s. Sixteen instances (one per core) make up a workload.
 
+use ramp_sim::codec::{ByteReader, ByteWriter, CodecError};
 use ramp_sim::rng::SimRng;
 use ramp_sim::units::{AccessKind, Addr, PageId, LINE_SIZE, PAGE_SIZE};
 
@@ -115,6 +116,89 @@ impl InstanceGen {
         let start = self.base_page.index() + self.region_bases[region_idx];
         let end = start + self.profile.regions[region_idx].pages;
         (PageId(start), PageId(end))
+    }
+
+    /// Serializes the generator's dynamic state (region cursors, RNG
+    /// stream, instruction count, pending RMW store, cached weights) into
+    /// `w`. Static configuration (profile, bases, horizon) is not written:
+    /// a restore target must be built with identical constructor inputs.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        w.u32(self.states.len() as u32);
+        for st in &self.states {
+            let (cursor, page_perm_seed) = st.dynamic_state();
+            w.u64(cursor);
+            w.u64(page_perm_seed);
+        }
+        let (seed, s) = self.rng.state();
+        w.u64(seed);
+        for word in s {
+            w.u64(word);
+        }
+        w.u64(self.insts);
+        match &self.pending {
+            None => w.u8(0),
+            Some(rec) => {
+                w.u8(1);
+                w.u32(rec.inst_gap);
+                w.u64(rec.pc);
+                w.u64(rec.addr.0);
+                w.u8(u8::from(rec.kind.is_write()));
+            }
+        }
+        // The cached cumulative weights were computed at a *past* insts
+        // value; recomputing them on restore would shift the refresh
+        // schedule, so the exact f64 bits travel with the state.
+        w.u32(self.cum_weights.len() as u32);
+        for &cw in &self.cum_weights {
+            w.f64(cw);
+        }
+        w.u64(self.accesses_since_refresh);
+    }
+
+    /// Restores the dynamic state captured by [`InstanceGen::save_state`]
+    /// into a freshly-constructed generator with identical inputs.
+    pub fn restore_state(&mut self, r: &mut ByteReader) -> Result<(), CodecError> {
+        let n_states = r.seq_len(16)?;
+        if n_states != self.states.len() {
+            return Err(CodecError::Malformed("region state count mismatch"));
+        }
+        for i in 0..n_states {
+            let cursor = r.u64()?;
+            let page_perm_seed = r.u64()?;
+            self.states[i] =
+                RegionState::from_dynamic_state(&self.profile.regions[i], cursor, page_perm_seed);
+        }
+        let seed = r.u64()?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng = SimRng::from_state(seed, s);
+        self.insts = r.u64()?;
+        self.pending = match r.u8()? {
+            0 => None,
+            1 => Some(TraceRecord {
+                inst_gap: r.u32()?,
+                pc: r.u64()?,
+                addr: Addr(r.u64()?),
+                kind: if r.u8()? != 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            }),
+            _ => return Err(CodecError::Malformed("bad pending-record tag")),
+        };
+        let n_weights = r.seq_len(8)?;
+        if n_weights != self.profile.regions.len() {
+            return Err(CodecError::Malformed("weight count mismatch"));
+        }
+        self.cum_weights.clear();
+        for _ in 0..n_weights {
+            self.cum_weights.push(r.f64()?);
+        }
+        self.accesses_since_refresh = r.u64()?;
+        Ok(())
     }
 
     fn refresh_weights(&mut self) {

@@ -359,6 +359,25 @@ impl RegionState {
         }
     }
 
+    /// The dynamic fields `(cursor, page_perm_seed)`, for checkpointing.
+    /// The Zipf table is static per spec and rebuilt on restore.
+    pub(crate) fn dynamic_state(&self) -> (u64, u64) {
+        (self.cursor, self.page_perm_seed)
+    }
+
+    /// Rebuilds a region state from [`RegionState::dynamic_state`] output.
+    pub(crate) fn from_dynamic_state(spec: &RegionSpec, cursor: u64, page_perm_seed: u64) -> Self {
+        let zipf = match spec.pattern {
+            Pattern::Zipf { alpha } => Some(Zipf::new(spec.pages as usize, alpha)),
+            _ => None,
+        };
+        RegionState {
+            cursor,
+            zipf,
+            page_perm_seed,
+        }
+    }
+
     /// Picks the next line offset (in lines, relative to the region base).
     ///
     /// `insts` is the instance's instruction count, which drives popularity

@@ -92,6 +92,35 @@ env "${WARM_ENV[@]}" RAMP_STORE_DIR="$CHAOS_DIR" RAMP_STATS=json \
 cmp "$STORE_DIR/cold.out" "$STORE_DIR/chaos2.out" \
     || { echo "FAIL: healing replay differs from fault-free stdout"; exit 1; }
 
+# Checkpoint-smoke: kill an experiment at its first checkpoint (the
+# sim.checkpoint chaos site fires only after the segment is durable),
+# verify the trail is visible to `ramp-store ckpt`, then resume against
+# the same store — the resumed run must report the recovery on stderr,
+# clean up its trail, and produce stdout byte-identical to an
+# uninterrupted run of the same config. Needs more instructions than
+# WARM_ENV so the paper config's 400k-cycle epoch actually fires.
+echo "==> checkpoint-smoke: kill at first checkpoint (seed 303), resume byte-identical"
+CKPT_DIR="$STORE_DIR/ckpt-store"
+CKPT_ENV=(RAMP_WORKLOADS=lbm,mcf RAMP_INSTS=400000 RAMP_STATS=json RAMP_CKPT_EPOCHS=1)
+env "${CKPT_ENV[@]}" RAMP_STORE_DIR="$CKPT_DIR" RAMP_CHAOS="303:panic=1.0" \
+    target/release/fig05_perf_static \
+    > "$STORE_DIR/ckpt-kill.out" 2> "$STORE_DIR/ckpt-kill.err" || true
+target/release/ramp-store ckpt --dir "$CKPT_DIR" > "$STORE_DIR/ckpt-list.out"
+cat "$STORE_DIR/ckpt-list.out"
+grep -qE 'segments=[1-9]' "$STORE_DIR/ckpt-list.out" \
+    || { echo "FAIL: killed run left no checkpoint segments"; exit 1; }
+env "${CKPT_ENV[@]}" RAMP_STORE_DIR="$CKPT_DIR" target/release/fig05_perf_static \
+    > "$STORE_DIR/ckpt-resume.out" 2> "$STORE_DIR/ckpt-resume.err"
+grep -q '^\[ckpt\] resumed ' "$STORE_DIR/ckpt-resume.err" \
+    || { echo "FAIL: resume run did not report recovering from a checkpoint"; exit 1; }
+env "${CKPT_ENV[@]}" RAMP_STORE_DIR="$STORE_DIR/ckpt-baseline" \
+    target/release/fig05_perf_static > "$STORE_DIR/ckpt-base.out" 2>/dev/null
+cmp "$STORE_DIR/ckpt-base.out" "$STORE_DIR/ckpt-resume.out" \
+    || { echo "FAIL: resumed stdout differs from uninterrupted stdout"; exit 1; }
+target/release/ramp-store ckpt --dir "$CKPT_DIR" > "$STORE_DIR/ckpt-after.out"
+grep -q 'segments=0' "$STORE_DIR/ckpt-after.out" \
+    || { echo "FAIL: completed resume left checkpoint segments behind"; exit 1; }
+
 echo "==> chaos-smoke: server choreography under injected resets (seed 7)"
 PORT_FILE2="$STORE_DIR/chaos-port"
 RAMP_STORE_DIR="$STORE_DIR/chaos-server-store" RAMP_CHAOS="7:net=0.05,slow=2ms" \
