@@ -12,14 +12,13 @@ use ramp_avf::{
     hotness_avf_correlation, hottest_pages, writeratio_avf_correlation, Quadrant, QuadrantAnalysis,
 };
 use ramp_bench::{
-    fmt_pct, fmt_x, geomean_or_one, migration_vs_perf, print_relative, print_table, static_vs_perf,
-    workloads, Harness,
+    fmt_pct, fmt_x, geomean_or_one, migration_vs_perf, print_relative, print_table,
+    run_migration_memo, static_vs_perf, workloads, Harness,
 };
 use ramp_core::annotate::select_annotations;
 use ramp_core::hwcost;
 use ramp_core::migration::MigrationScheme;
 use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::run_migration;
 use ramp_faultsim::{run_monte_carlo, RasConfig};
 use ramp_sim::exec::{parallel_map, StageTimer};
 use ramp_sim::stats::Histogram;
@@ -73,6 +72,10 @@ fn prewarm(h: &mut Harness, wls: &[Workload]) {
 }
 
 fn main() {
+    // Config-sweep sections below rebuild harnesses whose default point
+    // matches the main config; memoize runs process-wide so a cold store
+    // never simulates the same (config, workload, policy) twice.
+    ramp_bench::enable_run_memo();
     let mut h = Harness::new();
     let wls = workloads();
     prewarm(&mut h, &wls);
@@ -384,7 +387,7 @@ fn main() {
             let mut cfg = base_cfg.clone();
             cfg.fc_interval_cycles = *iv;
             let profile = &sweep_profiles[i / SWEEP_INTERVALS.len()];
-            run_migration(&cfg, wl, MigrationScheme::PerfFc, &profile.table).ipc
+            run_migration_memo(&cfg, wl, MigrationScheme::PerfFc, &profile.table).ipc
         })
     };
     let mut f13 = Vec::new();

@@ -83,20 +83,10 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: u64,
-    lru: u64,
-    valid: bool,
-    dirty: bool,
-}
-
-const INVALID: Way = Way {
-    tag: 0,
-    lru: 0,
-    valid: false,
-    dirty: false,
-};
+/// `meta` bit: way holds a valid line.
+const VALID: u8 = 1;
+/// `meta` bit: the held line is dirty.
+const DIRTY: u8 = 2;
 
 /// A set-associative cache with true-LRU replacement.
 ///
@@ -118,7 +108,12 @@ const INVALID: Way = Way {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    ways: Vec<Way>, // sets * assoc, row-major by set
+    // Way state as parallel arrays (sets * assoc, row-major by set): the
+    // hit scan walks `assoc` consecutive tags in one or two cache lines
+    // instead of striding over padded per-way structs.
+    tags: Vec<u64>,
+    lrus: Vec<u64>,
+    meta: Vec<u8>,
     set_mask: u64,
     set_shift: u32,
     tick: u64,
@@ -129,9 +124,12 @@ impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        let n = sets * config.assoc;
         SetAssocCache {
             config,
-            ways: vec![INVALID; sets * config.assoc],
+            tags: vec![0; n],
+            lrus: vec![0; n],
+            meta: vec![0; n],
             set_mask: sets as u64 - 1,
             set_shift: sets.trailing_zeros(),
             tick: 0,
@@ -164,9 +162,8 @@ impl SetAssocCache {
     /// Checks for presence without updating LRU or statistics.
     pub fn probe(&self, line: LineAddr) -> bool {
         let (set, tag) = self.index(line);
-        self.ways[set * self.config.assoc..(set + 1) * self.config.assoc]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        let base = set * self.config.assoc;
+        (base..base + self.config.assoc).any(|i| self.meta[i] & VALID != 0 && self.tags[i] == tag)
     }
 
     /// Accesses `line`; allocates on miss (LRU victim), marking the line
@@ -177,11 +174,16 @@ impl SetAssocCache {
         let assoc = self.config.assoc;
         let base = set * assoc;
 
+        let set_shift = self.set_shift;
+        let tags = &mut self.tags[base..base + assoc];
+        let lrus = &mut self.lrus[base..base + assoc];
+        let meta = &mut self.meta[base..base + assoc];
+
         // Hit path.
-        for w in &mut self.ways[base..base + assoc] {
-            if w.valid && w.tag == tag {
-                w.lru = self.tick;
-                w.dirty |= write;
+        for i in 0..assoc {
+            if meta[i] & VALID != 0 && tags[i] == tag {
+                lrus[i] = self.tick;
+                meta[i] |= u8::from(write) * DIRTY;
                 self.stats.hits += 1;
                 return AccessResult {
                     hit: true,
@@ -192,35 +194,35 @@ impl SetAssocCache {
 
         // Miss: pick an invalid way, else the LRU way.
         self.stats.misses += 1;
-        let mut victim_idx = base;
+        let mut victim_idx = 0;
         let mut victim_lru = u64::MAX;
         let mut found_invalid = false;
-        for (i, w) in self.ways[base..base + assoc].iter().enumerate() {
-            if !w.valid {
-                victim_idx = base + i;
+        for i in 0..assoc {
+            if meta[i] & VALID == 0 {
+                victim_idx = i;
                 found_invalid = true;
                 break;
             }
-            if w.lru < victim_lru {
-                victim_lru = w.lru;
-                victim_idx = base + i;
+            if lrus[i] < victim_lru {
+                victim_lru = lrus[i];
+                victim_idx = i;
             }
         }
         let victim = if found_invalid {
             None
         } else {
-            let w = self.ways[victim_idx];
-            if w.dirty {
+            let dirty = meta[victim_idx] & DIRTY != 0;
+            if dirty {
                 self.stats.dirty_evictions += 1;
             }
-            Some((self.line_of(set, w.tag), w.dirty))
+            Some((
+                LineAddr((tags[victim_idx] << set_shift) | set as u64),
+                dirty,
+            ))
         };
-        self.ways[victim_idx] = Way {
-            tag,
-            lru: self.tick,
-            valid: true,
-            dirty: write,
-        };
+        tags[victim_idx] = tag;
+        lrus[victim_idx] = self.tick;
+        meta[victim_idx] = VALID | u8::from(write) * DIRTY;
         AccessResult { hit: false, victim }
     }
 
@@ -228,10 +230,10 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let (set, tag) = self.index(line);
         let base = set * self.config.assoc;
-        for w in &mut self.ways[base..base + self.config.assoc] {
-            if w.valid && w.tag == tag {
-                w.valid = false;
-                return Some(w.dirty);
+        for i in base..base + self.config.assoc {
+            if self.meta[i] & VALID != 0 && self.tags[i] == tag {
+                self.meta[i] &= !VALID;
+                return Some(self.meta[i] & DIRTY != 0);
             }
         }
         None
@@ -239,19 +241,19 @@ impl SetAssocCache {
 
     /// Number of currently-valid lines (test/diagnostic helper).
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.meta.iter().filter(|&&m| m & VALID != 0).count()
     }
 
     /// Serializes the cache's dynamic state (ways, LRU tick, stats) into
     /// `w`. Geometry is not written: restore into a cache built with the
     /// same [`CacheConfig`].
     pub fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
-        w.u32(self.ways.len() as u32);
-        for way in &self.ways {
-            w.u64(way.tag);
-            w.u64(way.lru);
-            w.u8(u8::from(way.valid));
-            w.u8(u8::from(way.dirty));
+        w.u32(self.tags.len() as u32);
+        for i in 0..self.tags.len() {
+            w.u64(self.tags[i]);
+            w.u64(self.lrus[i]);
+            w.u8(u8::from(self.meta[i] & VALID != 0));
+            w.u8(u8::from(self.meta[i] & DIRTY != 0));
         }
         w.u64(self.tick);
         w.u64(self.stats.hits);
@@ -266,16 +268,17 @@ impl SetAssocCache {
         r: &mut ramp_sim::codec::ByteReader,
     ) -> Result<(), ramp_sim::codec::CodecError> {
         let n = r.seq_len(18)?;
-        if n != self.ways.len() {
+        if n != self.tags.len() {
             return Err(ramp_sim::codec::CodecError::Malformed(
                 "cache way count mismatch",
             ));
         }
-        for way in &mut self.ways {
-            way.tag = r.u64()?;
-            way.lru = r.u64()?;
-            way.valid = r.u8()? != 0;
-            way.dirty = r.u8()? != 0;
+        for i in 0..n {
+            self.tags[i] = r.u64()?;
+            self.lrus[i] = r.u64()?;
+            let valid = r.u8()? != 0;
+            let dirty = r.u8()? != 0;
+            self.meta[i] = u8::from(valid) * VALID | u8::from(dirty) * DIRTY;
         }
         self.tick = r.u64()?;
         self.stats.hits = r.u64()?;
@@ -287,11 +290,11 @@ impl SetAssocCache {
     /// Every valid line with its dirty flag (used to flush at end of run).
     pub fn valid_lines(&self) -> Vec<(LineAddr, bool)> {
         let assoc = self.config.assoc;
-        self.ways
+        self.meta
             .iter()
             .enumerate()
-            .filter(|(_, w)| w.valid)
-            .map(|(i, w)| (self.line_of(i / assoc, w.tag), w.dirty))
+            .filter(|(_, &m)| m & VALID != 0)
+            .map(|(i, &m)| (self.line_of(i / assoc, self.tags[i]), m & DIRTY != 0))
             .collect()
     }
 }

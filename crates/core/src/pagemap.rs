@@ -4,16 +4,61 @@
 //! space) are bound to frames in either HBM or DDR. Frames are what the
 //! DRAM address mappings decode, so migrating a page genuinely changes its
 //! channel/bank/row placement. Freed frames are recycled LIFO.
+//!
+//! Storage is a flat two-level table instead of a `HashMap`: the trace
+//! layer bases each core's pages at `(core as u64) << 22`, so page ids
+//! cluster into a handful of dense runs. The outer level indexes
+//! `page >> 22` directly; each inner chunk is a plain `Vec<u64>` of
+//! packed entries indexed by the low 22 bits — the per-access `resolve`
+//! is two bounds-checked loads, no hashing. Pages outside the outer
+//! range (arbitrary ids from tests or tools) fall back to a spill map,
+//! which never triggers on the simulator's own traffic.
 
 use std::collections::HashMap;
 
 use ramp_dram::MemoryKind;
 use ramp_sim::units::{LineAddr, PageId, LINES_PER_PAGE};
 
+/// Bits of page id covered by one inner chunk (matches the trace
+/// layer's per-core base-page stride).
+const CHUNK_BITS: u32 = 22;
+/// Outer-table capacity in chunks: covers every page id below
+/// `OUTER_CHUNKS << CHUNK_BITS` (cores are 16 today; 4096 leaves room).
+const OUTER_CHUNKS: usize = 4096;
+/// Packed-entry sentinel: page not bound.
+const EMPTY: u64 = u64::MAX;
+/// Packed-entry kind bit (set = DDR, clear = HBM).
+const KIND_DDR: u64 = 1 << 63;
+
+#[inline]
+fn pack(kind: MemoryKind, frame: u64) -> u64 {
+    debug_assert!(frame < KIND_DDR);
+    match kind {
+        MemoryKind::Hbm => frame,
+        MemoryKind::Ddr => frame | KIND_DDR,
+    }
+}
+
+#[inline]
+fn unpack(entry: u64) -> (MemoryKind, u64) {
+    if entry & KIND_DDR == 0 {
+        (MemoryKind::Hbm, entry)
+    } else {
+        (MemoryKind::Ddr, entry & !KIND_DDR)
+    }
+}
+
 /// Page-to-frame binding for the two memories.
 #[derive(Debug)]
 pub struct PageMap {
-    map: HashMap<PageId, (MemoryKind, u64)>,
+    /// Outer level: chunk index -> packed inner table (lazily grown).
+    chunks: Vec<Vec<u64>>,
+    /// Bindings for pages past the outer range (rare; tests/tools only).
+    spill: HashMap<PageId, u64>,
+    /// Total bound pages (maintained, not recounted).
+    bound: usize,
+    /// Pages currently in HBM (maintained, not recounted).
+    hbm_resident: u64,
     free_hbm: Vec<u64>,
     next_hbm: u64,
     hbm_capacity: u64,
@@ -38,7 +83,10 @@ impl PageMap {
     /// effectively unbounded at our scale).
     pub fn new(hbm_capacity_pages: u64) -> Self {
         PageMap {
-            map: HashMap::new(),
+            chunks: Vec::new(),
+            spill: HashMap::new(),
+            bound: 0,
+            hbm_resident: 0,
             free_hbm: Vec::new(),
             next_hbm: 0,
             hbm_capacity: hbm_capacity_pages,
@@ -47,23 +95,94 @@ impl PageMap {
         }
     }
 
+    /// Splits a page id into (chunk index, offset) when it falls inside
+    /// the outer range.
+    #[inline]
+    fn split(page: PageId) -> Option<(usize, usize)> {
+        let chunk = (page.0 >> CHUNK_BITS) as usize;
+        if page.0 >> CHUNK_BITS < OUTER_CHUNKS as u64 {
+            Some((chunk, (page.0 & ((1 << CHUNK_BITS) - 1)) as usize))
+        } else {
+            None
+        }
+    }
+
+    /// The packed entry for `page`, or `EMPTY`.
+    #[inline]
+    fn entry(&self, page: PageId) -> u64 {
+        match Self::split(page) {
+            Some((c, off)) => self
+                .chunks
+                .get(c)
+                .and_then(|inner| inner.get(off))
+                .copied()
+                .unwrap_or(EMPTY),
+            None => self.spill.get(&page).copied().unwrap_or(EMPTY),
+        }
+    }
+
+    /// Writes `entry` for `page`, growing tables as needed. Callers
+    /// maintain `bound` / `hbm_resident` themselves.
+    fn set_entry(&mut self, page: PageId, entry: u64) {
+        match Self::split(page) {
+            Some((c, off)) => {
+                if c >= self.chunks.len() {
+                    self.chunks.resize_with(c + 1, Vec::new);
+                }
+                let inner = &mut self.chunks[c];
+                if off >= inner.len() {
+                    let new_len = (off + 1).next_power_of_two().max(64);
+                    inner.resize(new_len, EMPTY);
+                }
+                inner[off] = entry;
+            }
+            None => {
+                if entry == EMPTY {
+                    self.spill.remove(&page);
+                } else {
+                    self.spill.insert(page, entry);
+                }
+            }
+        }
+    }
+
+    /// Rebinds `page` (which must already be bound) and keeps the
+    /// HBM-residency counter in step.
+    fn rebind(&mut self, page: PageId, old: u64, new: u64) {
+        debug_assert_ne!(old, EMPTY);
+        let was_hbm = old & KIND_DDR == 0;
+        let is_hbm = new & KIND_DDR == 0;
+        match (was_hbm, is_hbm) {
+            (false, true) => self.hbm_resident += 1,
+            (true, false) => self.hbm_resident -= 1,
+            _ => {}
+        }
+        self.set_entry(page, new);
+    }
+
     /// Where `page` currently lives (binding it to DDR on first touch).
+    #[inline]
     pub fn resolve(&mut self, page: PageId) -> (MemoryKind, u64) {
-        if let Some(&entry) = self.map.get(&page) {
-            return entry;
+        let entry = self.entry(page);
+        if entry != EMPTY {
+            return unpack(entry);
         }
         let frame = self.alloc_ddr();
-        let entry = (MemoryKind::Ddr, frame);
-        self.map.insert(page, entry);
-        entry
+        self.set_entry(page, pack(MemoryKind::Ddr, frame));
+        self.bound += 1;
+        (MemoryKind::Ddr, frame)
     }
 
     /// Current binding without allocating.
     pub fn lookup(&self, page: PageId) -> Option<(MemoryKind, u64)> {
-        self.map.get(&page).copied()
+        match self.entry(page) {
+            EMPTY => None,
+            e => Some(unpack(e)),
+        }
     }
 
     /// Frame-level line address for an access to `line_in_page` of `page`.
+    #[inline]
     pub fn frame_line(&mut self, page: PageId, line_in_page: usize) -> (MemoryKind, LineAddr) {
         let (kind, frame) = self.resolve(page);
         (
@@ -79,12 +198,19 @@ impl PageMap {
     /// Returns [`HbmFull`] when HBM has no free frames. The page keeps (or
     /// gets) a DDR binding in that case.
     pub fn place_in_hbm(&mut self, page: PageId) -> Result<(), HbmFull> {
-        if let Some(&(MemoryKind::Hbm, _)) = self.map.get(&page) {
+        let old = self.entry(page);
+        if old != EMPTY && old & KIND_DDR == 0 {
             return Ok(());
         }
         let frame = self.alloc_hbm().ok_or(HbmFull)?;
-        if let Some((MemoryKind::Ddr, old)) = self.map.insert(page, (MemoryKind::Hbm, frame)) {
-            self.free_ddr.push(old);
+        if old == EMPTY {
+            self.set_entry(page, pack(MemoryKind::Hbm, frame));
+            self.bound += 1;
+            self.hbm_resident += 1;
+        } else {
+            let (_, ddr_frame) = unpack(old);
+            self.rebind(page, old, pack(MemoryKind::Hbm, frame));
+            self.free_ddr.push(ddr_frame);
         }
         Ok(())
     }
@@ -95,69 +221,77 @@ impl PageMap {
     ///
     /// Returns [`HbmFull`] when moving to HBM without free frames.
     pub fn migrate(&mut self, page: PageId, to: MemoryKind) -> Result<(), HbmFull> {
-        let current = self.resolve(page);
-        if current.0 == to {
+        let (kind, frame) = self.resolve(page);
+        if kind == to {
             return Ok(());
         }
+        let old = pack(kind, frame);
         match to {
             MemoryKind::Hbm => {
-                let frame = self.alloc_hbm().ok_or(HbmFull)?;
-                self.map.insert(page, (MemoryKind::Hbm, frame));
-                self.free_ddr.push(current.1);
+                let new = self.alloc_hbm().ok_or(HbmFull)?;
+                self.rebind(page, old, pack(MemoryKind::Hbm, new));
+                self.free_ddr.push(frame);
             }
             MemoryKind::Ddr => {
-                let frame = self.alloc_ddr();
-                self.map.insert(page, (MemoryKind::Ddr, frame));
-                self.free_hbm.push(current.1);
+                let new = self.alloc_ddr();
+                self.rebind(page, old, pack(MemoryKind::Ddr, new));
+                self.free_hbm.push(frame);
             }
         }
         Ok(())
     }
 
-    /// Pages currently resident in HBM.
+    /// Iterates every bound `(page, packed entry)` in ascending page-id
+    /// order. Chunked pages come out sorted by construction (ascending
+    /// chunk index, ascending offset); spill pages all sort after them
+    /// (their ids exceed the outer range), so appending the sorted spill
+    /// keeps the whole stream ordered.
+    fn iter_sorted(&self) -> impl Iterator<Item = (PageId, u64)> + '_ {
+        let chunked = self.chunks.iter().enumerate().flat_map(|(c, inner)| {
+            inner.iter().enumerate().filter_map(move |(off, &e)| {
+                (e != EMPTY).then(|| (PageId(((c as u64) << CHUNK_BITS) | off as u64), e))
+            })
+        });
+        let mut spill: Vec<(PageId, u64)> = self.spill.iter().map(|(&p, &e)| (p, e)).collect();
+        spill.sort_by_key(|(p, _)| *p);
+        chunked.chain(spill)
+    }
+
+    /// Pages currently resident in HBM, ascending.
     pub fn hbm_pages(&self) -> Vec<PageId> {
-        let mut v: Vec<PageId> = self
-            .map
-            .iter()
-            .filter(|(_, &(k, _))| k == MemoryKind::Hbm)
-            .map(|(&p, _)| p)
-            .collect();
-        v.sort();
-        v
+        self.iter_sorted()
+            .filter(|&(_, e)| e & KIND_DDR == 0)
+            .map(|(p, _)| p)
+            .collect()
     }
 
     /// Number of pages in HBM.
     pub fn hbm_used(&self) -> u64 {
-        self.map
-            .values()
-            .filter(|&&(k, _)| k == MemoryKind::Hbm)
-            .count() as u64
+        self.hbm_resident
     }
 
     /// Free HBM frames remaining.
     pub fn hbm_free(&self) -> u64 {
-        self.hbm_capacity - self.hbm_used()
+        self.hbm_capacity - self.hbm_resident
     }
 
     /// Total pages bound.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.bound
     }
 
     /// `true` when no pages are bound.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.bound == 0
     }
 
     /// Serializes the map (sorted by page id) and both free lists. The
     /// free lists keep their order verbatim: frames recycle LIFO, so list
     /// order determines future allocations.
     pub(crate) fn save_state(&self, w: &mut ramp_sim::codec::ByteWriter) {
-        let mut entries: Vec<(PageId, (MemoryKind, u64))> =
-            self.map.iter().map(|(&p, &e)| (p, e)).collect();
-        entries.sort_by_key(|(p, _)| *p);
-        w.u32(entries.len() as u32);
-        for (page, (kind, frame)) in entries {
+        w.u32(self.bound as u32);
+        for (page, entry) in self.iter_sorted() {
+            let (kind, frame) = unpack(entry);
             w.u64(page.0);
             w.u8(match kind {
                 MemoryKind::Hbm => 0,
@@ -185,7 +319,10 @@ impl PageMap {
     ) -> Result<(), ramp_sim::codec::CodecError> {
         use ramp_sim::codec::CodecError;
         let n = r.seq_len(17)?;
-        let mut map = HashMap::with_capacity(n);
+        self.chunks.clear();
+        self.spill.clear();
+        self.bound = 0;
+        self.hbm_resident = 0;
         for _ in 0..n {
             let page = PageId(r.u64()?);
             let kind = match r.u8()? {
@@ -193,7 +330,11 @@ impl PageMap {
                 1 => MemoryKind::Ddr,
                 _ => return Err(CodecError::Malformed("bad memory-kind tag")),
             };
-            map.insert(page, (kind, r.u64()?));
+            self.set_entry(page, pack(kind, r.u64()?));
+            self.bound += 1;
+            if kind == MemoryKind::Hbm {
+                self.hbm_resident += 1;
+            }
         }
         let n_hbm = r.seq_len(8)?;
         let mut free_hbm = Vec::with_capacity(n_hbm);
@@ -210,7 +351,6 @@ impl PageMap {
             free_ddr.push(r.u64()?);
         }
         self.next_ddr = r.u64()?;
-        self.map = map;
         self.free_hbm = free_hbm;
         self.next_hbm = next_hbm;
         self.free_ddr = free_ddr;
@@ -316,5 +456,40 @@ mod tests {
         // New DDR page should reuse the freed frame 0.
         let (_, frame) = pm.resolve(PageId(2));
         assert_eq!(frame, 0);
+    }
+
+    #[test]
+    fn spill_pages_outside_outer_range() {
+        let mut pm = PageMap::new(4);
+        let far = PageId((OUTER_CHUNKS as u64) << CHUNK_BITS);
+        let near = PageId(7);
+        pm.place_in_hbm(far).unwrap();
+        pm.resolve(near);
+        assert_eq!(pm.lookup(far).unwrap().0, MemoryKind::Hbm);
+        assert_eq!(pm.len(), 2);
+        assert_eq!(pm.hbm_pages(), vec![far]);
+        pm.migrate(far, MemoryKind::Ddr).unwrap();
+        assert_eq!(pm.lookup(far).unwrap().0, MemoryKind::Ddr);
+        assert_eq!(pm.hbm_used(), 0);
+    }
+
+    #[test]
+    fn sorted_iteration_interleaves_cores() {
+        // Pages from different per-core bases must serialize in global
+        // page-id order, exactly like the HashMap + sort reference did.
+        let mut pm = PageMap::new(64);
+        let pages = [
+            PageId(5),
+            PageId((3 << CHUNK_BITS) | 2),
+            PageId(1 << CHUNK_BITS),
+            PageId((OUTER_CHUNKS as u64 + 1) << CHUNK_BITS),
+            PageId(0),
+        ];
+        for p in pages {
+            pm.place_in_hbm(p).unwrap();
+        }
+        let mut expect: Vec<PageId> = pages.to_vec();
+        expect.sort();
+        assert_eq!(pm.hbm_pages(), expect);
     }
 }

@@ -266,10 +266,10 @@ impl SystemSim {
                 core: MIGRATION_CORE,
                 arrive: Cycle(self.now),
             };
-            if !self.mem_of(mk).can_accept(&req) {
+            // A full queue rejects without mutating; retry next chunk.
+            if self.mem_of(mk).enqueue(req).is_err() {
                 break;
             }
-            self.mem_of(mk).enqueue(req).expect("capacity checked");
             self.next_id += 1;
             self.backlog.pop_front();
         }
@@ -302,39 +302,54 @@ impl SystemSim {
         }
     }
 
+    /// Issues one demand event into the memory system: page-map translate,
+    /// enqueue, AVF/engine bookkeeping, MSHR accounting. Returns `false`
+    /// on controller backpressure (nothing was mutated; the caller stalls
+    /// the core for the chunk and retries the event next chunk).
+    #[inline]
+    fn issue_event(&mut self, i: usize, ev: MemEvent, chunk_end: u64) -> bool {
+        let page = ev.line.page();
+        let lip = ev.line.line_in_page();
+        let (mk, fline) = self.pagemap.frame_line(page, lip);
+        let at = Cycle(self.cores[i].cycle.max(self.now));
+        let req = MemRequest {
+            id: self.next_id,
+            line: fline,
+            kind: ev.kind,
+            core: i,
+            arrive: at,
+        };
+        // A full queue rejects without mutating: controller backpressure.
+        if self.mem_of(mk).enqueue(req).is_err() {
+            self.cores[i].cycle = chunk_end;
+            return false;
+        }
+        self.next_id += 1;
+        match mk {
+            MemoryKind::Hbm => self.demand_hbm += 1,
+            MemoryKind::Ddr => self.demand_ddr += 1,
+        }
+        self.avf.on_access(page, lip, ev.kind, at, mk);
+        if let Some(e) = &mut self.engine {
+            e.on_mem_access(page, ev.kind, mk);
+        }
+        if !ev.kind.is_write() {
+            self.cores[i].outstanding += 1;
+        }
+        true
+    }
+
     /// Runs core `i` until the end of the chunk or a stall.
     fn run_core(&mut self, i: usize, chunk_end: u64, tmp: &mut Vec<MemEvent>) {
+        // Per-record retire cost divides by the issue width; shipped
+        // widths are powers of two, so hoist the shift out of the loop.
+        let iw = self.cfg.issue_width as u64;
+        let iw_shift = iw.is_power_of_two().then(|| iw.trailing_zeros());
         loop {
-            // Drain this core's pending memory events first.
+            // Drain events left over from a stalled chunk first.
             while let Some(ev) = self.cores[i].pending.front().copied() {
-                let page = ev.line.page();
-                let lip = ev.line.line_in_page();
-                let (mk, fline) = self.pagemap.frame_line(page, lip);
-                let at = Cycle(self.cores[i].cycle.max(self.now));
-                let req = MemRequest {
-                    id: self.next_id,
-                    line: fline,
-                    kind: ev.kind,
-                    core: i,
-                    arrive: at,
-                };
-                if !self.mem_of(mk).can_accept(&req) {
-                    // Controller backpressure: stall for the chunk.
-                    self.cores[i].cycle = chunk_end;
+                if !self.issue_event(i, ev, chunk_end) {
                     return;
-                }
-                self.mem_of(mk).enqueue(req).expect("capacity checked");
-                self.next_id += 1;
-                match mk {
-                    MemoryKind::Hbm => self.demand_hbm += 1,
-                    MemoryKind::Ddr => self.demand_ddr += 1,
-                }
-                self.avf.on_access(page, lip, ev.kind, at, mk);
-                if let Some(e) = &mut self.engine {
-                    e.on_mem_access(page, ev.kind, mk);
-                }
-                if !ev.kind.is_write() {
-                    self.cores[i].outstanding += 1;
                 }
                 self.cores[i].pending.pop_front();
             }
@@ -360,15 +375,27 @@ impl SystemSim {
                 .expect("trace streams are infinite");
             {
                 let c = &mut self.cores[i];
-                c.retired += rec.instructions();
-                c.cycle += rec.instructions().div_ceil(self.cfg.issue_width as u64);
+                let insts = rec.instructions();
+                c.retired += insts;
+                c.cycle += match iw_shift {
+                    Some(s) => (insts + iw - 1) >> s,
+                    None => insts.div_ceil(iw),
+                };
             }
             tmp.clear();
             let hit = self.hierarchy.access(i, rec.addr.line(), rec.kind, tmp);
             if !hit && !rec.kind.is_write() {
                 self.cores[i].cycle += L2_HIT_LATENCY;
             }
-            self.cores[i].pending.extend(tmp.iter().copied());
+            // Issue the miss events directly; only a stalled remainder
+            // takes the pending-queue detour (drained above next chunk).
+            for (k, &ev) in tmp.iter().enumerate() {
+                if !self.issue_event(i, ev, chunk_end) {
+                    let c = &mut self.cores[i];
+                    c.pending.extend(tmp[k..].iter().copied());
+                    return;
+                }
+            }
         }
     }
 

@@ -30,24 +30,36 @@ const DRAIN_LO: usize = 16;
 /// (starvation bound).
 const ROW_HIT_STREAK_CAP: u32 = 16;
 
-#[derive(Clone, Copy, Debug)]
-struct BankState {
-    open_row: Option<u64>,
-    next_act: Cycle,
-    next_pre: Cycle,
-    next_rdwr: Cycle,
-    hit_streak: u32,
+/// Sentinel for a closed bank (real rows are tiny by comparison).
+const NO_ROW: u64 = u64::MAX;
+
+/// Per-bank timing state, struct-of-arrays. The scheduler's inner loops
+/// (row-hit classification in `pick`, refresh catch-up) each touch one
+/// field across many banks, so parallel arrays keep those scans dense
+/// instead of striding over padded per-bank structs.
+#[derive(Debug)]
+struct BankArrays {
+    /// Open row per bank; [`NO_ROW`] when the bank is precharged.
+    open_row: Vec<u64>,
+    next_act: Vec<Cycle>,
+    next_pre: Vec<Cycle>,
+    next_rdwr: Vec<Cycle>,
+    hit_streak: Vec<u32>,
 }
 
-impl BankState {
-    fn new() -> Self {
-        BankState {
-            open_row: None,
-            next_act: Cycle::ZERO,
-            next_pre: Cycle::ZERO,
-            next_rdwr: Cycle::ZERO,
-            hit_streak: 0,
+impl BankArrays {
+    fn new(n: usize) -> Self {
+        BankArrays {
+            open_row: vec![NO_ROW; n],
+            next_act: vec![Cycle::ZERO; n],
+            next_pre: vec![Cycle::ZERO; n],
+            next_rdwr: vec![Cycle::ZERO; n],
+            hit_streak: vec![0; n],
         }
+    }
+
+    fn len(&self) -> usize {
+        self.open_row.len()
     }
 }
 
@@ -142,7 +154,8 @@ impl ChannelStats {
 /// A scheduled command plan for one request (reservation model).
 #[derive(Clone, Copy, Debug)]
 struct Plan {
-    row_hit: bool,
+    /// `Some(act_at)` for a row miss (the ACT command time); `None` for a
+    /// row hit — `commit` branches on this.
     act_at: Option<Cycle>,
     /// When the first command of the sequence (PRE/ACT/RD/WR) needs the
     /// command bus; a plan is only committed once this is due.
@@ -155,7 +168,7 @@ struct Plan {
 #[derive(Debug)]
 pub struct ChannelController {
     timing: TimingParams,
-    banks: Vec<BankState>,
+    banks: BankArrays,
     read_q: VecDeque<MemRequest>,
     write_q: VecDeque<MemRequest>,
     /// Pre-decoded coordinates parallel to the queues.
@@ -169,6 +182,15 @@ pub struct ChannelController {
     next_refresh: Cycle,
     decision_time: Cycle,
     draining: bool,
+    /// Earliest time the decision loop could act again: the minimum of the
+    /// next pending arrival and the blocked winner's first command, set
+    /// when the loop exhausts issuable work. Until `now` reaches it (and
+    /// as long as no refresh comes due and nothing new is enqueued, both
+    /// of which reset the gate), `advance` can skip the decision loop
+    /// entirely — a pick in that window provably returns `None` with no
+    /// state change. Not serialized: `Cycle::ZERO` (always re-decide) is
+    /// always a safe value, so restore just resets it.
+    wake: Cycle,
     /// Served requests whose data burst has not finished yet; delivered by
     /// `advance` once `now` reaches their finish time.
     in_flight: ramp_sim::EventQueue<Completion>,
@@ -182,7 +204,7 @@ impl ChannelController {
         assert!(banks > 0);
         ChannelController {
             timing,
-            banks: (0..banks).map(|_| BankState::new()).collect(),
+            banks: BankArrays::new(banks),
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             read_coords: VecDeque::new(),
@@ -195,6 +217,7 @@ impl ChannelController {
             next_refresh: Cycle(timing.t_refi),
             decision_time: Cycle::ZERO,
             draining: false,
+            wake: Cycle::ZERO,
             in_flight: ramp_sim::EventQueue::new(),
             stats: ChannelStats::default(),
         }
@@ -242,6 +265,7 @@ impl ChannelController {
                 }
                 self.read_q.push_back(req);
                 self.read_coords.push_back(coord);
+                self.wake = Cycle::ZERO;
                 self.stats
                     .read_q_occupancy
                     .observe(self.read_q.len() as f64);
@@ -252,6 +276,7 @@ impl ChannelController {
                 }
                 self.write_q.push_back(req);
                 self.write_coords.push_back(coord);
+                self.wake = Cycle::ZERO;
                 self.stats
                     .write_q_occupancy
                     .observe(self.write_q.len() as f64);
@@ -260,40 +285,52 @@ impl ChannelController {
         Ok(())
     }
 
-    fn apply_refresh(&mut self) {
-        let start = self.next_refresh;
-        let end = start + self.timing.t_rfc;
-        for b in &mut self.banks {
-            if b.open_row.is_some() {
-                self.stats.precharges += 1;
-            }
-            b.open_row = None;
-            b.next_act = b.next_act.max(end);
-            b.next_rdwr = b.next_rdwr.max(end);
-            b.next_pre = b.next_pre.max(end);
-            b.hit_streak = 0;
+    /// Applies every refresh due at or before `t` in one batch.
+    ///
+    /// Byte-identical to looping a single-refresh step: of `k` due
+    /// refreshes only the last one's recovery window survives the
+    /// per-bank `max`, every refresh after the first sees all rows
+    /// already closed (so precharges count once per initially-open row),
+    /// and streaks zero idempotently. Only the refresh *count* needs the
+    /// full `k`.
+    fn catch_up_refresh(&mut self, t: Cycle) {
+        if t < self.next_refresh {
+            return;
         }
-        self.next_refresh = start + Cycle(self.timing.t_refi);
-        self.stats.refreshes += 1;
+        let k = (t - self.next_refresh).0 / self.timing.t_refi + 1;
+        let last_start = self.next_refresh + Cycle((k - 1) * self.timing.t_refi);
+        let end = last_start + self.timing.t_rfc;
+        for b in 0..self.banks.len() {
+            if self.banks.open_row[b] != NO_ROW {
+                self.stats.precharges += 1;
+                self.banks.open_row[b] = NO_ROW;
+            }
+            self.banks.next_act[b] = self.banks.next_act[b].max(end);
+            self.banks.next_rdwr[b] = self.banks.next_rdwr[b].max(end);
+            self.banks.next_pre[b] = self.banks.next_pre[b].max(end);
+            self.banks.hit_streak[b] = 0;
+        }
+        self.next_refresh = last_start + Cycle(self.timing.t_refi);
+        self.stats.refreshes += k;
     }
 
     /// Computes the command plan for serving `req` at or after `t` without
     /// mutating state.
     fn plan(&self, coord: DramCoord, kind: AccessKind, t: Cycle) -> Plan {
         let tp = &self.timing;
-        let bank = &self.banks[coord.bank];
-        let row_hit = bank.open_row == Some(coord.row);
+        let b = coord.bank;
+        let row_hit = self.banks.open_row[b] == coord.row;
         let (issue_base, act_at, first_cmd) = if row_hit {
-            let issue = t.max(bank.next_rdwr);
+            let issue = t.max(self.banks.next_rdwr[b]);
             (issue, None, issue)
         } else {
-            let (pre_done, first_cmd) = if bank.open_row.is_some() {
-                let pre_at = t.max(bank.next_pre);
+            let (pre_done, first_cmd) = if self.banks.open_row[b] != NO_ROW {
+                let pre_at = t.max(self.banks.next_pre[b]);
                 (pre_at + tp.t_rp, pre_at)
             } else {
                 (t, t)
             };
-            let mut act_at = pre_done.max(bank.next_act).max(self.next_act_any);
+            let mut act_at = pre_done.max(self.banks.next_act[b]).max(self.next_act_any);
             // tFAW: at most 4 ACTs in any tFAW window.
             if self.act_history.len() == 4 {
                 let oldest = self.act_history[0];
@@ -311,7 +348,6 @@ impl ChannelController {
         let data_start = issue + cas_delay;
         let finish = data_start + tp.t_bl;
         Plan {
-            row_hit,
             act_at,
             first_cmd,
             issue,
@@ -322,38 +358,36 @@ impl ChannelController {
     /// Commits `plan`, updating bank, rank and bus state.
     fn commit(&mut self, coord: DramCoord, kind: AccessKind, plan: Plan) {
         let tp = self.timing;
+        let b = coord.bank;
         if let Some(act_at) = plan.act_at {
             if self.act_history.len() == 4 {
                 self.act_history.pop_front();
             }
             self.act_history.push_back(act_at);
             self.next_act_any = self.next_act_any.max(act_at + tp.t_rrd);
-            let bank = &mut self.banks[coord.bank];
             self.stats.activates += 1;
-            if bank.open_row.is_some() {
+            if self.banks.open_row[b] != NO_ROW {
                 self.stats.precharges += 1;
                 self.stats.row_conflicts += 1;
             }
-            bank.open_row = Some(coord.row);
-            bank.next_act = act_at + tp.t_rc;
-            bank.next_pre = act_at + tp.t_ras;
-            bank.hit_streak = 0;
+            self.banks.open_row[b] = coord.row;
+            self.banks.next_act[b] = act_at + tp.t_rc;
+            self.banks.next_pre[b] = act_at + tp.t_ras;
+            self.banks.hit_streak[b] = 0;
             self.stats.row_misses += 1;
         } else {
-            let bank = &mut self.banks[coord.bank];
-            bank.hit_streak += 1;
+            self.banks.hit_streak[b] += 1;
             self.stats.row_hits += 1;
         }
         let issue = plan.issue;
         self.next_col_cmd = self.next_col_cmd.max(issue + tp.t_ccd);
-        let bank = &mut self.banks[coord.bank];
-        bank.next_rdwr = bank.next_rdwr.max(issue + tp.t_ccd);
+        self.banks.next_rdwr[b] = self.banks.next_rdwr[b].max(issue + tp.t_ccd);
         if kind.is_write() {
             let data_end = issue + tp.t_cwl + tp.t_bl;
-            bank.next_pre = bank.next_pre.max(data_end + tp.t_wr);
+            self.banks.next_pre[b] = self.banks.next_pre[b].max(data_end + tp.t_wr);
             self.next_read_ok = self.next_read_ok.max(data_end + tp.t_wtr);
         } else {
-            bank.next_pre = bank.next_pre.max(issue + tp.t_rtp);
+            self.banks.next_pre[b] = self.banks.next_pre[b].max(issue + tp.t_rtp);
         }
         self.bus_free = plan.finish;
         self.stats.busy_cycles += tp.t_bl;
@@ -361,7 +395,12 @@ impl ChannelController {
 
     /// Chooses the next request (queue flag, index, plan): FR-FCFS with a
     /// starvation cap, writes only in drain mode (or when reads are absent).
-    fn pick(&mut self, now: Cycle) -> Option<(bool, usize, Plan)> {
+    ///
+    /// `blocked` reports the first command time of a winner that was found
+    /// but is not yet due (`u64::MAX` otherwise) so `advance` can compute
+    /// the wake gate.
+    fn pick(&mut self, now: Cycle, blocked: &mut Cycle) -> Option<(bool, usize, Plan)> {
+        *blocked = Cycle(u64::MAX);
         // Update drain mode.
         if self.write_q.len() >= DRAIN_HI {
             if !self.draining {
@@ -384,35 +423,81 @@ impl ChannelController {
         };
 
         let t = self.decision_time;
-        let mut best: Option<(u8, Cycle, usize, Plan)> = None;
+        // Row hits first; once a bank's streak reaches the cap its
+        // further hits rank *below* misses, so a pending conflict is
+        // served (the ACT resets the streak) and cannot starve.
+        //
+        // Ranking key is (class, issue, index). One pass computes the
+        // issue cycle directly from the bank arrays — the channel-wide
+        // terms of `plan` (column command, read turnaround, bus
+        // alignment, tFAW bound) do not depend on the candidate, so
+        // they are hoisted out of the loop and the per-candidate cost
+        // is a handful of loads and maxes. `plan` then runs once, for
+        // the winner only; a debug assertion checks the shortcut
+        // against it.
+        let tp = &self.timing;
+        let cas_delay = if kind.is_write() { tp.t_cwl } else { tp.t_cl };
+        let mut common = self
+            .next_col_cmd
+            .max(self.bus_free.saturating_sub(Cycle(cas_delay)));
+        if !kind.is_write() {
+            common = common.max(self.next_read_ok);
+        }
+        let faw_bound = if self.act_history.len() == 4 {
+            self.act_history[0] + tp.t_faw
+        } else {
+            Cycle::ZERO
+        };
+        let mut best_class = u8::MAX;
+        let mut best_issue = Cycle::ZERO;
+        let mut best_idx = 0usize;
         for (i, (req, coord)) in queue.iter().zip(coords.iter()).enumerate() {
             if req.arrive > t {
                 continue;
             }
-            let plan = self.plan(*coord, kind, t);
-            let capped = self.banks[coord.bank].hit_streak >= ROW_HIT_STREAK_CAP;
-            // Row hits first; once a bank's streak reaches the cap its
-            // further hits rank *below* misses, so a pending conflict is
-            // served (the ACT resets the streak) and cannot starve.
-            let class: u8 = match (plan.row_hit, capped) {
+            let b = coord.bank;
+            let open = self.banks.open_row[b];
+            let row_hit = open == coord.row;
+            let class = match (row_hit, self.banks.hit_streak[b] >= ROW_HIT_STREAK_CAP) {
                 (true, false) => 0,
                 (false, _) => 1,
                 (true, true) => 2,
             };
-            let key = (class, plan.issue, i, plan);
-            match &best {
-                None => best = Some((key.0, key.1, key.2, key.3)),
-                Some((bc, bi, bidx, _)) => {
-                    if (key.0, key.1, key.2) < (*bc, *bi, *bidx) {
-                        best = Some((key.0, key.1, key.2, key.3));
-                    }
-                }
+            if class > best_class {
+                continue;
+            }
+            let issue = if row_hit {
+                t.max(self.banks.next_rdwr[b]).max(common)
+            } else {
+                let pre_done = if open != NO_ROW {
+                    t.max(self.banks.next_pre[b]) + tp.t_rp
+                } else {
+                    t
+                };
+                let act_at = pre_done
+                    .max(self.banks.next_act[b])
+                    .max(self.next_act_any)
+                    .max(faw_bound);
+                (act_at + tp.t_rcd).max(common)
+            };
+            // Strict `<` keeps the oldest of equal-(class, issue)
+            // candidates, matching the tuple order.
+            if class < best_class || issue < best_issue {
+                best_class = class;
+                best_issue = issue;
+                best_idx = i;
             }
         }
-        let (_, _, idx, plan) = best?;
+        if best_class == u8::MAX {
+            return None;
+        }
+        let idx = best_idx;
+        let plan = self.plan(coords[idx], kind, t);
+        debug_assert_eq!(plan.issue, best_issue);
         // Only commit a plan whose first command is due; later plans wait
         // for the caller to advance time (event-driven commitment).
         if plan.first_cmd > now {
+            *blocked = plan.first_cmd;
             return None;
         }
         Some((kind.is_write(), idx, plan))
@@ -430,11 +515,39 @@ impl ChannelController {
 
     /// Advances the controller to `now`, appending completions to `out`.
     pub fn advance(&mut self, now: Cycle, out: &mut Vec<Completion>) {
-        loop {
-            while self.decision_time >= self.next_refresh {
-                self.apply_refresh();
+        // Idle fast path: with both queues empty the decision loop can
+        // only exit drain mode, catch up refreshes and advance time —
+        // do exactly that without entering it. (`pick` with an empty
+        // write queue always clears `draining`: 0 <= DRAIN_LO.)
+        if self.read_q.is_empty() && self.write_q.is_empty() {
+            self.draining = false;
+            self.decision_time = self.decision_time.max(now);
+            self.catch_up_refresh(self.decision_time);
+            while let Some((_, c)) = self.in_flight.pop_due(now) {
+                out.push(c);
             }
-            match self.pick(now) {
+            return;
+        }
+        // Wake fast path: before the gate, the decision loop is provably a
+        // no-op — no pending request has arrived (`wake` bounds the next
+        // arrival), the previously blocked winner's plan is unchanged
+        // (`wake` bounds its first command, and a plan whose first command
+        // exceeds `t` never depends on `t`), and the bank state is frozen
+        // because no refresh has come due (`decision_time`, updated below
+        // exactly as the loop's give-up branch would, stays short of
+        // `next_refresh`). Only the loop's side effects remain: advancing
+        // the decision clock and delivering finished bursts.
+        if now < self.wake && self.decision_time.max(now) < self.next_refresh {
+            self.decision_time = self.decision_time.max(now);
+            while let Some((_, c)) = self.in_flight.pop_due(now) {
+                out.push(c);
+            }
+            return;
+        }
+        let mut blocked = Cycle(u64::MAX);
+        loop {
+            self.catch_up_refresh(self.decision_time);
+            match self.pick(now, &mut blocked) {
                 Some((is_write, idx, plan)) => {
                     let (req, coord) = if is_write {
                         (
@@ -474,11 +587,10 @@ impl ChannelController {
                         Some(a) if a <= now => {
                             self.decision_time = a;
                         }
-                        _ => {
+                        next => {
                             self.decision_time = self.decision_time.max(now);
-                            while self.decision_time >= self.next_refresh {
-                                self.apply_refresh();
-                            }
+                            self.catch_up_refresh(self.decision_time);
+                            self.wake = next.unwrap_or(Cycle(u64::MAX)).min(blocked);
                             break;
                         }
                     }
@@ -494,18 +606,18 @@ impl ChannelController {
     /// static and rebuilt from the config on restore).
     pub fn save_state(&self, w: &mut ByteWriter) {
         w.u32(self.banks.len() as u32);
-        for b in &self.banks {
-            match b.open_row {
-                None => w.u8(0),
-                Some(row) => {
+        for b in 0..self.banks.len() {
+            match self.banks.open_row[b] {
+                NO_ROW => w.u8(0),
+                row => {
                     w.u8(1);
                     w.u64(row);
                 }
             }
-            w.u64(b.next_act.0);
-            w.u64(b.next_pre.0);
-            w.u64(b.next_rdwr.0);
-            w.u32(b.hit_streak);
+            w.u64(self.banks.next_act[b].0);
+            w.u64(self.banks.next_pre[b].0);
+            w.u64(self.banks.next_rdwr[b].0);
+            w.u32(self.banks.hit_streak[b]);
         }
         write_request_queue(w, &self.read_q);
         write_request_queue(w, &self.write_q);
@@ -563,16 +675,16 @@ impl ChannelController {
         if n_banks != self.banks.len() {
             return Err(CodecError::Malformed("bank count mismatch"));
         }
-        for b in &mut self.banks {
-            b.open_row = match r.u8()? {
-                0 => None,
-                1 => Some(r.u64()?),
+        for b in 0..self.banks.len() {
+            self.banks.open_row[b] = match r.u8()? {
+                0 => NO_ROW,
+                1 => r.u64()?,
                 _ => return Err(CodecError::Malformed("bad open-row tag")),
             };
-            b.next_act = Cycle(r.u64()?);
-            b.next_pre = Cycle(r.u64()?);
-            b.next_rdwr = Cycle(r.u64()?);
-            b.hit_streak = r.u32()?;
+            self.banks.next_act[b] = Cycle(r.u64()?);
+            self.banks.next_pre[b] = Cycle(r.u64()?);
+            self.banks.next_rdwr[b] = Cycle(r.u64()?);
+            self.banks.hit_streak[b] = r.u32()?;
         }
         self.read_q = read_request_queue(r, READ_QUEUE_CAP)?;
         self.read_coords = self.read_q.iter().map(&decode).collect();
@@ -593,6 +705,8 @@ impl ChannelController {
         self.next_refresh = Cycle(r.u64()?);
         self.decision_time = Cycle(r.u64()?);
         self.draining = r.u8()? != 0;
+        // Not serialized; "decide immediately" is always safe.
+        self.wake = Cycle::ZERO;
         let n_in_flight = r.seq_len(41)?;
         let mut in_flight = Vec::with_capacity(n_in_flight);
         for _ in 0..n_in_flight {

@@ -41,20 +41,39 @@ pub enum Interleave {
 pub struct AddressMapping {
     org: Organization,
     interleave: Interleave,
+    /// `log2(channels, banks*ranks, lines_per_row)` when every dimension
+    /// is a power of two (true for all shipped organizations), letting
+    /// `decode` — on the per-request hot path, called millions of times a
+    /// run — use shifts and masks instead of five hardware divisions.
+    shifts: Option<(u32, u32, u32)>,
 }
 
 impl AddressMapping {
     /// Creates a channel-first mapping for `org`.
     pub fn new(org: Organization) -> Self {
-        AddressMapping {
-            org,
-            interleave: Interleave::ChannelFirst,
-        }
+        Self::with_interleave(org, Interleave::ChannelFirst)
     }
 
     /// Creates a mapping with an explicit interleaving policy.
     pub fn with_interleave(org: Organization, interleave: Interleave) -> Self {
-        AddressMapping { org, interleave }
+        let channels = org.channels as u64;
+        let banks = (org.banks * org.ranks) as u64;
+        let lpr = org.lines_per_row;
+        let shifts = (channels.is_power_of_two()
+            && banks.is_power_of_two()
+            && lpr.is_power_of_two())
+        .then(|| {
+            (
+                channels.trailing_zeros(),
+                banks.trailing_zeros(),
+                lpr.trailing_zeros(),
+            )
+        });
+        AddressMapping {
+            org,
+            interleave,
+            shifts,
+        }
     }
 
     /// The organization this mapping decodes for.
@@ -67,6 +86,37 @@ impl AddressMapping {
     /// The *frame* line address is expected to already be relative to this
     /// memory (the HMA layer remaps pages to per-memory frames).
     pub fn decode(&self, line: LineAddr) -> DramCoord {
+        if let Some((ch_s, ba_s, lpr_s)) = self.shifts {
+            return match self.interleave {
+                Interleave::ChannelFirst => {
+                    let channel = (line.0 & ((1 << ch_s) - 1)) as usize;
+                    let in_channel = line.0 >> ch_s;
+                    let col = in_channel & ((1 << lpr_s) - 1);
+                    let bank = ((in_channel >> lpr_s) & ((1 << ba_s) - 1)) as usize;
+                    let row = in_channel >> (lpr_s + ba_s);
+                    DramCoord {
+                        channel,
+                        bank,
+                        row,
+                        col,
+                    }
+                }
+                Interleave::BankFirst => {
+                    let col = line.0 & ((1 << lpr_s) - 1);
+                    let rest = line.0 >> lpr_s;
+                    let bank = (rest & ((1 << ba_s) - 1)) as usize;
+                    let rest = rest >> ba_s;
+                    let channel = (rest & ((1 << ch_s) - 1)) as usize;
+                    let row = rest >> ch_s;
+                    DramCoord {
+                        channel,
+                        bank,
+                        row,
+                        col,
+                    }
+                }
+            };
+        }
         let channels = self.org.channels as u64;
         let banks = (self.org.banks * self.org.ranks) as u64;
         let lpr = self.org.lines_per_row;
@@ -160,6 +210,21 @@ mod tests {
         }
         // Consecutive lines share a channel under bank-first.
         assert_eq!(m.decode(LineAddr(0)).channel, m.decode(LineAddr(1)).channel);
+    }
+
+    #[test]
+    fn shift_decode_matches_division_decode() {
+        for interleave in [Interleave::ChannelFirst, Interleave::BankFirst] {
+            for org in [Organization::hbm(), Organization::ddr3()] {
+                let fast = AddressMapping::with_interleave(org, interleave);
+                assert!(fast.shifts.is_some(), "shipped orgs are power-of-two");
+                let mut slow = fast;
+                slow.shifts = None;
+                for l in (0..2_000_000u64).step_by(611) {
+                    assert_eq!(fast.decode(LineAddr(l)), slow.decode(LineAddr(l)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -131,14 +131,18 @@ impl SimRng {
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
         // Widening multiply maps next_u64 onto [0, bound); rejecting the
-        // low-product tail removes the modulo bias.
-        let threshold = bound.wrapping_neg() % bound;
-        loop {
-            let m = (self.inner.next_u64() as u128) * (bound as u128);
-            if (m as u64) >= threshold {
-                return (m >> 64) as u64;
+        // low-product tail removes the modulo bias. The rejection threshold
+        // (2^64 mod bound) is below `bound`, so a draw whose low half is at
+        // least `bound` is accepted without computing the threshold — the
+        // division runs only on the ~bound/2^64 tail, not per call.
+        let mut m = (self.inner.next_u64() as u128) * (bound as u128);
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = (self.inner.next_u64() as u128) * (bound as u128);
             }
         }
+        (m >> 64) as u64
     }
 
     /// A uniformly random `f64` in `[0, 1)` (53 high bits of a `u64`).
@@ -224,9 +228,20 @@ impl SimRng {
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
+    /// Bucket index over `u`: `bucket[b]` is the first rank whose CDF value
+    /// is `>= b / (bucket.len() - 1)`. Narrows the inverse-CDF search to a
+    /// handful of ranks (usually zero or one comparison). Empty when the
+    /// CDF is not strictly increasing, in which case `sample` falls back to
+    /// the plain binary search.
+    bucket: Vec<u32>,
 }
 
 impl Zipf {
+    /// Buckets per rank in the index (clamped to [`Zipf::MAX_BUCKETS`]).
+    const BUCKETS_PER_RANK: usize = 2;
+    /// Upper bound on index size, to cap memory for huge rank counts.
+    const MAX_BUCKETS: usize = 1 << 18;
+
     /// Builds a sampler over `n` ranks with exponent `alpha`.
     ///
     /// `alpha == 0` degenerates to the uniform distribution.
@@ -247,7 +262,32 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf { cdf }
+        let strict = cdf.windows(2).all(|w| w[0] < w[1]);
+        let bucket = if strict && n <= u32::MAX as usize {
+            // Power-of-two bucket count: `u * k` and the edges `b / k` are
+            // then exact in f64 (pure exponent scaling), so the computed
+            // bucket is exactly floor(u * k) — no edge corrections needed
+            // in `sample`.
+            let k = (n * Self::BUCKETS_PER_RANK)
+                .next_power_of_two()
+                .min(Self::MAX_BUCKETS);
+            let mut bucket = Vec::with_capacity(k + 1);
+            // One merge walk: both the edges b/k and the CDF are ascending,
+            // so each bucket[b] = partition_point(cdf, < b/k) is found by
+            // advancing a single cursor.
+            let mut i = 0usize;
+            for b in 0..=k {
+                let edge = b as f64 / k as f64;
+                while i < n && cdf[i] < edge {
+                    i += 1;
+                }
+                bucket.push(i as u32);
+            }
+            bucket
+        } else {
+            Vec::new()
+        };
+        Zipf { cdf, bucket }
     }
 
     /// Number of ranks.
@@ -261,14 +301,32 @@ impl Zipf {
     }
 
     /// Draws a rank in `0..n`.
+    ///
+    /// With a strictly increasing CDF the answer is the partition point of
+    /// `cdf[i] < u`, which the bucket index brackets to `[lo, hi]`; the
+    /// narrowed search returns the identical rank the full binary search
+    /// would (the partition point is unique), it just skips the cold
+    /// probes of a large CDF table.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.unit();
+        let last = self.cdf.len() - 1;
+        if !self.bucket.is_empty() {
+            // k is a power of two, so `u * k` is exact and truncation is
+            // exactly floor(u * k): with u in [0, 1), b is in [0, k) and
+            // the bucket's edges bracket u by construction.
+            let k = self.bucket.len() - 1;
+            let b = (u * k as f64) as usize;
+            let lo = self.bucket[b] as usize;
+            let hi = self.bucket[b + 1] as usize;
+            let i = lo + self.cdf[lo..hi].partition_point(|&p| p < u);
+            return i.min(last);
+        }
         match self
             .cdf
             .binary_search_by(|p| p.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
         {
             Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
+            Err(i) => i.min(last),
         }
     }
 
@@ -397,6 +455,26 @@ mod tests {
         }
         for &c in &counts {
             assert!((c as f64 - 10_000.0).abs() < 1_500.0);
+        }
+    }
+
+    #[test]
+    fn zipf_bucket_index_matches_plain_binary_search() {
+        // The bucket index must return exactly the rank the unindexed
+        // binary search would, for every draw.
+        for &(n, alpha) in &[(1usize, 1.0), (3, 0.0), (50, 1.2), (4096, 0.8)] {
+            let indexed = Zipf::new(n, alpha);
+            assert!(
+                n == 1 || !indexed.bucket.is_empty(),
+                "strictly-increasing CDF must build an index (n={n})"
+            );
+            let mut plain = indexed.clone();
+            plain.bucket = Vec::new();
+            let mut rng_a = SimRng::from_seed(0xfeed);
+            let mut rng_b = SimRng::from_seed(0xfeed);
+            for _ in 0..20_000 {
+                assert_eq!(indexed.sample(&mut rng_a), plain.sample(&mut rng_b));
+            }
         }
     }
 

@@ -76,7 +76,11 @@ impl BinHistogram {
     pub fn observe(&mut self, x: f64) {
         let bins = self.counts.len();
         let t = (x - self.lo) / (self.hi - self.lo);
-        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        // `as i64` truncates toward zero rather than flooring, but the two
+        // only differ for negative non-integers, which the clamp maps to
+        // bin 0 either way (NaN and ±inf saturate identically too) — and
+        // the cast avoids a libm floor call on this hot path.
+        let idx = ((t * bins as f64) as i64).clamp(0, bins as i64 - 1) as usize;
         self.counts[idx] += 1;
         self.total += 1;
     }

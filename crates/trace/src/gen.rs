@@ -288,8 +288,14 @@ impl Iterator for InstanceGen {
         let idx = self.pick_region();
         let spec: &RegionSpec = &self.profile.regions[idx];
         let paired = spec.paired_rmw;
-        let progress = (self.insts as f64 / self.horizon as f64).min(1.0);
-        let write_frac = spec.phase.effective_write_frac(spec.write_frac, progress);
+        // Only InitThenScan consults progress; skip the division otherwise
+        // (this runs once per generated access).
+        let write_frac = if matches!(spec.phase, crate::region::Phase::InitThenScan { .. }) {
+            let progress = (self.insts as f64 / self.horizon as f64).min(1.0);
+            spec.phase.effective_write_frac(spec.write_frac, progress)
+        } else {
+            spec.write_frac
+        };
         let line_off = {
             // Split borrows: state and rng are distinct fields.
             let insts = self.insts;

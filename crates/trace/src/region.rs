@@ -338,44 +338,75 @@ impl RegionSpec {
     }
 }
 
+/// Ranks whose scrambled page is cached per region ([`RegionState`]).
+/// Zipf mass concentrates on low ranks, so a small table absorbs most
+/// lookups; ranks past the cap fall back to computing the hash.
+const PERM_MEMO_CAP: u64 = 1024;
+
 /// Mutable per-region generation state.
 #[derive(Debug)]
 pub(crate) struct RegionState {
     cursor: u64,
     zipf: Option<Zipf>,
     page_perm_seed: u64,
+    /// First drifting rank: ranks below stay on `page_perm_seed` forever.
+    stable_cut: u64,
+    /// Cached `scramble(rank, seed, pages)` for ranks `0..memo.len()`.
+    /// Entries below `stable_cut` never change; the rest are valid for
+    /// `memo_epoch` and recomputed when the popularity phase advances.
+    perm_memo: Vec<u64>,
+    memo_epoch: u64,
 }
 
 impl RegionState {
     pub(crate) fn new(spec: &RegionSpec, rng: &mut SimRng) -> Self {
+        Self::build(spec, 0, rng.next_u64())
+    }
+
+    fn build(spec: &RegionSpec, cursor: u64, page_perm_seed: u64) -> Self {
         let zipf = match spec.pattern {
             Pattern::Zipf { alpha } => Some(Zipf::new(spec.pages as usize, alpha)),
             _ => None,
         };
-        RegionState {
-            cursor: 0,
+        let stable_cut = (((spec.pages as f64) * STABLE_RANK_FRACTION) as u64).max(1);
+        let mut state = RegionState {
+            cursor,
             zipf,
-            page_perm_seed: rng.next_u64(),
+            page_perm_seed,
+            stable_cut,
+            perm_memo: Vec::new(),
+            memo_epoch: 0,
+        };
+        if state.zipf.is_some() {
+            state.perm_memo = vec![0; spec.pages.min(PERM_MEMO_CAP) as usize];
+            state.fill_memo(spec, 0);
+            for rank in 0..(state.perm_memo.len() as u64).min(stable_cut) {
+                state.perm_memo[rank as usize] = scramble(rank, page_perm_seed, spec.pages);
+            }
         }
+        state
+    }
+
+    /// Recomputes the drifting (post-`stable_cut`) part of the memo for
+    /// popularity phase `epoch`.
+    fn fill_memo(&mut self, spec: &RegionSpec, epoch: u64) {
+        let drift_seed = self.page_perm_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for rank in self.stable_cut..self.perm_memo.len() as u64 {
+            self.perm_memo[rank as usize] = scramble(rank, drift_seed, spec.pages);
+        }
+        self.memo_epoch = epoch;
     }
 
     /// The dynamic fields `(cursor, page_perm_seed)`, for checkpointing.
-    /// The Zipf table is static per spec and rebuilt on restore.
+    /// The Zipf table and permutation memo are static per (spec, seed) and
+    /// rebuilt on restore.
     pub(crate) fn dynamic_state(&self) -> (u64, u64) {
         (self.cursor, self.page_perm_seed)
     }
 
     /// Rebuilds a region state from [`RegionState::dynamic_state`] output.
     pub(crate) fn from_dynamic_state(spec: &RegionSpec, cursor: u64, page_perm_seed: u64) -> Self {
-        let zipf = match spec.pattern {
-            Pattern::Zipf { alpha } => Some(Zipf::new(spec.pages as usize, alpha)),
-            _ => None,
-        };
-        RegionState {
-            cursor,
-            zipf,
-            page_perm_seed,
-        }
+        Self::build(spec, cursor, page_perm_seed)
     }
 
     /// Picks the next line offset (in lines, relative to the region base).
@@ -391,14 +422,23 @@ impl RegionState {
                 // Scramble rank -> page so popular pages are spread over the
                 // region instead of clustered at its start. Ranks below the
                 // stable core drift to new pages every popularity phase.
-                let stable = ((spec.pages as f64) * STABLE_RANK_FRACTION) as u64;
-                let seed = if rank < stable.max(1) {
-                    self.page_perm_seed
+                let page = if rank < self.perm_memo.len() as u64 {
+                    if rank >= self.stable_cut {
+                        let epoch = insts / POPULARITY_PHASE_INSTS;
+                        if epoch != self.memo_epoch {
+                            self.fill_memo(spec, epoch);
+                        }
+                    }
+                    self.perm_memo[rank as usize]
                 } else {
-                    let epoch = insts / POPULARITY_PHASE_INSTS;
-                    self.page_perm_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    let seed = if rank < self.stable_cut {
+                        self.page_perm_seed
+                    } else {
+                        let epoch = insts / POPULARITY_PHASE_INSTS;
+                        self.page_perm_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    };
+                    scramble(rank, seed, spec.pages)
                 };
-                let page = scramble(rank, seed, spec.pages);
                 page * ramp_sim::units::LINES_PER_PAGE as u64
                     + rng.below(ramp_sim::units::LINES_PER_PAGE as u64)
             }

@@ -8,6 +8,39 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Optional stage selector. Without an argument the full hermetic gate
+# below runs (build + tests + golden/warm/chaos/checkpoint smokes +
+# bench-smoke). `bench` and `bench-smoke` run the performance scorecard
+# gate on its own: re-measure the pinned kernel suite and the
+# all_experiments cold/warm probes, then compare against the committed
+# BENCH_0007.json (see DESIGN.md "Performance methodology"). Schema
+# drift is always fatal; a kernel or probe regression beyond the
+# tolerance band fails the stage. Fast mode shrinks the probe budget,
+# so probes are structurally checked but not compared there — kernels
+# still are, with a wider band to absorb shared-runner noise.
+bench_stage() {
+    local fast="$1" tol="$2"
+    echo "==> cargo build --release (scorecard + all_experiments)"
+    cargo build --release --offline -p ramp-bench \
+        --bin scorecard --bin all_experiments
+    if [ "$fast" = 1 ]; then
+        echo "==> RAMP_BENCH_FAST=1 scorecard check BENCH_0007.json --tol $tol"
+        RAMP_BENCH_FAST=1 target/release/scorecard check BENCH_0007.json --tol "$tol"
+    else
+        echo "==> scorecard check BENCH_0007.json --tol $tol"
+        target/release/scorecard check BENCH_0007.json --tol "$tol"
+    fi
+}
+case "${1:-all}" in
+bench) bench_stage 0 1.6; exit 0 ;;
+bench-smoke) bench_stage 1 2.5; exit 0 ;;
+all) ;;
+*)
+    echo "usage: $0 [bench|bench-smoke]" >&2
+    exit 2
+    ;;
+esac
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -131,5 +164,10 @@ for _ in $(seq 1 100); do [ -s "$PORT_FILE2" ] && break; sleep 0.1; done
 [ -s "$PORT_FILE2" ] || { echo "FAIL: chaos server never wrote its port file"; exit 1; }
 target/release/ramp-client --addr "$(cat "$PORT_FILE2")" --retries 8 --backoff-ms 10 smoke
 wait "$SERVER_PID" || { echo "FAIL: chaos server exited non-zero"; exit 1; }
+
+# Bench-smoke rides along with the full gate: the release binaries are
+# already built above, so this only costs the fast kernel suite plus
+# three 50k-instruction probe runs.
+bench_stage 1 2.5
 
 echo "CI OK"
