@@ -35,11 +35,16 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use ramp_avf::{PageStats, StatsTable};
 use ramp_cache::{Hierarchy, HierarchyConfig};
+use ramp_core::config::SystemConfig;
+use ramp_core::system::RunResult;
 use ramp_core::PageMap;
 use ramp_dram::{AddressMapping, MemRequest, MemorySystem, Organization};
 use ramp_serve::json::{parse_flat, ObjWriter};
+use ramp_serve::store::{run_key, RunKind, RunStore, StoreMode};
 use ramp_sim::rng::{SimRng, Zipf};
+use ramp_sim::telemetry::{Snapshot, Stat};
 use ramp_sim::units::{AccessKind, Cycle, LineAddr, PageId};
 use ramp_trace::{Benchmark, InstanceGen};
 
@@ -47,7 +52,11 @@ use crate::microbench::black_box;
 
 /// Schema version of the emitted document. Bump only with a deliberate
 /// layout change (and re-bless the golden snapshot + committed file).
-pub const SCHEMA: &str = "ramp-bench-v1";
+///
+/// v2: added the `store_append_replay_{files,wal}` kernel pair pinning
+/// the WAL backend's append+replay overhead against the one-file-per-
+/// entry backend.
+pub const SCHEMA: &str = "ramp-bench-v2";
 
 /// Environment variable: any value switches the suite to fast mode
 /// (fewer samples, smaller probe) for the CI smoke stage.
@@ -187,7 +196,16 @@ impl Scorecard {
                 w.f64(&format!("baseline.probe.{k}"), *ms);
             }
         } else {
-            for (k, v) in baseline {
+            // Kernels added after the first bless freeze their first
+            // measurement, so a suite extension never orphans the
+            // committed anchors of the original kernels.
+            let mut merged = baseline.clone();
+            for b in &self.benches {
+                merged
+                    .entry(format!("baseline.bench.{}.median_ns", b.name))
+                    .or_insert_with(|| b.median_ns.to_string());
+            }
+            for (k, v) in &merged {
                 match v.parse::<f64>() {
                     Ok(n) => w.f64(k, n),
                     Err(_) => w.str(k, v),
@@ -392,7 +410,81 @@ pub fn run_suite(fast: bool) -> Vec<BenchResult> {
         ),
     );
 
+    // Store append + replay: K results into a fresh store, drop, reopen
+    // (the WAL backend replays the whole log), one readback. The
+    // files/WAL pair pins the durable-log overhead against the
+    // one-file-per-entry backend (DESIGN.md §11).
+    let store_cfg = SystemConfig::smoke_test();
+    let store_k = if fast { 8u64 } else { 24 };
+    let store_kernel = |mode: StoreMode| {
+        let dir = std::env::temp_dir().join(format!(
+            "ramp-bench-store-{}-{}",
+            mode.label(),
+            std::process::id()
+        ));
+        let timing = sample(
+            warmup,
+            n,
+            || {
+                let _ = std::fs::remove_dir_all(&dir);
+                dir.clone()
+            },
+            |dir| {
+                let store = RunStore::open_mode(&dir, mode).expect("open bench store");
+                let mut last = String::new();
+                for i in 0..store_k {
+                    let key = run_key(&store_cfg, RunKind::Migration, &format!("wl{i}"), "bench");
+                    assert!(store.store_run(&key, &store_sample_run(i)));
+                    last = key;
+                }
+                drop(store);
+                let store = RunStore::open_mode(&dir, mode).expect("reopen bench store");
+                black_box(store.load_run(&last).expect("readback after replay").cycles);
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        timing
+    };
+    let files = store_kernel(StoreMode::Files);
+    push("store_append_replay_files", files);
+    let wal = store_kernel(StoreMode::Wal);
+    push("store_append_replay_wal", wal);
+
     out
+}
+
+/// A small fully-populated run result for the store kernels; bytes vary
+/// with `salt` so successive appends exercise distinct records.
+fn store_sample_run(salt: u64) -> RunResult {
+    let mut telemetry = Snapshot::default();
+    telemetry.insert("system", "instructions", Stat::Counter(1_000 + salt));
+    RunResult {
+        workload: format!("wl{salt}"),
+        policy: "bench".into(),
+        ipc: 1.0 + salt as f64 / 7.0,
+        per_core_ipc: vec![1.0, 0.5 + salt as f64],
+        ser_fit: 100.0 + salt as f64,
+        ser_ddr_only_fit: 1.0,
+        cycles: 10_000 + salt,
+        instructions: 1_000 + salt,
+        mpki: 2.5,
+        hbm_accesses: 40 + salt,
+        ddr_accesses: 11,
+        migrations: salt % 5,
+        mean_read_latency: (80.0, 200.0),
+        table: StatsTable::from_stats(
+            vec![PageStats {
+                page: PageId(salt),
+                reads: salt,
+                writes: 2,
+                ace_hbm: 10,
+                ace_ddr: 5,
+                avf: 0.25,
+            }],
+            10_000 + salt,
+        ),
+        telemetry,
+    }
 }
 
 /// Pinned probe configuration: the `all_experiments` binary over the
@@ -642,6 +734,23 @@ mod tests {
         assert_eq!(second["probe.all_experiments_cold_ms"], "4000");
         assert_eq!(second["speedup.all_experiments_cold"], "2");
         assert_eq!(second["speedup.all_experiments_warm"], "2");
+    }
+
+    #[test]
+    fn render_freezes_baseline_for_kernels_added_after_first_bless() {
+        let first = committed_example();
+        let mut extended = Scorecard::example();
+        extended.benches.push(BenchResult {
+            name: "new_kernel",
+            median_ns: 512.0,
+            mean_ns: 600.0,
+            samples: 9,
+        });
+        let second = parse_flat(extended.render(&baseline_of(&first)).trim()).unwrap();
+        // Old anchors survive verbatim; the new kernel gets frozen at
+        // its first measurement.
+        assert_eq!(second["baseline.bench.trace_gen.median_ns"], "1000");
+        assert_eq!(second["baseline.bench.new_kernel.median_ns"], "512");
     }
 
     #[test]

@@ -26,10 +26,19 @@
 //! against a live server (the flags tune its client too, which is how
 //! the chaos CI stage keeps the choreography green under injected
 //! socket resets).
+//!
+//! `wait` exit codes tell scripts *which* side gave up:
+//!
+//! | code | meaning                                                      |
+//! |------|--------------------------------------------------------------|
+//! | 0    | job reached `done`                                           |
+//! | 1    | job reached `failed`, or transport gave up after its retries |
+//! | 4    | the **server** expired the job (queued past its deadline)    |
+//! | 5    | the **client** poll budget ran out before a terminal state   |
 
 use std::time::Duration;
 
-use ramp_serve::client::{smoke_with, Client};
+use ramp_serve::client::{smoke_with, Client, ClientError};
 
 fn usage() -> ! {
     eprintln!(
@@ -109,14 +118,32 @@ fn main() {
             std::process::exit(if r.status == 200 { 0 } else { 1 });
         }
         "wait" => {
-            let id = arg(1).parse().unwrap_or_else(|_| usage());
+            let id: u64 = arg(1).parse().unwrap_or_else(|_| usage());
             let timeout = rest
                 .get(2)
                 .map(|t| t.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(300_000);
-            let r = client.wait_done(id, timeout).unwrap_or_else(|e| fail(e));
-            println!("{}", r.body);
-            std::process::exit(if r.state() == Some("done") { 0 } else { 1 });
+            match client.wait_done(id, timeout) {
+                Ok(r) => {
+                    println!("{}", r.body);
+                    match r.state() {
+                        Some("done") => std::process::exit(0),
+                        Some("expired") => {
+                            eprintln!(
+                                "ramp-client: server expired job {id}: it sat queued past the \
+                                 server-side deadline and was never run"
+                            );
+                            std::process::exit(4);
+                        }
+                        _ => std::process::exit(1),
+                    }
+                }
+                Err(e @ ClientError::Timeout { .. }) => {
+                    eprintln!("ramp-client: client poll budget exhausted: {e}");
+                    std::process::exit(5);
+                }
+                Err(e) => fail(e),
+            }
         }
         "result" => {
             if rest.len() < 2 {

@@ -7,14 +7,20 @@
 //!
 //! Binds the address (default `127.0.0.1:7177`; port `0` picks an
 //! ephemeral port), optionally writes the bound address to `--port-file`
-//! for scripts, and serves until a client POSTs `/shutdown`. `--smoke`
-//! switches to the small `SystemConfig::smoke_test` system so CI runs
-//! finish in seconds; `RAMP_INSTS` overrides the per-core instruction
-//! budget either way, and `RAMP_STORE`/`RAMP_STORE_DIR` configure the
-//! result store exactly as for the experiment binaries. `--deadline-ms`
-//! caps how long a queued job may wait before it is expired unrun
-//! (default 60000), and `RAMP_CHAOS` arms fault injection across the
-//! executor, store and connection handling (see DESIGN.md §8).
+//! for scripts, and serves until a client POSTs `/shutdown`.
+//! `--workers N` spawns N supervised worker threads — each owns a slice
+//! of the `--queue` capacity and jobs are consistent-hash routed by run
+//! key, so every key has one writer; a crashed worker is restarted with
+//! bounded backoff and its in-flight job retried once (see DESIGN.md
+//! §11). `--smoke` switches to the small `SystemConfig::smoke_test`
+//! system so CI runs finish in seconds; `RAMP_INSTS` overrides the
+//! per-core instruction budget either way, and
+//! `RAMP_STORE`/`RAMP_STORE_DIR`/`RAMP_STORE_MODE` configure the result
+//! store exactly as for the experiment binaries (`RAMP_STORE_MODE=wal`
+//! selects the append-only WAL backend). `--deadline-ms` caps how long
+//! a queued job may wait before it is expired unrun (default 60000),
+//! and `RAMP_CHAOS` arms fault injection across the executor, store,
+//! WAL, workers and connection handling (see DESIGN.md §8).
 
 use std::time::Duration;
 

@@ -14,16 +14,22 @@
 //!    under `target/ramp-store/`, so concurrent processes can share one
 //!    store. `ramp_bench::Harness` consults the store before simulating
 //!    and persists misses — a second invocation of any experiment binary
-//!    is served entirely from disk.
+//!    is served entirely from disk. The store has two interchangeable
+//!    backends behind the same API: the default one-file-per-entry
+//!    layout, and a [`wal`]-backed layout (`RAMP_STORE_MODE=wal`) that
+//!    batches records into append-only checksummed segments with
+//!    crash-consistent replay and explicit compaction.
 //! 2. **[`server`]** — an HTTP/1.1 experiment server over
-//!    `std::net::TcpListener` with flat-JSON request bodies, backed by
-//!    the `ramp_sim::exec` work-stealing executor through a bounded job
-//!    queue with explicit backpressure (HTTP 429 when full), per-request
-//!    socket timeouts, endpoints for submitting runs, polling job
-//!    status, fetching cached results and dumping the telemetry
-//!    document, and a graceful shutdown endpoint that drains in-flight
-//!    jobs before exiting. [`client`] is the matching scriptable client
-//!    (also shipped as the `ramp-client` binary).
+//!    `std::net::TcpListener` with flat-JSON request bodies, executed by
+//!    a supervised pool of worker threads: run keys are consistent-hash
+//!    routed so each key has exactly one writer, every worker owns a
+//!    bounded job queue with explicit backpressure (HTTP 429 when full),
+//!    and a supervisor restarts crashed workers with bounded backoff.
+//!    Endpoints cover submitting runs, polling job status, fetching
+//!    cached results, dumping the telemetry document, and a graceful
+//!    shutdown that drains in-flight jobs before exiting. [`client`] is
+//!    the matching scriptable client (also shipped as the `ramp-client`
+//!    binary).
 //!
 //! Zero external dependencies, like the rest of the workspace.
 //!
@@ -56,6 +62,7 @@ pub mod queue;
 pub mod server;
 pub mod spec;
 pub mod store;
+pub mod wal;
 pub mod wire;
 
 pub use client::Client;

@@ -1,25 +1,37 @@
-//! The experiment server: HTTP front end, bounded job queue, and a
-//! dispatcher that executes batches on the work-stealing executor.
+//! The experiment server: HTTP front end, consistent-hash job routing,
+//! and a supervised pool of worker threads.
 //!
 //! Request handling never simulates anything inline. `POST /runs` either
 //! answers straight from the [`RunStore`] (a warm result costs one disk
-//! read) or enqueues a job and returns `202` with a job id; the
-//! dispatcher thread drains the queue in batches through
-//! `ramp_sim::exec::parallel_map_metrics`, so `workers` jobs simulate
-//! concurrently while the acceptor stays responsive. When the queue is
-//! full the server sheds load with `429` (carrying `retry-after: 1`)
-//! instead of buffering without bound, and `POST /shutdown` closes the
-//! queue, drains every accepted job, reports the final counts, and lets
-//! [`Server::run`] return.
+//! read) or routes the job to a worker and returns `202` with a job id.
+//! Routing is a jump consistent hash of the run key over the worker
+//! slots, so every key has exactly **one** writer — a prerequisite for
+//! the WAL store backend, whose append log assumes one appender per key
+//! — and duplicate submissions of the same run land on the same worker
+//! instead of racing. Each worker owns a bounded queue; when a worker's
+//! queue is full the server sheds load with `429` (carrying
+//! `retry-after: 1`) instead of buffering without bound, and
+//! `POST /shutdown` closes every queue, drains every accepted job,
+//! reports the final counts, and lets [`Server::run`] return.
+//!
+//! Every worker thread runs under a **supervisor**: a panic that escapes
+//! the per-job isolation (or is injected at the `server.worker` chaos
+//! site) kills only that worker, never the server. The supervisor
+//! requeues the in-flight job exactly once (a second death fails it
+//! classified), then restarts the worker with doubling backoff up to
+//! [`ServerConfig::restart_limit`] restarts; past the budget the slot
+//! goes dark — its backlog is failed (so drain terminates) and new
+//! submissions routed to it get `503`.
 //!
 //! Failure handling: jobs carry a submission deadline — entries that sat
 //! queued past it expire (state `expired`) instead of running; a worker
-//! panic is caught with its message captured into the job state (and the
-//! `chaos.panics_caught` counter in `/stats`); a failed store write
-//! degrades to serving the in-memory result with a warning, never a 500.
-//! Under `RAMP_CHAOS` (see [`ramp_sim::chaos`]) the server additionally
-//! injects slow reads, queue stalls and mid-response socket resets so
-//! the whole retry/degradation machinery is testable deterministically.
+//! panic inside a job is caught with its message captured into the job
+//! state (and the `chaos.panics_caught` counter in `/stats`); a failed
+//! store write degrades to serving the in-memory result with a warning,
+//! never a 500. Under `RAMP_CHAOS` (see [`ramp_sim::chaos`]) the server
+//! additionally injects slow reads, queue stalls, whole-worker kills and
+//! mid-response socket resets so the entire retry/supervision machinery
+//! is testable deterministically.
 //!
 //! | Endpoint          | Meaning                                         |
 //! |-------------------|-------------------------------------------------|
@@ -27,12 +39,13 @@
 //! | `POST /runs`      | submit `{"workload","kind","policy"}`           |
 //! | `GET /jobs/{id}`  | poll a submitted job                            |
 //! | `GET /runs/{key}` | fetch a stored result by content key            |
-//! | `GET /stats`      | full telemetry document (store, queue, exec)    |
+//! | `GET /stats`      | full telemetry document (store, queues, workers)|
 //! | `POST /shutdown`  | drain in-flight jobs, then exit                 |
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -40,7 +53,7 @@ use std::time::{Duration, Instant};
 use ramp_core::config::SystemConfig;
 use ramp_core::system::RunResult;
 use ramp_sim::chaos::{self, Chaos, FaultKind};
-use ramp_sim::exec::{parallel_map_metrics, ExecMetrics};
+use ramp_sim::codec::fnv1a64;
 use ramp_sim::telemetry::StatRegistry;
 
 use crate::http::{read_request, write_response, write_response_with, Request};
@@ -54,15 +67,22 @@ use crate::store::RunStore;
 pub struct ServerConfig {
     /// The system every run simulates (also part of every store key).
     pub sim: SystemConfig,
-    /// Simulation worker threads (executor width of one dispatch batch).
+    /// Worker threads; each owns a queue and a supervisor.
     pub workers: usize,
-    /// Bounded queue capacity; pushes beyond this get HTTP 429.
+    /// Total queue capacity, split evenly across workers (each slot gets
+    /// at least 1). Pushes beyond a slot's share get HTTP 429.
     pub queue_capacity: usize,
     /// Per-connection socket read/write timeout.
     pub request_timeout: Duration,
     /// Per-job deadline: a job still waiting past this after submission
     /// expires (state `expired`) instead of running.
     pub deadline: Duration,
+    /// How many times the supervisor restarts one worker before the
+    /// slot goes dark and its backlog is failed.
+    pub restart_limit: u32,
+    /// Backoff before the first worker restart; doubles per restart,
+    /// capped at 2 s.
+    pub restart_backoff: Duration,
     /// Result store; `None` disables persistence (every run simulates).
     pub store: Option<RunStore>,
     /// Fault-injection registry; defaults to the `RAMP_CHAOS` global.
@@ -70,9 +90,10 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// Defaults: `RAMP_THREADS`-derived workers, a 32-deep queue, 10 s
-    /// socket timeouts, a 60 s job deadline, the environment-configured
-    /// store, and the environment-configured chaos registry.
+    /// Defaults: `RAMP_THREADS`-derived workers, a 32-deep total queue,
+    /// 10 s socket timeouts, a 60 s job deadline, 3 restarts per worker
+    /// starting at 50 ms backoff, the environment-configured store, and
+    /// the environment-configured chaos registry.
     pub fn new(sim: SystemConfig) -> Self {
         ServerConfig {
             sim,
@@ -80,6 +101,8 @@ impl ServerConfig {
             queue_capacity: 32,
             request_timeout: Duration::from_secs(10),
             deadline: Duration::from_secs(60),
+            restart_limit: 3,
+            restart_backoff: Duration::from_millis(50),
             store: RunStore::from_env(),
             chaos: chaos::global(),
         }
@@ -164,19 +187,48 @@ pub enum JobState {
     Expired,
 }
 
+#[derive(Clone)]
 struct Job {
     id: u64,
     spec: RunSpec,
     submitted: Instant,
+    /// Set when a supervisor already requeued this job after a worker
+    /// death; a second death fails it instead of retrying forever.
+    requeued: bool,
+}
+
+/// One worker's routing target plus its health ledger. The supervisor
+/// reads `current` after a crash to recover the in-flight job.
+struct WorkerSlot {
+    queue: BoundedQueue<Job>,
+    current: Mutex<Option<Job>>,
+    processed: AtomicU64,
+    deaths: AtomicU64,
+    restarts: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl WorkerSlot {
+    fn new(capacity: usize) -> Self {
+        WorkerSlot {
+            queue: BoundedQueue::new(capacity),
+            current: Mutex::new(None),
+            processed: AtomicU64::new(0),
+            deaths: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+        }
+    }
 }
 
 struct Shared {
     sim: SystemConfig,
-    workers: usize,
     store: Option<RunStore>,
     chaos: Option<Arc<Chaos>>,
     deadline: Duration,
-    queue: BoundedQueue<Job>,
+    restart_limit: u32,
+    restart_backoff: Duration,
+    slots: Vec<WorkerSlot>,
     jobs: Mutex<HashMap<u64, JobState>>,
     next_job: AtomicU64,
     accepted: AtomicU64,
@@ -188,8 +240,9 @@ struct Shared {
     panics_caught: AtomicU64,
     resumed: AtomicU64,
     restarted: AtomicU64,
+    worker_deaths: AtomicU64,
+    requeued: AtomicU64,
     shutdown: AtomicBool,
-    exec_metrics: ExecMetrics,
 }
 
 impl Shared {
@@ -197,11 +250,32 @@ impl Shared {
         self.jobs.lock().unwrap().insert(id, state);
     }
 
+    fn fail_job(&self, id: u64, msg: String) {
+        self.set_state(id, JobState::Failed(msg));
+        self.failed.fetch_add(1, Ordering::SeqCst);
+    }
+
     fn chaos_slow(&self, site: &str) {
         if let Some(c) = self.chaos.as_ref() {
             c.maybe_slow(site);
         }
     }
+}
+
+/// Jump consistent hash (Lamping–Veach) of a run key over `buckets`
+/// worker slots. Deterministic, uniform, and stable under pool growth —
+/// the property that matters here is simply that the same key always
+/// routes to the same worker, giving each key a single writer.
+fn route_slot(key: &str, buckets: usize) -> usize {
+    let mut h = fnv1a64(key.as_bytes());
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        h = h.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = ((b.wrapping_add(1) as f64) * ((1u64 << 31) as f64 / (((h >> 33) + 1) as f64))) as i64;
+    }
+    b as usize
 }
 
 /// A bound, not-yet-running server.
@@ -215,15 +289,18 @@ impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
     pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let workers = cfg.workers.max(1);
+        let per_slot = (cfg.queue_capacity / workers).max(1);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 sim: cfg.sim,
-                workers: cfg.workers.max(1),
                 store: cfg.store,
                 chaos: cfg.chaos,
                 deadline: cfg.deadline,
-                queue: BoundedQueue::new(cfg.queue_capacity),
+                restart_limit: cfg.restart_limit,
+                restart_backoff: cfg.restart_backoff.max(Duration::from_millis(1)),
+                slots: (0..workers).map(|_| WorkerSlot::new(per_slot)).collect(),
                 jobs: Mutex::new(HashMap::new()),
                 next_job: AtomicU64::new(1),
                 accepted: AtomicU64::new(0),
@@ -235,8 +312,9 @@ impl Server {
                 panics_caught: AtomicU64::new(0),
                 resumed: AtomicU64::new(0),
                 restarted: AtomicU64::new(0),
+                worker_deaths: AtomicU64::new(0),
+                requeued: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
-                exec_metrics: ExecMetrics::new(),
             }),
             request_timeout: cfg.request_timeout,
         })
@@ -247,17 +325,19 @@ impl Server {
         self.listener.local_addr().expect("listener has an address")
     }
 
-    /// Serves requests until a `POST /shutdown` drains the queue.
+    /// Serves requests until a `POST /shutdown` drains the queues.
     ///
-    /// Blocks the calling thread; the dispatcher runs on its own thread
-    /// and is joined before this returns, so when `run` exits every
-    /// accepted job has completed (or failed) and its result — if a
-    /// store is configured — is on disk.
+    /// Blocks the calling thread; each worker runs on its own supervised
+    /// thread and all of them are joined before this returns, so when
+    /// `run` exits every accepted job has completed (or failed, or
+    /// expired) and its result — if a store is configured — is on disk.
     pub fn run(self) {
-        let dispatcher = {
-            let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || dispatch_loop(&shared))
-        };
+        let supervisors: Vec<_> = (0..self.shared.slots.len())
+            .map(|slot| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || supervisor_loop(&shared, slot))
+            })
+            .collect();
 
         for stream in self.listener.incoming() {
             let mut stream = match stream {
@@ -272,96 +352,188 @@ impl Server {
             }
         }
 
-        self.shared.queue.close();
-        let _ = dispatcher.join();
+        for slot in &self.shared.slots {
+            slot.queue.close();
+        }
+        for sup in supervisors {
+            let _ = sup.join();
+        }
     }
 }
 
-fn dispatch_loop(shared: &Shared) {
-    while let Some(batch) = shared.queue.pop_batch(shared.workers) {
-        // Jobs that sat past their deadline expire instead of running:
-        // under backlog the server sheds stale work deterministically
-        // rather than simulating results nobody is waiting for.
-        let mut runnable = Vec::with_capacity(batch.len());
-        for job in batch {
-            if job.submitted.elapsed() >= shared.deadline {
-                shared.set_state(job.id, JobState::Expired);
-                shared.expired.fetch_add(1, Ordering::SeqCst);
-            } else {
-                runnable.push(job);
+/// Owns one worker slot for the lifetime of the server: runs the worker
+/// loop, catches its deaths, requeues the in-flight job once, and
+/// restarts with doubling backoff until the restart budget is spent.
+fn supervisor_loop(shared: &Shared, slot_idx: usize) {
+    let slot = &shared.slots[slot_idx];
+    let mut restarts_used = 0u32;
+    let mut backoff = shared.restart_backoff;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, slot_idx))) {
+            Ok(()) => break, // queue closed and fully drained
+            Err(payload) => {
+                let msg = chaos::panic_message(payload.as_ref());
+                slot.deaths.fetch_add(1, Ordering::SeqCst);
+                shared.worker_deaths.fetch_add(1, Ordering::SeqCst);
+
+                // The job the worker died holding gets exactly one more
+                // attempt; a second death fails it classified.
+                if let Some(mut job) = slot.current.lock().unwrap().take() {
+                    if job.requeued {
+                        shared.fail_job(
+                            job.id,
+                            format!(
+                                "worker {slot_idx} crashed on both attempts to run this job \
+                                 ({msg})"
+                            ),
+                        );
+                    } else {
+                        job.requeued = true;
+                        let id = job.id;
+                        match slot.queue.try_push(job) {
+                            Ok(()) => {
+                                shared.requeued.fetch_add(1, Ordering::SeqCst);
+                                shared.set_state(id, JobState::Queued);
+                            }
+                            Err(_) => shared.fail_job(
+                                id,
+                                format!(
+                                    "worker {slot_idx} crashed and its queue refused the retry \
+                                     attempt ({msg})"
+                                ),
+                            ),
+                        }
+                    }
+                }
+
+                if restarts_used >= shared.restart_limit {
+                    // Budget spent: the slot goes dark. Fail whatever is
+                    // still queued so drain terminates, and let routing
+                    // answer 503 for this slot from now on.
+                    slot.alive.store(false, Ordering::SeqCst);
+                    slot.queue.close();
+                    while let Some(batch) = slot.queue.pop_batch(usize::MAX) {
+                        for job in batch {
+                            shared.fail_job(
+                                job.id,
+                                format!(
+                                    "worker {slot_idx} exhausted its restart budget after \
+                                     {} attempts",
+                                    restarts_used + 1
+                                ),
+                            );
+                        }
+                    }
+                    eprintln!(
+                        "[served] worker {slot_idx} exhausted its restart budget \
+                         ({} deaths); slot disabled",
+                        slot.deaths.load(Ordering::SeqCst)
+                    );
+                    break;
+                }
+                restarts_used += 1;
+                slot.restarts.fetch_add(1, Ordering::SeqCst);
+                eprintln!(
+                    "[served] worker {slot_idx} died ({msg}); restart {restarts_used}/{} after \
+                     {backoff:?}",
+                    shared.restart_limit
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(2));
             }
         }
-        let outcomes = parallel_map_metrics(
-            shared.workers,
-            runnable,
-            &shared.exec_metrics,
-            None,
-            |_, job| {
-                let spec = job.spec;
-                let progress = Arc::new(RunProgress::default());
-                shared.set_state(job.id, JobState::Running(Arc::clone(&progress)));
-                let attempt = || {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        if let Some(c) = shared.chaos.as_ref() {
-                            c.maybe_slow("server.job");
-                            c.maybe_panic("server.job");
-                        }
-                        spec.execute_with_progress(
-                            &shared.sim,
-                            shared.store.as_ref(),
-                            Some(&progress),
-                        )
-                    }))
-                };
-                let mut result = attempt();
-                if result.is_err() {
-                    shared.panics_caught.fetch_add(1, Ordering::SeqCst);
-                    // An interrupted job that left a checkpoint trail is
-                    // restartable: one retry resumes from the newest valid
-                    // checkpoint instead of surfacing the crash.
-                    let key = spec.key(&shared.sim);
-                    let has_trail = shared
-                        .store
-                        .as_ref()
-                        .is_some_and(|s| !s.list_checkpoints(&key).is_empty());
-                    if has_trail {
-                        shared.restarted.fetch_add(1, Ordering::SeqCst);
-                        eprintln!(
-                            "[served] job {} ({key}) died mid-run; restarting from checkpoint",
-                            job.id
-                        );
-                        result = attempt();
-                    }
-                }
-                (job.id, spec, result)
-            },
-        );
-        for (id, spec, result) in outcomes {
-            match result {
-                Ok(outcome) => {
-                    let key = spec.key(&shared.sim);
-                    if !outcome.persisted {
-                        // Degraded mode: the simulation succeeded but the
-                        // store write didn't — serve the in-memory result
-                        // and warn, never 500.
-                        shared.degraded.fetch_add(1, Ordering::SeqCst);
-                        eprintln!(
-                            "[served] warn: job {id} ({key}) could not be persisted; \
-                             serving from memory"
-                        );
-                    }
-                    if outcome.resumed {
-                        shared.resumed.fetch_add(1, Ordering::SeqCst);
-                    }
-                    shared.set_state(id, JobState::Done(RunSummary::from_run(&key, &outcome.run)));
-                    shared.completed.fetch_add(1, Ordering::SeqCst);
-                }
-                Err(payload) => {
-                    let msg = chaos::panic_message(payload.as_ref());
-                    shared.set_state(id, JobState::Failed(format!("simulation panicked: {msg}")));
-                    shared.failed.fetch_add(1, Ordering::SeqCst);
-                }
+    }
+}
+
+/// Pops and executes jobs until the slot's queue is closed and empty.
+/// Returns normally only on clean shutdown; any panic (a job-isolation
+/// escape or the injected `server.worker` kill) unwinds to the
+/// supervisor with the in-flight job still recorded in `slot.current`.
+fn worker_loop(shared: &Shared, slot_idx: usize) {
+    let slot = &shared.slots[slot_idx];
+    while let Some(batch) = slot.queue.pop_batch(1) {
+        for job in batch {
+            *slot.current.lock().unwrap() = Some(job.clone());
+            run_one(shared, job);
+            *slot.current.lock().unwrap() = None;
+            slot.processed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Executes one job to a terminal state (done / failed / expired).
+fn run_one(shared: &Shared, job: Job) {
+    // Jobs that sat past their deadline expire instead of running: under
+    // backlog the server sheds stale work deterministically rather than
+    // simulating results nobody is waiting for.
+    if job.submitted.elapsed() >= shared.deadline {
+        shared.set_state(job.id, JobState::Expired);
+        shared.expired.fetch_add(1, Ordering::SeqCst);
+        return;
+    }
+    // Whole-worker kill site: this panic deliberately escapes the
+    // per-job isolation below, so it exercises the supervisor's
+    // requeue-and-restart path rather than the in-job retry.
+    if let Some(c) = shared.chaos.as_ref() {
+        c.maybe_panic("server.worker");
+    }
+    let spec = job.spec;
+    let progress = Arc::new(RunProgress::default());
+    shared.set_state(job.id, JobState::Running(Arc::clone(&progress)));
+    let attempt = || {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(c) = shared.chaos.as_ref() {
+                c.maybe_slow("server.job");
+                c.maybe_panic("server.job");
             }
+            spec.execute_with_progress(&shared.sim, shared.store.as_ref(), Some(&progress))
+        }))
+    };
+    let mut result = attempt();
+    if result.is_err() {
+        shared.panics_caught.fetch_add(1, Ordering::SeqCst);
+        // An interrupted job that left a checkpoint trail is
+        // restartable: one retry resumes from the newest valid
+        // checkpoint instead of surfacing the crash.
+        let key = spec.key(&shared.sim);
+        let has_trail = shared
+            .store
+            .as_ref()
+            .is_some_and(|s| !s.list_checkpoints(&key).is_empty());
+        if has_trail {
+            shared.restarted.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "[served] job {} ({key}) died mid-run; restarting from checkpoint",
+                job.id
+            );
+            result = attempt();
+        }
+    }
+    match result {
+        Ok(outcome) => {
+            let key = spec.key(&shared.sim);
+            if !outcome.persisted {
+                // Degraded mode: the simulation succeeded but the store
+                // write didn't — serve the in-memory result and warn,
+                // never 500.
+                shared.degraded.fetch_add(1, Ordering::SeqCst);
+                eprintln!(
+                    "[served] warn: job {} ({key}) could not be persisted; serving from memory",
+                    job.id
+                );
+            }
+            if outcome.resumed {
+                shared.resumed.fetch_add(1, Ordering::SeqCst);
+            }
+            shared.set_state(
+                job.id,
+                JobState::Done(RunSummary::from_run(&key, &outcome.run)),
+            );
+            shared.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(payload) => {
+            let msg = chaos::panic_message(payload.as_ref());
+            shared.fail_job(job.id, format!("simulation panicked: {msg}"));
         }
     }
 }
@@ -426,12 +598,20 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, bool) {
     }
 }
 
+fn queue_depth(shared: &Shared) -> usize {
+    shared.slots.iter().map(|s| s.queue.len()).sum()
+}
+
+fn queue_capacity(shared: &Shared) -> usize {
+    shared.slots.iter().map(|s| s.queue.capacity()).sum()
+}
+
 fn health_body(shared: &Shared) -> String {
     ObjWriter::new()
         .bool("ok", true)
-        .u64("workers", shared.workers as u64)
-        .u64("queue_capacity", shared.queue.capacity() as u64)
-        .u64("queue_depth", shared.queue.len() as u64)
+        .u64("workers", shared.slots.len() as u64)
+        .u64("queue_capacity", queue_capacity(shared) as u64)
+        .u64("queue_depth", queue_depth(shared) as u64)
         .finish()
 }
 
@@ -462,11 +642,13 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
     }
 
     shared.chaos_slow("server.queue");
+    let slot = &shared.slots[route_slot(&key, shared.slots.len())];
     let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
-    match shared.queue.try_push(Job {
+    match slot.queue.try_push(Job {
         id,
         spec,
         submitted: Instant::now(),
+        requeued: false,
     }) {
         Ok(()) => {
             shared.set_state(id, JobState::Queued);
@@ -482,7 +664,13 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
             shared.rejected.fetch_add(1, Ordering::SeqCst);
             (429, error_body("queue_full"))
         }
-        Err(PushError::Closed) => (503, error_body("shutting down")),
+        Err(PushError::Closed) => {
+            if slot.alive.load(Ordering::SeqCst) {
+                (503, error_body("shutting down"))
+            } else {
+                (503, error_body("worker unavailable"))
+            }
+        }
     }
 }
 
@@ -563,8 +751,8 @@ fn stats_body(shared: &Shared) -> String {
     if let Some(store) = shared.store.as_ref() {
         store.export_telemetry(&mut reg, "store");
     }
-    reg.gauge_set("server.queue", "depth", shared.queue.len() as f64);
-    reg.gauge_set("server.queue", "capacity", shared.queue.capacity() as f64);
+    reg.gauge_set("server.queue", "depth", queue_depth(shared) as f64);
+    reg.gauge_set("server.queue", "capacity", queue_capacity(shared) as f64);
     reg.counter_add(
         "server.jobs",
         "accepted",
@@ -606,6 +794,16 @@ fn stats_body(shared: &Shared) -> String {
         shared.restarted.load(Ordering::SeqCst),
     );
     reg.counter_add(
+        "server.jobs",
+        "worker_deaths",
+        shared.worker_deaths.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
+        "server.jobs",
+        "requeued",
+        shared.requeued.load(Ordering::SeqCst),
+    );
+    reg.counter_add(
         "chaos",
         "panics_caught",
         shared.panics_caught.load(Ordering::SeqCst),
@@ -613,17 +811,32 @@ fn stats_body(shared: &Shared) -> String {
     if let Some(c) = shared.chaos.as_ref() {
         c.export_telemetry(&mut reg, "chaos");
     }
-    shared
-        .exec_metrics
-        .export_telemetry(&mut reg, "server.exec");
+    for (i, slot) in shared.slots.iter().enumerate() {
+        let scope = format!("server.worker{i}");
+        reg.counter_add(&scope, "processed", slot.processed.load(Ordering::SeqCst));
+        reg.counter_add(&scope, "deaths", slot.deaths.load(Ordering::SeqCst));
+        reg.counter_add(&scope, "restarts", slot.restarts.load(Ordering::SeqCst));
+        reg.gauge_set(
+            &scope,
+            "alive",
+            if slot.alive.load(Ordering::SeqCst) {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        reg.gauge_set(&scope, "queue_depth", slot.queue.len() as f64);
+    }
     reg.snapshot_full().to_json()
 }
 
-/// Closes the queue and blocks until every accepted job has completed,
-/// failed or expired; returns the final-count response body.
+/// Closes every worker queue and blocks until every accepted job has
+/// completed, failed or expired; returns the final-count response body.
 fn drain(shared: &Shared) -> String {
     shared.shutdown.store(true, Ordering::SeqCst);
-    shared.queue.close();
+    for slot in &shared.slots {
+        slot.queue.close();
+    }
     loop {
         let done = shared.completed.load(Ordering::SeqCst)
             + shared.failed.load(Ordering::SeqCst)
@@ -641,4 +854,49 @@ fn drain(shared: &Shared) -> String {
         .u64("failed", shared.failed.load(Ordering::SeqCst))
         .u64("expired", shared.expired.load(Ordering::SeqCst))
         .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::route_slot;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for buckets in [1usize, 2, 3, 8, 17] {
+            for i in 0..200 {
+                let key = format!("{i:032x}");
+                let a = route_slot(&key, buckets);
+                assert_eq!(a, route_slot(&key, buckets), "stable for {key}");
+                assert!(a < buckets, "{a} out of range for {buckets}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_over_slots() {
+        let buckets = 4usize;
+        let mut counts = vec![0usize; buckets];
+        for i in 0..400 {
+            counts[route_slot(&format!("{i:032x}"), buckets)] += 1;
+        }
+        for (slot, &n) in counts.iter().enumerate() {
+            assert!(n > 40, "slot {slot} got only {n}/400 keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn jump_hash_moves_few_keys_when_growing() {
+        // The consistent-hash property: going from N to N+1 slots moves
+        // roughly 1/(N+1) of the keys, not all of them.
+        let keys: Vec<String> = (0..500).map(|i| format!("{i:032x}")).collect();
+        let moved = keys
+            .iter()
+            .filter(|k| route_slot(k, 4) != route_slot(k, 5))
+            .count();
+        assert!(moved > 0, "growing the pool must move some keys");
+        assert!(
+            moved < 250,
+            "jump hash moved {moved}/500 keys (expected ~100)"
+        );
+    }
 }

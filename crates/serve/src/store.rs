@@ -27,6 +27,18 @@
 //! `store.write` (failed write) and `store.corrupt` (post-write bit
 //! rot) — which is how the resilience test matrix exercises the
 //! quarantine and degraded-mode paths deterministically.
+//!
+//! **Backends.** The description above is the default one-file-per-run
+//! backend. `RAMP_STORE_MODE=wal` selects the append-only WAL backend
+//! ([`crate::wal`]): the same content-addressed API, but entries become
+//! checksummed records batched into segment files with a
+//! generation-numbered manifest, replay-on-open crash recovery, and
+//! explicit compaction (`ramp-store compact`). File mode supports
+//! concurrent writer processes; WAL mode is single-process (the
+//! multi-worker server shares one handle). Both modes are covered by
+//! [`RunStore::verify`] (read-only validation) and [`RunStore::scrub`]
+//! (healing walk, which also reclaims orphaned checkpoint trails whose
+//! base run entry is missing or quarantined).
 
 use std::fs;
 use std::io::Write as _;
@@ -41,6 +53,7 @@ use ramp_sim::chaos::{self, Chaos, FaultKind};
 use ramp_sim::codec::{decode_framed, fnv1a64_seeded, ByteWriter};
 use ramp_sim::telemetry::StatRegistry;
 
+use crate::wal::{self, AppendError, ReplayReport, ValueKind, Wal};
 use crate::wire::{self, WIRE_VERSION};
 
 /// Bump to invalidate every existing store entry after a simulator
@@ -51,8 +64,31 @@ pub const STORE_SALT: u32 = 1;
 pub const ENV_STORE: &str = "RAMP_STORE";
 /// Environment variable overriding the store directory.
 pub const ENV_STORE_DIR: &str = "RAMP_STORE_DIR";
+/// Environment variable selecting the backend: `files` (default) or
+/// `wal`. Unknown values degrade to `files`.
+pub const ENV_STORE_MODE: &str = "RAMP_STORE_MODE";
 /// Default store directory, relative to the working directory.
 pub const DEFAULT_DIR: &str = "target/ramp-store";
+
+/// Which backend a [`RunStore`] persists through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreMode {
+    /// One file per entry, atomic tmp+rename writes (the default).
+    #[default]
+    Files,
+    /// Append-only WAL segments with manifest + replay ([`crate::wal`]).
+    Wal,
+}
+
+impl StoreMode {
+    /// Stable lower-case label (the `RAMP_STORE_MODE` value).
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreMode::Files => "files",
+            StoreMode::Wal => "wal",
+        }
+    }
+}
 
 /// The four kinds of runs the store distinguishes.
 ///
@@ -147,25 +183,54 @@ pub struct RunStore {
     metrics: StoreMetrics,
     tmp_counter: AtomicU64,
     chaos: Option<Arc<Chaos>>,
+    /// `Some` in WAL mode; `None` in file mode.
+    wal: Option<Wal>,
+    /// What replay-on-open found (WAL mode only).
+    replay: Option<ReplayReport>,
 }
 
 impl RunStore {
-    /// Opens (creating if needed) a store rooted at `dir`, with no
-    /// fault injection attached.
+    /// Opens (creating if needed) a file-mode store rooted at `dir`,
+    /// with no fault injection attached.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<RunStore> {
+        RunStore::open_mode(dir, StoreMode::Files)
+    }
+
+    /// Opens (creating if needed) a WAL-mode store rooted at `dir`:
+    /// segments live under `<dir>/wal/` and every live record is
+    /// replayed into memory before the handle is returned.
+    pub fn open_wal(dir: impl Into<PathBuf>) -> std::io::Result<RunStore> {
+        RunStore::open_mode(dir, StoreMode::Wal)
+    }
+
+    /// Opens a store rooted at `dir` with an explicit backend.
+    pub fn open_mode(dir: impl Into<PathBuf>, mode: StoreMode) -> std::io::Result<RunStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let (wal, replay) = match mode {
+            StoreMode::Files => (None, None),
+            StoreMode::Wal => {
+                let (wal, replay) = Wal::open(dir.join("wal"), None, wal::seg_bytes_from_env())?;
+                (Some(wal), Some(replay))
+            }
+        };
         Ok(RunStore {
             dir,
             metrics: StoreMetrics::default(),
             tmp_counter: AtomicU64::new(0),
             chaos: None,
+            wal,
+            replay,
         })
     }
 
     /// Attaches a fault-injection registry: subsequent reads and writes
-    /// roll the `store.read` / `store.write` / `store.corrupt` sites.
+    /// roll the `store.read` / `store.write` / `store.corrupt` sites
+    /// (file mode) and the `wal.*` sites (WAL mode).
     pub fn with_chaos(mut self, chaos: Option<Arc<Chaos>>) -> Self {
+        if let Some(wal) = &mut self.wal {
+            wal.set_chaos(chaos.clone());
+        }
         self.chaos = chaos;
         self
     }
@@ -178,7 +243,8 @@ impl RunStore {
 
     /// Opens the store configured by the environment: `RAMP_STORE=off`
     /// (or `0`) disables it, `RAMP_STORE_DIR` overrides the directory,
-    /// and the default is `target/ramp-store` (store **on**).
+    /// `RAMP_STORE_MODE=wal` selects the WAL backend, and the default
+    /// is `target/ramp-store` in file mode (store **on**).
     ///
     /// Returns `None` when disabled or when the directory cannot be
     /// created (a read-only checkout should degrade to cold runs, not
@@ -188,8 +254,12 @@ impl RunStore {
             Ok(v) if v.eq_ignore_ascii_case("off") || v == "0" => return None,
             _ => {}
         }
+        let mode = match std::env::var(ENV_STORE_MODE) {
+            Ok(v) if v.eq_ignore_ascii_case("wal") => StoreMode::Wal,
+            _ => StoreMode::Files,
+        };
         let dir = std::env::var(ENV_STORE_DIR).unwrap_or_else(|_| DEFAULT_DIR.to_string());
-        RunStore::open(dir)
+        RunStore::open_mode(dir, mode)
             .ok()
             .map(|s| s.with_chaos(chaos::global()))
     }
@@ -197,6 +267,27 @@ impl RunStore {
     /// The directory this store reads and writes.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Which backend this handle persists through.
+    pub fn mode(&self) -> StoreMode {
+        if self.wal.is_some() {
+            StoreMode::Wal
+        } else {
+            StoreMode::Files
+        }
+    }
+
+    /// What replay-on-open found and repaired (WAL mode only).
+    pub fn replay_report(&self) -> Option<&ReplayReport> {
+        self.replay.as_ref()
+    }
+
+    /// Rewrites the live WAL records into fresh segments and retires
+    /// the old ones (see [`Wal::compact`]). In file mode there is
+    /// nothing to compact and `None` is returned.
+    pub fn compact(&self) -> Option<Result<wal::CompactReport, wal::AppendError>> {
+        self.wal.as_ref().map(|w| w.compact())
     }
 
     /// Live hit/miss/write counters.
@@ -288,9 +379,74 @@ impl RunStore {
         true
     }
 
+    /// Loads raw value bytes from the WAL index, with the same
+    /// chaos-read and miss accounting file mode applies.
+    fn wal_load(&self, wal: &Wal, kind: ValueKind, key: &str) -> Option<Vec<u8>> {
+        if self.chaos_roll("store.read") {
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            return None; // injected read I/O error: a clean miss
+        }
+        match wal.get(kind, key) {
+            Some(bytes) => Some(bytes),
+            None => {
+                self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// A replayed WAL value failed to decode at the wire layer (version
+    /// skew, foreign bytes): preserve it for autopsy and evict the slot
+    /// so it becomes a miss, mirroring file-mode quarantine.
+    fn wal_invalid(&self, wal: &Wal, kind: ValueKind, key: &str, label: &str, why: &str) {
+        self.metrics.invalid.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(bytes) = wal.evict(kind, key) {
+            wal.quarantine_value(label, &bytes, why);
+            self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Maps one WAL append outcome onto the store metrics.
+    fn wal_count_put(&self, outcome: Result<(), AppendError>) -> bool {
+        match outcome {
+            Ok(()) => {
+                self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(AppendError::Verify) => {
+                self.metrics.verify_failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(_) => {
+                self.metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
     /// Loads the run stored under `key`, if present and valid.
     /// Undecodable entries are quarantined and count as misses.
     pub fn load_run(&self, key: &str) -> Option<RunResult> {
+        if let Some(wal) = &self.wal {
+            let bytes = self.wal_load(wal, ValueKind::Run, key)?;
+            return match wire::decode_run(&bytes) {
+                Ok(run) => {
+                    self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(run)
+                }
+                Err(e) => {
+                    self.wal_invalid(
+                        wal,
+                        ValueKind::Run,
+                        key,
+                        &format!("{key}.run"),
+                        &format!("{e:?}"),
+                    );
+                    None
+                }
+            };
+        }
         let path = self.path_for(key, "run");
         let bytes = self.load_bytes(&path)?;
         match wire::decode_run(&bytes) {
@@ -307,12 +463,34 @@ impl RunStore {
 
     /// Persists `run` under `key`; `true` once it is verified on disk.
     pub fn store_run(&self, key: &str, run: &RunResult) -> bool {
+        if let Some(wal) = &self.wal {
+            return self.wal_count_put(wal.put(ValueKind::Run, key, &wire::encode_run(run)));
+        }
         self.store_bytes(&self.path_for(key, "run"), &wire::encode_run(run))
     }
 
     /// Loads the annotated run stored under `key`, if present and valid.
     /// Undecodable entries are quarantined and count as misses.
     pub fn load_annotated(&self, key: &str) -> Option<(RunResult, AnnotationSet)> {
+        if let Some(wal) = &self.wal {
+            let bytes = self.wal_load(wal, ValueKind::Annotated, key)?;
+            return match wire::decode_annotated(&bytes) {
+                Ok(pair) => {
+                    self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(pair)
+                }
+                Err(e) => {
+                    self.wal_invalid(
+                        wal,
+                        ValueKind::Annotated,
+                        key,
+                        &format!("{key}.ann"),
+                        &format!("{e:?}"),
+                    );
+                    None
+                }
+            };
+        }
         let path = self.path_for(key, "ann");
         let bytes = self.load_bytes(&path)?;
         match wire::decode_annotated(&bytes) {
@@ -330,6 +508,13 @@ impl RunStore {
     /// Persists an annotated run under `key`; `true` once it is
     /// verified on disk.
     pub fn store_annotated(&self, key: &str, run: &RunResult, set: &AnnotationSet) -> bool {
+        if let Some(wal) = &self.wal {
+            return self.wal_count_put(wal.put(
+                ValueKind::Annotated,
+                key,
+                &wire::encode_annotated(run, set),
+            ));
+        }
         self.store_bytes(
             &self.path_for(key, "ann"),
             &wire::encode_annotated(run, set),
@@ -347,11 +532,24 @@ impl RunStore {
     /// same run are kept: they are the fallback when this one turns out
     /// torn or corrupt on resume.
     pub fn store_checkpoint(&self, key: &str, epoch: u64, bytes: &[u8]) -> bool {
+        if let Some(wal) = &self.wal {
+            return self.wal_count_put(wal.put_ckpt(key, epoch, bytes));
+        }
         self.store_bytes(&self.checkpoint_path(key, epoch), bytes)
     }
 
     /// Lists the checkpoint segments of run `key`, ascending by epoch.
+    ///
+    /// In WAL mode checkpoints live inside log segments, not per-epoch
+    /// files; the path reported there is the WAL directory itself.
     pub fn list_checkpoints(&self, key: &str) -> Vec<(u64, PathBuf)> {
+        if let Some(wal) = &self.wal {
+            return wal
+                .ckpt_epochs(key)
+                .into_iter()
+                .map(|e| (e, wal.dir().to_path_buf()))
+                .collect();
+        }
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return Vec::new();
         };
@@ -375,6 +573,25 @@ impl RunStore {
     /// falls back to the previous segment, so a resume never sees
     /// garbage — at worst it restarts from an older epoch or cold.
     pub fn load_latest_checkpoint(&self, key: &str) -> Option<(u64, Vec<u8>)> {
+        if let Some(wal) = &self.wal {
+            for epoch in wal.ckpt_epochs(key).into_iter().rev() {
+                if self.chaos_roll("store.read") {
+                    self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+                    continue; // injected read error: fall back one epoch
+                }
+                let Some(bytes) = wal.get_ckpt(key, epoch) else {
+                    continue;
+                };
+                match decode_framed(&bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+                    Ok(_) => {
+                        self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some((epoch, bytes));
+                    }
+                    Err(e) => self.quarantine_checkpoint(key, epoch, &format!("{e:?}")),
+                }
+            }
+            return None;
+        }
         for (epoch, path) in self.list_checkpoints(key).into_iter().rev() {
             let Some(bytes) = self.load_bytes(&path) else {
                 continue;
@@ -394,6 +611,9 @@ impl RunStore {
     /// `(key, epoch, size_bytes)`, sorted by key then epoch (the
     /// `ramp-store ckpt` listing).
     pub fn all_checkpoints(&self) -> Vec<(String, u64, u64)> {
+        if let Some(wal) = &self.wal {
+            return wal.ckpts_all();
+        }
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return Vec::new();
         };
@@ -415,12 +635,38 @@ impl RunStore {
     /// restore (the frame decoded, but the state inside was rejected —
     /// e.g. a checkpoint from a different run landing under this key).
     pub fn quarantine_checkpoint(&self, key: &str, epoch: u64, why: &str) {
+        if let Some(wal) = &self.wal {
+            self.metrics.invalid.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            // Log the delete best-effort, but evict unconditionally:
+            // resume must never spin on a checkpoint it just rejected.
+            let _ = wal.del_ckpt(key, epoch);
+            if let Some(bytes) = wal.evict_ckpt(key, epoch) {
+                wal.quarantine_value(&format!("{key}-e{epoch:08}"), &bytes, why);
+                self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
         self.note_invalid(&self.checkpoint_path(key, epoch), why);
     }
 
     /// Deletes every checkpoint segment of run `key` (a completed run
     /// no longer needs its resume trail). Returns how many were removed.
     pub fn remove_checkpoints(&self, key: &str) -> usize {
+        if let Some(wal) = &self.wal {
+            // Log the trail delete best-effort; evict unconditionally so
+            // this process stops seeing the trail either way. If the
+            // delete record did not land, replay resurrects a stale
+            // trail — harmless, since the completed run is served warm
+            // ahead of any resume attempt.
+            let before = wal.ckpt_epochs(key).len();
+            if before == 0 {
+                return 0;
+            }
+            let _ = wal.del_ckpt_trail(key);
+            wal.evict_ckpt_trail(key);
+            return before;
+        }
         let mut removed = 0;
         for (_, path) in self.list_checkpoints(key) {
             if fs::remove_file(&path).is_ok() {
@@ -430,16 +676,29 @@ impl RunStore {
         removed
     }
 
-    /// Walks the whole store directory, removing stale temp files and
-    /// quarantining every entry that no longer decodes. Deterministic
-    /// order (sorted by file name); never panics on foreign files.
+    /// Walks the whole store, removing stale temp files, quarantining
+    /// every entry that no longer decodes, and reclaiming **orphaned
+    /// checkpoint trails** — `{key}-e*.ckpt` segments whose base run
+    /// entry is missing or quarantined. A trail only outlives its run
+    /// when the run died and was never resumed (completed runs delete
+    /// their trail); scrub is the explicit offline maintenance pass, so
+    /// it treats such trails as abandoned and removes them rather than
+    /// letting them accumulate. Deterministic order (sorted by file
+    /// name); never panics on foreign files.
     pub fn scrub(&self) -> ScrubReport {
+        if let Some(wal) = &self.wal {
+            return self.scrub_wal(wal);
+        }
         let mut report = ScrubReport::default();
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return report;
         };
         let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
         paths.sort();
+        // Base keys with a valid run/annotated entry, and the surviving
+        // checkpoint files, for the orphan-trail pass below.
+        let mut bases: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut ckpt_files: Vec<(String, PathBuf)> = Vec::new();
         for path in paths {
             if !path.is_file() {
                 continue;
@@ -453,7 +712,7 @@ impl RunStore {
                 report.tmp_removed += 1;
             } else if name.ends_with(".quarantine") || name.ends_with(".reason") {
                 report.already_quarantined += 1;
-            } else if name.ends_with(".run") {
+            } else if let Some(stem) = name.strip_suffix(".run") {
                 match fs::read(&path)
                     .map_err(|e| format!("read failed: {e}"))
                     .and_then(|bytes| {
@@ -461,13 +720,16 @@ impl RunStore {
                             .map(|_| ())
                             .map_err(|e| format!("{e:?}"))
                     }) {
-                    Ok(()) => report.valid += 1,
+                    Ok(()) => {
+                        report.valid += 1;
+                        bases.insert(stem.to_string());
+                    }
                     Err(why) => {
                         self.quarantine(&path, &why);
                         report.quarantined += 1;
                     }
                 }
-            } else if name.ends_with(".ann") {
+            } else if let Some(stem) = name.strip_suffix(".ann") {
                 match fs::read(&path)
                     .map_err(|e| format!("read failed: {e}"))
                     .and_then(|bytes| {
@@ -475,7 +737,10 @@ impl RunStore {
                             .map(|_| ())
                             .map_err(|e| format!("{e:?}"))
                     }) {
-                    Ok(()) => report.valid += 1,
+                    Ok(()) => {
+                        report.valid += 1;
+                        bases.insert(stem.to_string());
+                    }
                     Err(why) => {
                         self.quarantine(&path, &why);
                         report.quarantined += 1;
@@ -489,7 +754,12 @@ impl RunStore {
                             .map(|_| ())
                             .map_err(|e| format!("{e:?}"))
                     }) {
-                    Ok(()) => report.valid += 1,
+                    Ok(()) => {
+                        report.valid += 1;
+                        if let Some((key, _)) = parse_checkpoint_name(&name) {
+                            ckpt_files.push((key.to_string(), path.clone()));
+                        }
+                    }
                     Err(why) => {
                         self.quarantine(&path, &why);
                         report.quarantined += 1;
@@ -497,6 +767,166 @@ impl RunStore {
                 }
             } else {
                 report.unknown += 1;
+            }
+        }
+        for (key, path) in ckpt_files {
+            if !bases.contains(&key) && fs::remove_file(&path).is_ok() {
+                report.orphaned += 1;
+            }
+        }
+        report
+    }
+
+    /// The WAL-mode scrub: validates every live index value, reclaims
+    /// orphaned checkpoint trails, and sweeps stale manifest temp files.
+    /// (Segment-level damage is healed by replay-on-open, so a live
+    /// handle only ever scrubs whole records.)
+    fn scrub_wal(&self, wal: &Wal) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for kind in [ValueKind::Run, ValueKind::Annotated] {
+            for key in wal.value_keys(kind) {
+                report.scanned += 1;
+                let Some(bytes) = wal.get(kind, &key) else {
+                    continue;
+                };
+                let (label, decoded) = match kind {
+                    ValueKind::Run => (
+                        format!("{key}.run"),
+                        wire::decode_run(&bytes)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}")),
+                    ),
+                    ValueKind::Annotated => (
+                        format!("{key}.ann"),
+                        wire::decode_annotated(&bytes)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}")),
+                    ),
+                };
+                match decoded {
+                    Ok(()) => report.valid += 1,
+                    Err(why) => {
+                        wal.evict(kind, &key);
+                        wal.quarantine_value(&label, &bytes, &why);
+                        self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+                        report.quarantined += 1;
+                    }
+                }
+            }
+        }
+        for (key, epoch, _) in wal.ckpts_all() {
+            report.scanned += 1;
+            let Some(bytes) = wal.get_ckpt(&key, epoch) else {
+                continue;
+            };
+            match decode_framed(&bytes, CHECKPOINT_KIND, CHECKPOINT_VERSION) {
+                Ok(_) => report.valid += 1,
+                Err(e) => {
+                    let _ = wal.del_ckpt(&key, epoch);
+                    wal.evict_ckpt(&key, epoch);
+                    wal.quarantine_value(&format!("{key}-e{epoch:08}"), &bytes, &format!("{e:?}"));
+                    self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        // Orphaned trails: checkpoints whose base entry is gone. Count
+        // before deleting — the logged delete already empties the index.
+        for key in wal.ckpt_keys() {
+            if wal.get(ValueKind::Run, &key).is_none()
+                && wal.get(ValueKind::Annotated, &key).is_none()
+            {
+                let trail = wal.ckpt_epochs(&key).len() as u64;
+                let _ = wal.del_ckpt_trail(&key);
+                wal.evict_ckpt_trail(&key);
+                report.orphaned += trail;
+            }
+        }
+        // Quarantine artifacts and stale manifest temps in the WAL dir.
+        if let Ok(entries) = fs::read_dir(wal.dir()) {
+            let mut names: Vec<String> = entries
+                .flatten()
+                .filter_map(|e| e.file_name().to_str().map(str::to_string))
+                .collect();
+            names.sort();
+            for name in names {
+                if name.ends_with(".quarantine") || name.ends_with(".reason") {
+                    report.scanned += 1;
+                    report.already_quarantined += 1;
+                } else if name.starts_with("MANIFEST.tmp-") {
+                    report.scanned += 1;
+                    if fs::remove_file(wal.dir().join(&name)).is_ok() {
+                        report.tmp_removed += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Read-only validation of the whole store: decodes every entry
+    /// (file mode) or re-scans the manifest and every segment from disk
+    /// (WAL mode) without repairing anything. A clean store reports no
+    /// errors; the `ramp-store verify` subcommand exits non-zero
+    /// otherwise.
+    pub fn verify(&self) -> VerifyReport {
+        if let Some(wal) = &self.wal {
+            let w = wal.verify();
+            return VerifyReport {
+                mode: StoreMode::Wal,
+                entries: w.records,
+                valid: w.records,
+                segments: w.segments,
+                errors: w.errors,
+            };
+        }
+        let mut report = VerifyReport {
+            mode: StoreMode::Files,
+            ..VerifyReport::default()
+        };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return report;
+        };
+        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        paths.sort();
+        for path in paths {
+            if !path.is_file() {
+                continue;
+            }
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            let decoded = if name.ends_with(".run") {
+                fs::read(&path)
+                    .map_err(|e| format!("read failed: {e}"))
+                    .and_then(|b| {
+                        wire::decode_run(&b)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}"))
+                    })
+            } else if name.ends_with(".ann") {
+                fs::read(&path)
+                    .map_err(|e| format!("read failed: {e}"))
+                    .and_then(|b| {
+                        wire::decode_annotated(&b)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}"))
+                    })
+            } else if name.ends_with(".ckpt") {
+                fs::read(&path)
+                    .map_err(|e| format!("read failed: {e}"))
+                    .and_then(|b| {
+                        decode_framed(&b, CHECKPOINT_KIND, CHECKPOINT_VERSION)
+                            .map(|_| ())
+                            .map_err(|e| format!("{e:?}"))
+                    })
+            } else {
+                continue; // temp/quarantine/foreign files are scrub's business
+            };
+            report.entries += 1;
+            match decoded {
+                Ok(()) => report.valid += 1,
+                Err(why) => report.errors.push(format!("{name}: {why}")),
             }
         }
         report
@@ -548,19 +978,59 @@ pub struct ScrubReport {
     pub tmp_removed: u64,
     /// Foreign files left untouched.
     pub unknown: u64,
+    /// Orphaned checkpoint segments removed (trails whose base run
+    /// entry is missing or quarantined).
+    pub orphaned: u64,
 }
 
 impl std::fmt::Display for ScrubReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "scanned={} valid={} quarantined={} already={} tmp={} unknown={}",
+            "scanned={} valid={} quarantined={} already={} tmp={} unknown={} orphaned={}",
             self.scanned,
             self.valid,
             self.quarantined,
             self.already_quarantined,
             self.tmp_removed,
-            self.unknown
+            self.unknown,
+            self.orphaned
+        )
+    }
+}
+
+/// What [`RunStore::verify`] found (read-only; nothing repaired).
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Which backend was verified.
+    pub mode: StoreMode,
+    /// Entries (file mode) or WAL records examined.
+    pub entries: u64,
+    /// How many decoded cleanly.
+    pub valid: u64,
+    /// Live WAL segments (0 in file mode).
+    pub segments: u64,
+    /// Every defect, one human-readable line each. Empty == clean.
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// `true` when the store is defect-free.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mode={} entries={} valid={} segments={} errors={}",
+            self.mode.label(),
+            self.entries,
+            self.valid,
+            self.segments,
+            self.errors.len()
         )
     }
 }
@@ -580,6 +1050,15 @@ pub(crate) mod testutil {
         let dir = std::env::temp_dir().join(format!("ramp-store-test-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         RunStore::open(dir).unwrap()
+    }
+
+    /// Like [`test_store`] but WAL-backed.
+    pub(crate) fn test_store_wal() -> RunStore {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("ramp-store-wal-test-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        RunStore::open_wal(dir).unwrap()
     }
 }
 
@@ -707,7 +1186,7 @@ mod tests {
         assert_eq!(again.already_quarantined, 2);
         assert_eq!(
             report.to_string(),
-            "scanned=4 valid=1 quarantined=1 already=0 tmp=1 unknown=1"
+            "scanned=4 valid=1 quarantined=1 already=0 tmp=1 unknown=1 orphaned=0"
         );
     }
 
@@ -829,6 +1308,8 @@ mod tests {
     fn scrub_validates_checkpoint_segments() {
         let store = test_store();
         let key = run_key(&SystemConfig::smoke_test(), RunKind::Migration, "lbm", "x");
+        // A live base entry keeps the trail from counting as orphaned.
+        store.store_run(&key, &sample_run());
         let good = ramp_sim::codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, &[9; 16]);
         store.store_checkpoint(&key, 1, &good);
         store.store_checkpoint(&key, 2, &good);
@@ -836,10 +1317,161 @@ mod tests {
         fs::write(&bad, &good[..good.len() / 2]).unwrap();
 
         let report = store.scrub();
-        assert_eq!(report.valid, 1);
+        assert_eq!(report.valid, 2);
         assert_eq!(report.quarantined, 1);
+        assert_eq!(report.orphaned, 0);
         assert!(!bad.exists());
         assert_eq!(store.load_latest_checkpoint(&key).unwrap().0, 1);
+    }
+
+    #[test]
+    fn scrub_reclaims_orphaned_checkpoint_trails() {
+        let store = test_store();
+        let cfg = SystemConfig::smoke_test();
+        let live = run_key(&cfg, RunKind::Migration, "lbm", "x");
+        let dead = run_key(&cfg, RunKind::Migration, "mcf", "x");
+        let blob = ramp_sim::codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, &[7; 16]);
+        store.store_run(&live, &sample_run());
+        store.store_checkpoint(&live, 1, &blob);
+        // `dead` has a trail but no base entry (the run died and was
+        // never resumed): scrub reclaims it.
+        store.store_checkpoint(&dead, 1, &blob);
+        store.store_checkpoint(&dead, 2, &blob);
+
+        let report = store.scrub();
+        assert_eq!(report.orphaned, 2);
+        assert!(store.list_checkpoints(&dead).is_empty());
+        assert_eq!(store.list_checkpoints(&live).len(), 1);
+
+        // A quarantined base also orphans its trail.
+        let base = store.path_for(&live, "run");
+        let bytes = fs::read(&base).unwrap();
+        fs::write(&base, &bytes[..bytes.len() / 2]).unwrap();
+        let report = store.scrub();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.orphaned, 1);
+        assert!(store.list_checkpoints(&live).is_empty());
+    }
+
+    #[test]
+    fn wal_mode_round_trips_and_reopens() {
+        let store = super::testutil::test_store_wal();
+        assert_eq!(store.mode(), StoreMode::Wal);
+        assert_eq!(store.replay_report().unwrap(), &ReplayReport::default());
+        let run = sample_run();
+        let cfg = SystemConfig::smoke_test();
+        let key = run_key(&cfg, RunKind::Static, "lbm", "x");
+        assert!(store.load_run(&key).is_none());
+        assert!(store.store_run(&key, &run));
+        let back = store.load_run(&key).expect("stored entry loads");
+        assert_eq!(back.ipc.to_bits(), run.ipc.to_bits());
+        assert_eq!(back.telemetry, run.telemetry);
+        assert_eq!(hits(&store), 1);
+        assert_eq!(store.metrics().writes.load(Ordering::Relaxed), 1);
+
+        let set = AnnotationSet {
+            structures: vec![(ramp_trace::Benchmark::Lbm, "grid".into())],
+            pinned: [ramp_sim::PageId(3)].into_iter().collect(),
+        };
+        assert!(store.store_annotated(&key, &run, &set));
+        let blob = ramp_sim::codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, &[5; 16]);
+        assert!(store.store_checkpoint(&key, 1, &blob));
+        assert!(store.store_checkpoint(&key, 3, &blob));
+        assert_eq!(store.load_latest_checkpoint(&key).unwrap().0, 3);
+        assert_eq!(store.all_checkpoints().len(), 2);
+
+        // Reopen the same directory: everything replays.
+        let dir = store.dir().to_path_buf();
+        drop(store);
+        let store = RunStore::open_wal(&dir).unwrap();
+        assert_eq!(store.replay_report().unwrap().records, 4);
+        let back = store.load_run(&key).expect("replayed entry loads");
+        assert_eq!(wire::encode_run(&back), wire::encode_run(&run));
+        let (_, back_set) = store.load_annotated(&key).unwrap();
+        assert_eq!(back_set.pinned, set.pinned);
+        assert_eq!(store.load_latest_checkpoint(&key).unwrap().0, 3);
+        assert_eq!(store.remove_checkpoints(&key), 2);
+        assert!(store.list_checkpoints(&key).is_empty());
+        assert!(store.verify().ok());
+    }
+
+    #[test]
+    fn wal_mode_chaos_classifies_every_fault() {
+        // Mirror of the file-mode chaos invariants: every load is
+        // exactly one of hit/miss, served entries are bit-correct, and
+        // injected faults land in the failure counters — plus the WAL
+        // handle survives a torn-append poisoning without panicking.
+        let chaos = Arc::new(ramp_sim::chaos::Chaos::from_spec(5, "io=0.5").unwrap());
+        let store = super::testutil::test_store_wal().with_chaos(Some(chaos));
+        let run = sample_run();
+        let cfg = SystemConfig::smoke_test();
+        for i in 0..40 {
+            let key = run_key(&cfg, RunKind::Static, &format!("wl{i}"), "x");
+            store.store_run(&key, &run);
+            if let Some(back) = store.load_run(&key) {
+                assert_eq!(back.ipc.to_bits(), run.ipc.to_bits());
+                assert_eq!(back.telemetry, run.telemetry);
+            }
+        }
+        let m = store.metrics();
+        let hits = m.hits.load(Ordering::Relaxed);
+        let misses = m.misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, 40, "each load is exactly one of hit/miss");
+        assert!(m.write_failures.load(Ordering::Relaxed) > 0);
+
+        // Reopen without chaos: every acked write (and only those)
+        // replays; the store verifies clean after the heal.
+        let dir = store.dir().to_path_buf();
+        let acked = m.writes.load(Ordering::Relaxed);
+        drop(store);
+        let store = RunStore::open_wal(&dir).unwrap();
+        let replay = store.replay_report().unwrap().clone();
+        assert!(replay.records >= acked, "acked {acked}, replayed {replay}");
+        assert!(store.verify().ok(), "{}", store.verify());
+    }
+
+    #[test]
+    fn wal_scrub_reclaims_orphaned_trails() {
+        let store = super::testutil::test_store_wal();
+        let cfg = SystemConfig::smoke_test();
+        let live = run_key(&cfg, RunKind::Migration, "lbm", "x");
+        let dead = run_key(&cfg, RunKind::Migration, "mcf", "x");
+        let blob = ramp_sim::codec::encode_framed(CHECKPOINT_KIND, CHECKPOINT_VERSION, &[7; 16]);
+        store.store_run(&live, &sample_run());
+        store.store_checkpoint(&live, 1, &blob);
+        store.store_checkpoint(&dead, 1, &blob);
+        store.store_checkpoint(&dead, 2, &blob);
+
+        let report = store.scrub();
+        assert_eq!(report.orphaned, 2);
+        assert_eq!(report.quarantined, 0);
+        assert!(store.list_checkpoints(&dead).is_empty());
+        assert_eq!(store.list_checkpoints(&live).len(), 1);
+        // The reclamation is durable: a reopen agrees.
+        let dir = store.dir().to_path_buf();
+        drop(store);
+        let store = RunStore::open_wal(&dir).unwrap();
+        assert!(store.list_checkpoints(&dead).is_empty());
+        assert_eq!(store.list_checkpoints(&live).len(), 1);
+    }
+
+    #[test]
+    fn verify_is_read_only_and_classifies_damage() {
+        let store = test_store();
+        let run = sample_run();
+        let key = run_key(&SystemConfig::smoke_test(), RunKind::Static, "lbm", "x");
+        store.store_run(&key, &run);
+        assert!(store.verify().ok());
+        let path = store.path_for(&key, "run");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let report = store.verify();
+        assert_eq!(report.mode, StoreMode::Files);
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.valid, 0);
+        assert_eq!(report.errors.len(), 1);
+        // Read-only: the damaged file is still in place (scrub heals).
+        assert!(path.exists());
     }
 
     #[test]

@@ -51,6 +51,8 @@ fn start(tag: &str, chaos: Option<Arc<Chaos>>) -> (SocketAddr, JoinHandle<()>) {
             queue_capacity: 16,
             request_timeout: Duration::from_secs(10),
             deadline: Duration::from_secs(60),
+            restart_limit: 6,
+            restart_backoff: Duration::from_millis(5),
             store: Some(store),
             chaos,
         },
@@ -236,6 +238,8 @@ fn stale_queued_jobs_expire_with_a_classified_state() {
             queue_capacity: 8,
             request_timeout: Duration::from_secs(10),
             deadline: Duration::from_millis(1),
+            restart_limit: 3,
+            restart_backoff: Duration::from_millis(10),
             store: Some(scratch_store("expire")),
             chaos: None,
         },

@@ -1,0 +1,257 @@
+//! Property tests for the bounded job queue: the 429 backpressure path
+//! interleaved with job deadlines.
+//!
+//! The server's admission story is `try_push` → `Full` → HTTP 429 with a
+//! retry-after hint, and every accepted job carries a deadline that the
+//! dispatcher checks when it finally pops the job. These properties drive
+//! that whole loop with seeded random interleavings of arrivals, batch
+//! pops, clock advances, 429 retries and shutdown, and assert the
+//! invariants the server relies on:
+//!
+//! * `Full` is returned **exactly** when the queue is at capacity, and
+//!   `Closed` exactly after `close()` — never any other time.
+//! * accepted == completed + expired + still-queued (no job is lost or
+//!   duplicated, including jobs retried after a 429).
+//! * pops preserve FIFO admission order.
+//! * a 429'd client that waits for the dispatcher to free a slot (the
+//!   retry-after contract) always gets in, as long as the queue is open.
+//! * after `close()` the backlog drains in order and then `pop_batch`
+//!   reports end-of-queue.
+
+use ramp_serve::queue::{BoundedQueue, PushError};
+use ramp_sim::check::check_n;
+
+/// A queued job as the property model sees it: admission ticket plus the
+/// virtual-clock deadline it was accepted with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Job {
+    seq: u64,
+    deadline: u64,
+}
+
+#[test]
+fn full_and_closed_are_exact_and_no_job_is_lost() {
+    check_n("queue full/closed exactness + conservation", 192, |g| {
+        let capacity = g.usize_in(1, 9);
+        let q = BoundedQueue::new(capacity);
+        let horizon = g.u64_in(8, 40);
+
+        let mut clock = 0u64;
+        let mut next_seq = 0u64;
+        let mut accepted: Vec<Job> = Vec::new(); // admission order
+        let mut popped: Vec<Job> = Vec::new();
+        let mut completed = 0u64;
+        let mut expired = 0u64;
+        let mut rejected_429 = 0u64;
+        let mut closed = false;
+
+        let steps = g.usize_in(10, 120);
+        for _ in 0..steps {
+            match g.u64_below(10) {
+                // Arrival: a client submits a job with a deadline.
+                0..=4 => {
+                    let job = Job {
+                        seq: next_seq,
+                        deadline: clock + g.u64_in(0, horizon),
+                    };
+                    let depth_before = q.len();
+                    match q.try_push(job) {
+                        Ok(()) => {
+                            assert!(!closed, "push accepted after close");
+                            assert!(
+                                depth_before < capacity,
+                                "push accepted at depth {depth_before} with capacity {capacity}"
+                            );
+                            accepted.push(job);
+                            next_seq += 1;
+                        }
+                        Err(PushError::Full) => {
+                            assert!(!closed, "Full reported after close (must be Closed)");
+                            assert_eq!(
+                                depth_before, capacity,
+                                "429 at depth {depth_before} but capacity is {capacity}"
+                            );
+                            rejected_429 += 1;
+                        }
+                        Err(PushError::Closed) => {
+                            assert!(closed, "Closed reported while the queue was open");
+                        }
+                    }
+                }
+                // Dispatch: the worker drains a batch and applies the
+                // deadline check the server performs per job.
+                5..=7 => {
+                    if q.is_empty() {
+                        continue; // pop_batch would block; model stays single-threaded
+                    }
+                    let max = g.usize_in(1, capacity + 2);
+                    let batch = q.pop_batch(max).expect("non-empty queue yielded None");
+                    assert!(!batch.is_empty() && batch.len() <= max);
+                    for job in batch {
+                        if job.deadline < clock {
+                            expired += 1;
+                        } else {
+                            completed += 1;
+                        }
+                        popped.push(job);
+                    }
+                }
+                // Time passes; queued jobs may drift past their deadline.
+                8 => clock += g.u64_in(1, horizon),
+                // Shutdown (at most once per case).
+                _ => {
+                    if !closed && g.u64_below(4) == 0 {
+                        q.close();
+                        closed = true;
+                    }
+                }
+            }
+        }
+
+        // Drain whatever is still queued (close first so the final
+        // pop_batch can report end-of-queue rather than block).
+        if !closed {
+            q.close();
+        }
+        while let Some(batch) = q.pop_batch(capacity) {
+            for job in batch {
+                if job.deadline < clock {
+                    expired += 1;
+                } else {
+                    completed += 1;
+                }
+                popped.push(job);
+            }
+        }
+
+        // Conservation: every accepted job surfaced exactly once, and
+        // nothing the queue never accepted ever came out of it.
+        assert_eq!(
+            accepted.len() as u64,
+            completed + expired,
+            "accepted={} completed={completed} expired={expired} (429s={rejected_429})",
+            accepted.len()
+        );
+        // FIFO: pops reproduce the admission order byte-for-byte.
+        assert_eq!(popped, accepted, "pop order diverged from admission order");
+    });
+}
+
+#[test]
+fn retry_after_always_lands_once_a_slot_frees() {
+    check_n("429 retry lands after dispatcher frees a slot", 128, |g| {
+        let capacity = g.usize_in(1, 6);
+        let q = BoundedQueue::new(capacity);
+
+        // Fill to the brim, confirm the 429.
+        for seq in 0..capacity as u64 {
+            q.try_push(Job { seq, deadline: 10 }).unwrap();
+        }
+        let shed = Job {
+            seq: capacity as u64,
+            deadline: 10,
+        };
+        assert_eq!(q.try_push(shed), Err(PushError::Full));
+
+        // The retry-after contract: once the dispatcher pops *anything*,
+        // an immediate retry of the shed job must be accepted.
+        let freed = g.usize_in(1, capacity + 1);
+        let batch = q.pop_batch(freed).unwrap();
+        assert!(!batch.is_empty());
+        assert!(
+            q.try_push(shed).is_ok(),
+            "retry refused although {} slot(s) freed",
+            batch.len()
+        );
+
+        // And the retried job keeps its FIFO position behind the survivors.
+        let mut rest = Vec::new();
+        q.close();
+        while let Some(b) = q.pop_batch(capacity) {
+            rest.extend(b);
+        }
+        assert_eq!(rest.last(), Some(&shed), "retried job lost its place");
+        let mut seqs: Vec<u64> = batch.iter().chain(&rest).map(|j| j.seq).collect();
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(seqs, sorted, "interleaved pops broke FIFO order");
+        seqs.dedup();
+        assert_eq!(
+            seqs.len(),
+            capacity + 1,
+            "a job was lost or duplicated across the retry"
+        );
+    });
+}
+
+#[test]
+fn fifo_makes_deadline_expiry_monotone_across_admission_order() {
+    check_n("FIFO + monotone clock => monotone expiry", 128, |g| {
+        let capacity = g.usize_in(2, 8);
+        let q = BoundedQueue::new(capacity);
+
+        // Admit a burst at t=0 with varied per-job patience.
+        let jobs: Vec<Job> = (0..g.u64_in(2, capacity as u64 + 1))
+            .map(|seq| Job {
+                seq,
+                deadline: g.u64_in(0, 12),
+            })
+            .collect();
+        for job in &jobs {
+            q.try_push(*job).unwrap();
+        }
+
+        // Drain in small batches with the clock ticking between pops,
+        // recording the virtual time each job reached the dispatcher.
+        let mut clock = 0u64;
+        let mut seen: Vec<(Job, u64)> = Vec::new();
+        q.close();
+        loop {
+            clock += g.u64_in(0, 8);
+            match q.pop_batch(g.usize_in(1, 4)) {
+                Some(batch) => seen.extend(batch.into_iter().map(|j| (j, clock))),
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), jobs.len());
+
+        // FIFO means dispatch times are non-decreasing in admission
+        // order...
+        assert_eq!(
+            seen.iter().map(|(j, _)| *j).collect::<Vec<_>>(),
+            jobs,
+            "drain diverged from admission order"
+        );
+        for pair in seen.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "later-admitted job dispatched earlier"
+            );
+        }
+        // ...so expiry is monotone: once job i expires, every job behind
+        // it with equal-or-less patience must expire too. A queue that
+        // reordered or parked jobs would break this, and the server's
+        // expired/done split depends on it being true.
+        for i in 0..seen.len() {
+            let (ji, ti) = seen[i];
+            if ji.deadline >= ti {
+                continue; // i made its deadline
+            }
+            for (jj, tj) in &seen[i + 1..] {
+                if jj.deadline <= ji.deadline {
+                    assert!(
+                        jj.deadline < *tj,
+                        "job {} expired but later job {} with deadline {} <= {} did not",
+                        ji.seq,
+                        jj.seq,
+                        jj.deadline,
+                        ji.deadline
+                    );
+                }
+            }
+        }
+    });
+}

@@ -41,6 +41,8 @@ fn full_smoke_choreography() {
         queue_capacity: 1,
         request_timeout: Duration::from_secs(10),
         deadline: Duration::from_secs(60),
+        restart_limit: 3,
+        restart_backoff: Duration::from_millis(10),
         store: Some(scratch_store("choreo")),
         chaos: None,
     });
@@ -58,6 +60,8 @@ fn bad_requests_get_400s_and_404s() {
         queue_capacity: 4,
         request_timeout: Duration::from_secs(10),
         deadline: Duration::from_secs(60),
+        restart_limit: 3,
+        restart_backoff: Duration::from_millis(10),
         store: Some(scratch_store("errors")),
         chaos: None,
     });
@@ -89,6 +93,8 @@ fn stats_track_store_and_queue_counters() {
         queue_capacity: 8,
         request_timeout: Duration::from_secs(10),
         deadline: Duration::from_secs(60),
+        restart_limit: 3,
+        restart_backoff: Duration::from_millis(10),
         store: Some(scratch_store("stats")),
         chaos: None,
     });
@@ -133,6 +139,8 @@ fn shutdown_waits_for_inflight_jobs() {
         queue_capacity: 4,
         request_timeout: Duration::from_secs(30),
         deadline: Duration::from_secs(60),
+        restart_limit: 3,
+        restart_backoff: Duration::from_millis(10),
         store: Some(scratch_store("drain")),
         chaos: None,
     });

@@ -1,0 +1,448 @@
+//! Kill-and-replay matrix for the WAL-backed run store.
+//!
+//! Every cell simulates one crash mode the durability design (DESIGN.md
+//! §11) claims to survive — a torn tail from a kill mid-append, a bit
+//! flip inside a committed segment, a corrupted manifest, and seeded
+//! chaos faults on the append path itself — then reopens the store and
+//! holds it to one invariant: **every record acked before the crash is
+//! byte-identical after replay, and everything else is classified**
+//! (truncated-and-counted or quarantined-and-counted), never silently
+//! wrong. The matrix runs serially and sharded over four worker threads
+//! of the `ramp_sim::exec` executor, mirroring `RAMP_THREADS=1/4` in the
+//! CI golden stages.
+//!
+//! A second family proves compaction preserves every live key
+//! byte-for-byte, is crash-safe when its manifest swap is injected to
+//! fail, and that a supervised multi-worker server over a WAL store
+//! survives whole-worker kills with a clean offline verify afterwards.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ramp_avf::{PageStats, StatsTable};
+use ramp_core::config::SystemConfig;
+use ramp_core::system::RunResult;
+use ramp_serve::client::Client;
+use ramp_serve::server::{Server, ServerConfig};
+use ramp_serve::store::{run_key, RunKind, RunStore, StoreMode};
+use ramp_serve::wire;
+use ramp_sim::chaos::{Chaos, FaultKind};
+use ramp_sim::codec::decode_framed_prefix;
+use ramp_sim::exec::parallel_map;
+use ramp_sim::telemetry::{Snapshot, Stat};
+use ramp_sim::units::PageId;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ramp-walrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small fully-populated result whose bytes vary with `salt`, so a
+/// byte-identity check on one key can never pass by matching another.
+fn sample_run(workload: &str, salt: u64) -> RunResult {
+    let mut telemetry = Snapshot::default();
+    telemetry.insert("system", "instructions", Stat::Counter(1_000 + salt));
+    RunResult {
+        workload: workload.into(),
+        policy: "wal-matrix".into(),
+        ipc: 1.0 + salt as f64 / 7.0,
+        per_core_ipc: vec![1.0, 0.5 + salt as f64],
+        ser_fit: 100.0 + salt as f64,
+        ser_ddr_only_fit: 1.0,
+        cycles: 10_000 + salt,
+        instructions: 1_000 + salt,
+        mpki: 2.5,
+        hbm_accesses: 40 + salt,
+        ddr_accesses: 11,
+        migrations: salt % 5,
+        mean_read_latency: (80.0, 200.0),
+        table: StatsTable::from_stats(
+            vec![PageStats {
+                page: PageId(salt),
+                reads: salt,
+                writes: 2,
+                ace_hbm: 10,
+                ace_ddr: 5,
+                avf: 0.25,
+            }],
+            10_000 + salt,
+        ),
+        telemetry,
+    }
+}
+
+fn keyed(cfg: &SystemConfig, i: u64) -> (String, RunResult) {
+    let workload = format!("wl{i}");
+    let key = run_key(cfg, RunKind::Migration, &workload, "wal-matrix");
+    (key, sample_run(&workload, i))
+}
+
+fn wal_dir(store: &RunStore) -> PathBuf {
+    store.dir().join("wal")
+}
+
+/// Segment files currently on disk, in id order.
+fn seg_files(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".wal"))
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Byte offsets of each framed record inside one segment.
+fn record_offsets(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let (_, consumed) = decode_framed_prefix(
+            &bytes[at..],
+            wire::KIND_WAL_RECORD,
+            ramp_serve::wal::WAL_VERSION,
+        )
+        .expect("intact segment decodes");
+        offsets.push((at, consumed));
+        at += consumed;
+    }
+    offsets
+}
+
+/// Checks every populated key against the reopened store: loaded values
+/// must be byte-identical to what was written; missing values are only
+/// acceptable when `allow_missing` (the crash mode classifies them).
+/// Returns how many keys survived.
+fn check_byte_identity(
+    store: &RunStore,
+    written: &[(String, RunResult)],
+    allow_missing: bool,
+    ctx: &str,
+) -> usize {
+    let mut present = 0usize;
+    for (key, run) in written {
+        match store.load_run(key) {
+            Some(loaded) => {
+                assert_eq!(
+                    wire::encode_run(&loaded),
+                    wire::encode_run(run),
+                    "{ctx}: key {key} replayed with different bytes"
+                );
+                present += 1;
+            }
+            None => assert!(allow_missing, "{ctx}: acked key {key} vanished"),
+        }
+    }
+    present
+}
+
+/// One crash mode of the matrix.
+struct Cell {
+    name: &'static str,
+    seed: u64,
+}
+
+const CELLS: &[Cell] = &[
+    Cell {
+        name: "torn-tail",
+        seed: 3,
+    },
+    Cell {
+        name: "segment-flip",
+        seed: 5,
+    },
+    Cell {
+        name: "manifest-corrupt",
+        seed: 7,
+    },
+    Cell {
+        name: "append-chaos",
+        seed: 11,
+    },
+];
+
+fn exercise(cell: &Cell, threads_tag: &str) {
+    let cfg = SystemConfig::smoke_test();
+    let dir = fresh_dir(&format!("{}-{threads_tag}", cell.name));
+    let ctx = format!("{}@{threads_tag}", cell.name);
+
+    match cell.name {
+        // Kill mid-append: the last record's frame is cut short on disk.
+        // Replay must truncate it (classified as torn, not quarantined),
+        // keep every earlier record byte-identical, and verify clean.
+        "torn-tail" => {
+            let store = RunStore::open_wal(&dir).unwrap();
+            let written: Vec<_> = (0..8).map(|i| keyed(&cfg, i)).collect();
+            for (key, run) in &written {
+                assert!(store.store_run(key, run), "{ctx}: populate failed");
+            }
+            let wdir = wal_dir(&store);
+            drop(store);
+            let seg = seg_files(&wdir).pop().expect("one live segment");
+            let intact = std::fs::read(&seg).unwrap();
+            let offsets = record_offsets(&intact);
+            let &(last_at, last_len) = offsets.last().unwrap();
+            // Three seeded cuts inside the final frame: header, body, and
+            // one byte short of complete.
+            for cut_pick in 0..3u64 {
+                let offset = ((cell.seed + cut_pick * 13) % (last_len as u64 - 1)) as usize;
+                let cut = last_at + 1 + offset;
+                std::fs::write(&seg, &intact[..cut]).unwrap();
+                let store = RunStore::open_wal(&dir).unwrap();
+                let replay = store.replay_report().unwrap();
+                assert_eq!(replay.torn_truncated, 1, "{ctx}: cut at {cut}");
+                assert_eq!(replay.quarantined, 0, "{ctx}: torn tail misclassified");
+                let present = check_byte_identity(&store, &written, true, &ctx);
+                assert_eq!(present, written.len() - 1, "{ctx}: wrong survivor count");
+                assert!(store.verify().ok(), "{ctx}: {}", store.verify());
+                drop(store);
+                // Replay healed (truncated) the file; restore the intact
+                // bytes for the next cut.
+                std::fs::write(&seg, &intact).unwrap();
+            }
+        }
+        // A flipped byte inside a committed record: the damaged record
+        // and the remainder of its segment are quarantined (classified),
+        // everything before it is byte-identical, and nothing loads
+        // wrong bytes.
+        "segment-flip" => {
+            let store = RunStore::open_wal(&dir).unwrap();
+            let written: Vec<_> = (0..8).map(|i| keyed(&cfg, i)).collect();
+            for (key, run) in &written {
+                assert!(store.store_run(key, run), "{ctx}: populate failed");
+            }
+            let wdir = wal_dir(&store);
+            drop(store);
+            let seg = seg_files(&wdir).pop().expect("one live segment");
+            let intact = std::fs::read(&seg).unwrap();
+            let offsets = record_offsets(&intact);
+            let (at, len) = offsets[(cell.seed % offsets.len() as u64) as usize];
+            let mut bad = intact.clone();
+            // Flip one payload byte (offset 21 clears the frame header).
+            bad[at + 21 + (cell.seed % (len as u64 - 29)) as usize] ^= 0x20;
+            std::fs::write(&seg, &bad).unwrap();
+
+            let store = RunStore::open_wal(&dir).unwrap();
+            let replay = store.replay_report().unwrap();
+            assert!(replay.quarantined >= 1, "{ctx}: flip not quarantined");
+            let present = check_byte_identity(&store, &written, true, &ctx);
+            assert!(
+                present < written.len(),
+                "{ctx}: a flipped record cannot survive"
+            );
+            assert!(store.verify().ok(), "{ctx}: {}", store.verify());
+        }
+        // A corrupted manifest: the next open quarantines it and rebuilds
+        // the segment list by scanning, losing nothing.
+        "manifest-corrupt" => {
+            let store = RunStore::open_wal(&dir).unwrap();
+            let written: Vec<_> = (0..8).map(|i| keyed(&cfg, i)).collect();
+            for (key, run) in &written {
+                assert!(store.store_run(key, run), "{ctx}: populate failed");
+            }
+            let wdir = wal_dir(&store);
+            drop(store);
+            let manifest = wdir.join("MANIFEST");
+            let mut bytes = std::fs::read(&manifest).unwrap();
+            let mid = (cell.seed % bytes.len() as u64) as usize;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&manifest, &bytes).unwrap();
+
+            let store = RunStore::open_wal(&dir).unwrap();
+            let replay = store.replay_report().unwrap();
+            assert!(replay.manifest_rebuilt, "{ctx}: manifest not rebuilt");
+            assert_eq!(
+                check_byte_identity(&store, &written, false, &ctx),
+                written.len()
+            );
+            assert!(store.verify().ok(), "{ctx}: {}", store.verify());
+        }
+        // Seeded io faults on the live append path (failed appends, torn
+        // appends that poison the handle, failed manifest swaps): only
+        // acked writes count, and every one of them replays identically.
+        "append-chaos" => {
+            let chaos = Arc::new(Chaos::from_spec(cell.seed, "io=0.45").unwrap());
+            let store = RunStore::open_wal(&dir)
+                .unwrap()
+                .with_chaos(Some(Arc::clone(&chaos)));
+            let written: Vec<_> = (0..32).map(|i| keyed(&cfg, i)).collect();
+            let mut acked = Vec::new();
+            for (key, run) in &written {
+                if store.store_run(key, run) {
+                    acked.push((key.clone(), run.clone()));
+                }
+            }
+            assert!(chaos.rolls(FaultKind::Io) > 0, "{ctx}: chaos never rolled");
+            drop(store);
+
+            let store = RunStore::open_wal(&dir).unwrap();
+            assert_eq!(
+                check_byte_identity(&store, &acked, false, &ctx),
+                acked.len(),
+                "{ctx}: an acked write went missing"
+            );
+            assert!(store.verify().ok(), "{ctx}: {}", store.verify());
+        }
+        other => panic!("unknown cell {other}"),
+    }
+}
+
+#[test]
+fn kill_and_replay_matrix_single_thread() {
+    for cell in CELLS {
+        exercise(cell, "t1");
+    }
+}
+
+#[test]
+fn kill_and_replay_matrix_four_threads() {
+    parallel_map(4, CELLS.iter().collect::<Vec<_>>(), |_, cell| {
+        exercise(cell, "t4")
+    });
+}
+
+#[test]
+fn compaction_preserves_live_keys_and_survives_injected_crash() {
+    let cfg = SystemConfig::smoke_test();
+    let dir = fresh_dir("compact");
+    let store = RunStore::open_wal(&dir).unwrap();
+    assert_eq!(store.mode(), StoreMode::Wal);
+
+    // Live data plus garbage to reclaim: overwritten runs and a removed
+    // checkpoint trail.
+    let written: Vec<_> = (0..10).map(|i| keyed(&cfg, i)).collect();
+    for (key, run) in &written {
+        assert!(store.store_run(key, &sample_run("stale", 999)));
+        assert!(store.store_run(key, run));
+    }
+    let (dead_key, _) = keyed(&cfg, 0);
+    for epoch in 1..=4 {
+        let blob = ramp_sim::codec::encode_framed(
+            ramp_core::system::CHECKPOINT_KIND,
+            ramp_core::system::CHECKPOINT_VERSION,
+            &[epoch as u8; 32],
+        );
+        assert!(store.store_checkpoint(&dead_key, epoch, &blob));
+    }
+    assert_eq!(store.remove_checkpoints(&dead_key), 4);
+
+    // A compaction whose manifest swap is injected to fail must change
+    // nothing: the old segments stay live.
+    let chaos = Arc::new(Chaos::from_spec(17, "io=1.0").unwrap());
+    let store = store.with_chaos(Some(chaos));
+    assert!(
+        store.compact().unwrap().is_err(),
+        "io=1.0 must fail the swap"
+    );
+    let store = store.with_chaos(None);
+    assert_eq!(
+        check_byte_identity(&store, &written, false, "compact-crash"),
+        written.len()
+    );
+    assert!(store.verify().ok(), "{}", store.verify());
+
+    // The real pass drops the dead records and preserves live bytes.
+    let report = store.compact().unwrap().unwrap();
+    assert!(
+        report.bytes_after < report.bytes_before,
+        "compaction reclaimed nothing: {report}"
+    );
+    assert_eq!(
+        check_byte_identity(&store, &written, false, "compacted"),
+        written.len()
+    );
+    assert!(store.verify().ok(), "{}", store.verify());
+
+    // And the compacted log replays identically on a cold open.
+    drop(store);
+    let store = RunStore::open_wal(&dir).unwrap();
+    assert_eq!(
+        check_byte_identity(&store, &written, false, "compacted-reopen"),
+        written.len()
+    );
+    assert!(store.list_checkpoints(&keyed(&cfg, 0).0).is_empty());
+    assert!(store.verify().ok(), "{}", store.verify());
+}
+
+#[test]
+fn supervised_workers_survive_kills_over_a_wal_store() {
+    // Whole-worker kills (`server.worker` panics escape the per-job
+    // isolation) against a WAL-backed store: the supervisor requeues and
+    // restarts, the drain terminates, no panic escapes the server, and
+    // the store verifies clean offline afterwards.
+    let dir = fresh_dir("server");
+    let chaos = Arc::new(Chaos::from_spec(29, "panic=0.5").unwrap());
+    let store = RunStore::open_wal(&dir)
+        .unwrap()
+        .with_chaos(Some(Arc::clone(&chaos)));
+    let sim = SystemConfig {
+        insts_per_core: 20_000,
+        ..SystemConfig::smoke_test()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            sim: sim.clone(),
+            workers: 2,
+            queue_capacity: 16,
+            request_timeout: Duration::from_secs(10),
+            deadline: Duration::from_secs(60),
+            restart_limit: 32,
+            restart_backoff: Duration::from_millis(1),
+            store: Some(store),
+            chaos: Some(Arc::clone(&chaos)),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr.to_string())
+        .with_retries(12)
+        .with_backoff(Duration::from_millis(2))
+        .with_retry_429(true);
+
+    let mut done = 0usize;
+    let mut classified = 0usize;
+    for wl in ["lbm", "mcf", "milc", "astar", "libquantum", "gcc"] {
+        let submit = client.submit(wl, "profile", "").unwrap();
+        match submit.status {
+            202 => {
+                let terminal = client.wait_done(submit.job.unwrap(), 120_000).unwrap();
+                match terminal.state() {
+                    Some("done") => done += 1,
+                    Some("failed") => {
+                        let err = &terminal.fields["error"];
+                        assert!(
+                            err.contains("panicked") || err.contains("attempt"),
+                            "unclassified failure: {err}"
+                        );
+                        classified += 1;
+                    }
+                    state => panic!("job ended {state:?}: {}", terminal.body),
+                }
+            }
+            200 => done += 1,
+            status => panic!("submit {wl} returned {status}"),
+        }
+    }
+    assert_eq!(done + classified, 6, "every job accounted for");
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("worker_deaths"), "{stats}");
+    client.shutdown().expect("drain survives worker kills");
+    handle.join().expect("no panic may escape the server");
+    assert!(
+        chaos.injected(FaultKind::Panic) > 0,
+        "panic chaos armed but never fired"
+    );
+
+    // Offline, without chaos: the WAL replays and verifies clean.
+    let store = RunStore::open_wal(&dir).unwrap();
+    assert!(store.verify().ok(), "{}", store.verify());
+}

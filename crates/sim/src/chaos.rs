@@ -28,6 +28,17 @@
 //! the RNG subsystem uses, so distinct sites draw decorrelated streams
 //! and the same seed always injects the same faults at the same rolls.
 //!
+//! Sites currently wired in (the set is open — a site is just a name):
+//! `store.read` / `store.write` / `store.corrupt` (file-mode run
+//! store), `wal.append` / `wal.torn` / `wal.manifest` /
+//! `wal.manifest.corrupt` (WAL-mode segments and manifest; `wal.torn`
+//! truncates the freshly appended record to simulate a kill mid-append,
+//! `wal.manifest.corrupt` damages the manifest bytes before the atomic
+//! swap), `sim.checkpoint` (kill after a durable checkpoint),
+//! `server.job` / `server.response` (dispatcher and response writer),
+//! and `server.worker` (panic a worker thread outside its per-job
+//! isolation so the supervisor's restart path is exercised).
+//!
 //! With `RAMP_CHAOS` unset, [`global`] returns `None` and every
 //! injection point compiles down to a branch-not-taken — the
 //! determinism and warm-start guarantees of the experiment binaries are

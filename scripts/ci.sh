@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Optional stage selector. Without an argument the full hermetic gate
-# below runs (build + tests + golden/warm/chaos/checkpoint smokes +
+# below runs (build + tests + golden/warm/chaos/checkpoint/wal smokes +
 # bench-smoke). `bench` and `bench-smoke` run the performance scorecard
 # gate on its own: re-measure the pinned kernel suite and the
 # all_experiments cold/warm probes, then compare against the committed
@@ -31,12 +31,70 @@ bench_stage() {
         target/release/scorecard check BENCH_0007.json --tol "$tol"
     fi
 }
+# WAL durability gate (`wal-smoke`, also part of the full pipeline): the
+# same experiment must survive the WAL backend's whole failure menu with
+# byte-identical stdout throughout — injected append faults on a cold
+# run, a warm replay, a kill mid-append (simulated by tearing the tail
+# off the newest segment), compaction — and `ramp-store verify` must
+# report the store sound after every recovery (see DESIGN.md §11).
+wal_smoke_stage() {
+    local dir run_env seg size
+    dir="$(mktemp -d)"
+    # shellcheck disable=SC2064
+    trap "rm -rf '$dir'" RETURN
+    run_env=(RAMP_STORE_DIR="$dir/store" RAMP_STORE_MODE=wal
+        RAMP_WORKLOADS=lbm,mcf RAMP_INSTS=100000 RAMP_STATS=json)
+
+    echo "==> wal-smoke: cold run under injected WAL faults (seed 404)"
+    env "${run_env[@]}" RAMP_CHAOS="404:io=0.2,slow=1ms" \
+        target/release/fig05_perf_static > "$dir/cold.out" 2>/dev/null
+    echo "==> wal-smoke: warm replay is byte-identical, verify clean"
+    env "${run_env[@]}" target/release/fig05_perf_static \
+        > "$dir/warm.out" 2> "$dir/warm.err"
+    cmp "$dir/cold.out" "$dir/warm.out" \
+        || { echo "FAIL: WAL warm stdout differs from cold stdout"; exit 1; }
+    target/release/ramp-store verify --dir "$dir/store" --mode wal \
+        || { echo "FAIL: WAL store not sound after warm replay"; exit 1; }
+
+    echo "==> wal-smoke: kill mid-append (torn segment tail), reopen heals"
+    seg="$(ls "$dir/store/wal"/seg-*.wal | sort | tail -n1)"
+    size="$(wc -c < "$seg")"
+    [ "$size" -gt 9 ] || { echo "FAIL: newest WAL segment too small to tear"; exit 1; }
+    head -c "$((size - 9))" "$seg" > "$seg.torn" && mv "$seg.torn" "$seg"
+    env "${run_env[@]}" target/release/fig05_perf_static \
+        > "$dir/healed.out" 2>/dev/null
+    cmp "$dir/cold.out" "$dir/healed.out" \
+        || { echo "FAIL: stdout differs after torn-tail replay"; exit 1; }
+    target/release/ramp-store verify --dir "$dir/store" --mode wal \
+        || { echo "FAIL: WAL store not sound after torn-tail recovery"; exit 1; }
+
+    echo "==> wal-smoke: compaction preserves every fetch byte-for-byte"
+    target/release/ramp-store compact --dir "$dir/store" \
+        || { echo "FAIL: compaction failed"; exit 1; }
+    env "${run_env[@]}" target/release/fig05_perf_static \
+        > "$dir/compacted.out" 2> "$dir/compacted.err"
+    cmp "$dir/cold.out" "$dir/compacted.out" \
+        || { echo "FAIL: stdout differs after compaction"; exit 1; }
+    if grep -qE '^\[(profile|static)\]' "$dir/compacted.err"; then
+        echo "FAIL: post-compaction run simulated instead of hitting the WAL"
+        exit 1
+    fi
+    target/release/ramp-store verify --dir "$dir/store" --mode wal \
+        || { echo "FAIL: WAL store not sound after compaction"; exit 1; }
+}
 case "${1:-all}" in
 bench) bench_stage 0 1.6; exit 0 ;;
 bench-smoke) bench_stage 1 2.5; exit 0 ;;
+wal-smoke)
+    echo "==> cargo build --release (fig05_perf_static + ramp-store)"
+    cargo build --release --offline -p ramp-bench --bin fig05_perf_static
+    cargo build --release --offline -p ramp-serve --bin ramp-store
+    wal_smoke_stage
+    exit 0
+    ;;
 all) ;;
 *)
-    echo "usage: $0 [bench|bench-smoke]" >&2
+    echo "usage: $0 [bench|bench-smoke|wal-smoke]" >&2
     exit 2
     ;;
 esac
@@ -164,6 +222,9 @@ for _ in $(seq 1 100); do [ -s "$PORT_FILE2" ] && break; sleep 0.1; done
 [ -s "$PORT_FILE2" ] || { echo "FAIL: chaos server never wrote its port file"; exit 1; }
 target/release/ramp-client --addr "$(cat "$PORT_FILE2")" --retries 8 --backoff-ms 10 smoke
 wait "$SERVER_PID" || { echo "FAIL: chaos server exited non-zero"; exit 1; }
+
+# WAL durability gate (binaries already built above).
+wal_smoke_stage
 
 # Bench-smoke rides along with the full gate: the release binaries are
 # already built above, so this only costs the fast kernel suite plus
