@@ -1,96 +1,124 @@
-//! Interactive exploration CLI: run any workload under any policy or
-//! migration scheme and print the full result.
+//! Interactive exploration CLI: run any workload under any set of
+//! policies and print the results with their Pareto ranks.
 //!
 //! ```text
 //! cargo run --release -p ramp-bench --bin explore -- mix1 wr2
 //! cargo run --release -p ramp-bench --bin explore -- lbm cross-counter
-//! cargo run --release -p ramp-bench --bin explore -- astar annotations
+//! cargo run --release -p ramp-bench --bin explore -- astar perf-focused balanced annotations
 //! ```
+//!
+//! Each invocation is a one-workload sweep through `ramp_sweep`: every
+//! requested policy executes via the store-deduped engine (a repeated
+//! exploration simulates nothing) and the rows come back with dominance
+//! ranks, so comparing several policies shows at a glance which are
+//! Pareto-optimal. The DDR-only profile is always included as the
+//! baseline row. Legacy short policy names (`perf`, `rel`, `wr`, `wr2`)
+//! are still accepted.
 
-use ramp_bench::experiment_config;
-use ramp_core::migration::MigrationScheme;
-use ramp_core::placement::PlacementPolicy;
-use ramp_core::runner::{profile_workload, run_annotated, run_migration, run_static};
-use ramp_core::system::RunResult;
+use ramp_bench::{experiment_config, threads};
+use ramp_serve::store::RunStore;
+use ramp_sweep::engine;
+use ramp_sweep::spec::{parse_action, Strategy, SweepSpec};
 use ramp_trace::Workload;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: explore <workload> <policy>\n\
+        "usage: explore <workload> <policy> [policy...]\n\
          workloads: astar cactusADM lbm mcf milc soplex libquantum xsbench lulesh mix1..mix5\n\
-         policies : ddr-only perf rel balanced wr wr2 annotations perf-fc rel-fc cross-counter"
+         policies : ddr-only perf rel balanced wr wr2 annotations perf-fc rel-fc cross-counter\n\
+                    (or any sweep token: perf-focused, static:NAME, migration:NAME, profile)"
     );
     std::process::exit(2);
 }
 
-fn print_result(label: &str, r: &RunResult, baseline: Option<&RunResult>) {
-    println!("\n== {label} ==");
-    println!("  IPC           : {:.3}", r.ipc);
-    if let Some(b) = baseline {
-        println!(
-            "  vs DDR-only   : {:.2}x IPC, {:.1}x SER",
-            r.ipc / b.ipc,
-            r.ser_vs_ddr_only()
-        );
+/// Maps the legacy short names this CLI always accepted onto sweep
+/// policy tokens; everything else passes through to [`parse_action`].
+fn canonical(token: &str) -> &str {
+    match token {
+        "ddr-only" => "profile",
+        "perf" => "perf-focused",
+        "rel" => "rel-focused",
+        "wr" => "wr-ratio",
+        "wr2" => "wr2-ratio",
+        "annotations" => "annotated",
+        other => other,
     }
-    println!("  SER           : {:.3e} FIT", r.ser_fit);
-    println!("  MPKI          : {:.1}", r.mpki);
-    println!("  HBM accesses  : {}", r.hbm_accesses);
-    println!("  DDR accesses  : {}", r.ddr_accesses);
-    println!("  migrations    : {}", r.migrations);
-    println!(
-        "  read latency  : HBM {:.0} cy, DDR {:.0} cy",
-        r.mean_read_latency.0, r.mean_read_latency.1
-    );
-    println!("  cycles        : {}", r.cycles);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() != 2 {
+    if args.len() < 2 {
         usage();
     }
     let Some(workload) = Workload::from_name(&args[0]) else {
         eprintln!("unknown workload {}", args[0]);
         usage();
     };
-    let cfg = experiment_config();
-    eprintln!("profiling {workload} (DDR-only)...");
-    let profile = profile_workload(&cfg, &workload);
-    print_result("ddr-only (profiling pass)", &profile, None);
-
-    let result = match args[1].as_str() {
-        "ddr-only" => return,
-        "perf" => run_static(
-            &cfg,
-            &workload,
-            PlacementPolicy::PerfFocused,
-            &profile.table,
-        ),
-        "rel" => run_static(&cfg, &workload, PlacementPolicy::RelFocused, &profile.table),
-        "balanced" => run_static(&cfg, &workload, PlacementPolicy::Balanced, &profile.table),
-        "wr" => run_static(&cfg, &workload, PlacementPolicy::WrRatio, &profile.table),
-        "wr2" => run_static(&cfg, &workload, PlacementPolicy::Wr2Ratio, &profile.table),
-        "perf-fc" => run_migration(&cfg, &workload, MigrationScheme::PerfFc, &profile.table),
-        "rel-fc" => run_migration(&cfg, &workload, MigrationScheme::RelFc, &profile.table),
-        "cross-counter" => run_migration(
-            &cfg,
-            &workload,
-            MigrationScheme::CrossCounter,
-            &profile.table,
-        ),
-        "annotations" => {
-            let (r, set) = run_annotated(&cfg, &workload, &profile.table);
-            println!("\nannotated structures ({}):", set.count());
-            for (b, n) in &set.structures {
-                println!("  {b}::{n}");
+    let mut policies = vec![(
+        "profile".to_string(),
+        parse_action("profile").expect("profile token"),
+    )];
+    for raw in &args[1..] {
+        let token = canonical(raw);
+        match parse_action(token) {
+            Ok(action) => policies.push((token.to_string(), action)),
+            Err(e) => {
+                eprintln!("{e}");
+                usage();
             }
-            r
         }
-        other => {
-            eprintln!("unknown policy {other}");
-            usage();
-        }
+    }
+    let spec = SweepSpec {
+        name: "explore".to_string(),
+        strategy: Strategy::Grid,
+        seed: 0,
+        samples: 0,
+        rungs: 3,
+        base_label: "table1".to_string(),
+        base: experiment_config(),
+        workloads: vec![workload],
+        policies,
+        knobs: Vec::new(),
     };
-    print_result(&args[1], &result, Some(&profile));
+    let store = RunStore::from_env();
+    let run = engine::run_local(&spec, store.as_ref(), threads()).unwrap_or_else(|e| {
+        eprintln!("explore: {e}");
+        std::process::exit(1);
+    });
+
+    let ddr = run
+        .rows
+        .iter()
+        .find(|r| r.policy == "ddr-only")
+        .expect("profile row always present");
+    let ddr_ipc = ddr.ipc;
+    for (i, r) in run.rows.iter().enumerate() {
+        println!("\n== {}/{} ==", r.workload, r.policy);
+        println!("  IPC           : {:.3}", r.ipc);
+        if r.policy != "ddr-only" {
+            println!(
+                "  vs DDR-only   : {:.2}x IPC, {:.1}x SER",
+                r.ipc / ddr_ipc,
+                r.ser_vs_ddr_only
+            );
+        }
+        println!("  SER           : {:.3e} FIT", r.ser_fit);
+        println!("  MPKI          : {:.1}", r.mpki);
+        println!("  HBM accesses  : {}", r.hbm_accesses);
+        println!("  DDR accesses  : {}", r.ddr_accesses);
+        println!("  migrations    : {}", r.migrations);
+        println!(
+            "  mig rate      : {:.2} pages/Mcycle",
+            r.mig_pages_per_mcycle()
+        );
+        println!("  cycles        : {}", r.cycles);
+        println!(
+            "  pareto rank   : {}{}",
+            run.ranks[i],
+            if run.ranks[i] == 0 { " (frontier)" } else { "" }
+        );
+        println!("  store key     : {}", r.key);
+    }
+    // Volatile cache counters stay off the deterministic stdout.
+    eprintln!("{}", engine::summary_line(&run, store.as_ref()));
 }

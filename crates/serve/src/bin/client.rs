@@ -3,6 +3,7 @@
 //! ```text
 //! ramp-client [GLOBAL FLAGS] health
 //! ramp-client [GLOBAL FLAGS] submit WORKLOAD KIND [POLICY]
+//! ramp-client [GLOBAL FLAGS] submit-batch WORKLOAD:KIND[:POLICY] [...]
 //! ramp-client [GLOBAL FLAGS] job ID
 //! ramp-client [GLOBAL FLAGS] wait ID [TIMEOUT_MS]
 //! ramp-client [GLOBAL FLAGS] result KEY
@@ -43,7 +44,7 @@ use ramp_serve::client::{smoke_with, Client, ClientError};
 fn usage() -> ! {
     eprintln!(
         "usage: ramp-client [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--retry-429] \
-         health|submit|job|wait|result|stats|shutdown|smoke [args...]"
+         health|submit|submit-batch|job|wait|result|stats|shutdown|smoke [args...]"
     );
     std::process::exit(2);
 }
@@ -110,6 +111,43 @@ fn main() {
                 429 => 3,
                 _ => 1,
             });
+        }
+        "submit-batch" => {
+            // Each arg is WORKLOAD:KIND[:POLICY]; one request for all.
+            if rest.len() < 2 {
+                usage();
+            }
+            let mut specs = Vec::new();
+            for arg in &rest[1..] {
+                let mut parts = arg.splitn(3, ':');
+                let workload = parts.next().unwrap_or("").to_string();
+                let Some(kind) = parts.next().map(str::to_string) else {
+                    eprintln!("ramp-client: spec {arg:?} must be WORKLOAD:KIND[:POLICY]");
+                    usage();
+                };
+                let policy = parts.next().unwrap_or("").to_string();
+                specs.push((workload, kind, policy));
+            }
+            let batch = client.submit_batch(&specs).unwrap_or_else(|e| fail(e));
+            let mut rejected = false;
+            for (i, item) in batch.iter().enumerate() {
+                let mut line = format!("{i} state={}", item.state);
+                if let Some(job) = item.job {
+                    line.push_str(&format!(" job={job}"));
+                }
+                if let Some(key) = &item.key {
+                    line.push_str(&format!(" key={key}"));
+                }
+                if item.cached {
+                    line.push_str(" cached=true");
+                }
+                if let Some(err) = &item.error {
+                    line.push_str(&format!(" error={err}"));
+                    rejected = true;
+                }
+                println!("{line}");
+            }
+            std::process::exit(if rejected { 3 } else { 0 });
         }
         "job" => {
             let id = arg(1).parse().unwrap_or_else(|_| usage());

@@ -1,6 +1,7 @@
 //! `ramp-store` — offline maintenance for the persistent run store.
 //!
 //! ```text
+//! ramp-store stats   [--dir DIR] [--mode files|wal]
 //! ramp-store scrub   [--dir DIR] [--mode files|wal]
 //! ramp-store ckpt    [--dir DIR] [--mode files|wal] [--rm KEY]
 //! ramp-store verify  [--dir DIR] [--mode files|wal]
@@ -23,6 +24,10 @@
 //! [scrub] dir=target/ramp-store scanned=21 valid=20 quarantined=1 already=0 tmp=0 unknown=0 orphaned=0
 //! ```
 //!
+//! `stats` is read-only: one greppable line counting what the store
+//! holds (`[stats] dir=... mode=files runs=12 annotated=1 ...`) — the
+//! sweep CI stage uses it to prove a warm re-sweep added nothing.
+//!
 //! `ckpt` lists the checkpoint segments interrupted runs left behind
 //! (one `[ckpt] key=... epoch=... bytes=...` line per segment plus a
 //! summary), and `ckpt --rm KEY` deletes the trail of one run.
@@ -39,7 +44,8 @@
 use ramp_serve::store::{RunStore, StoreMode, DEFAULT_DIR, ENV_STORE_DIR, ENV_STORE_MODE};
 
 fn usage() -> ! {
-    eprintln!("usage: ramp-store scrub   [--dir DIR] [--mode files|wal]");
+    eprintln!("usage: ramp-store stats   [--dir DIR] [--mode files|wal]");
+    eprintln!("       ramp-store scrub   [--dir DIR] [--mode files|wal]");
     eprintln!("       ramp-store ckpt    [--dir DIR] [--mode files|wal] [--rm KEY]");
     eprintln!("       ramp-store verify  [--dir DIR] [--mode files|wal]");
     eprintln!("       ramp-store compact [--dir DIR]");
@@ -90,6 +96,10 @@ fn main() {
         }
     }
     match cmd.as_str() {
+        "stats" => {
+            let stats = open(&dir, mode).stats();
+            println!("[stats] dir={dir} {stats}");
+        }
         "scrub" => {
             let report = open(&dir, mode).scrub();
             println!("[scrub] dir={dir} {report}");

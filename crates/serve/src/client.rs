@@ -148,6 +148,24 @@ pub struct Submit {
     pub response: Response,
 }
 
+/// Outcome of one spec inside a `POST /submit-batch` response.
+#[derive(Clone, Debug)]
+pub struct BatchSubmit {
+    /// Per-spec state: `done` (served warm), `queued`, or `rejected`.
+    pub state: String,
+    /// Job id when the spec was queued.
+    pub job: Option<u64>,
+    /// Content-addressed run key, when known.
+    pub key: Option<String>,
+    /// True when the spec was answered from the store.
+    pub cached: bool,
+    /// Rejection reason (`queue_full`, a parse error, …).
+    pub error: Option<String>,
+    /// All fields of this spec's slice of the response, index prefix
+    /// stripped (cached entries carry the full run summary).
+    pub fields: BTreeMap<String, String>,
+}
+
 /// A client bound to one server address.
 #[derive(Clone, Debug)]
 pub struct Client {
@@ -315,6 +333,71 @@ impl Client {
             cached,
             response,
         })
+    }
+
+    /// `POST /submit-batch` with `(workload, kind, policy)` triples;
+    /// `policy` may be empty for `profile`/`annotated` runs.
+    ///
+    /// One request submits every spec and returns one [`BatchSubmit`]
+    /// per spec, in order — the round-trip saver the sweep engine's
+    /// remote fan-out uses. Like [`Client::submit`], safe to retry:
+    /// every spec is idempotent under its content-addressed key.
+    pub fn submit_batch(
+        &self,
+        specs: &[(String, String, String)],
+    ) -> Result<Vec<BatchSubmit>, ClientError> {
+        let mut w = ObjWriter::new();
+        w.u64("count", specs.len() as u64);
+        for (i, (workload, kind, policy)) in specs.iter().enumerate() {
+            w.str(&format!("{i}.workload"), workload)
+                .str(&format!("{i}.kind"), kind);
+            if !policy.is_empty() {
+                w.str(&format!("{i}.policy"), policy);
+            }
+        }
+        let response = self.request("POST", "/submit-batch", &w.finish())?;
+        if response.status != 200 {
+            return Err(ClientError::Protocol(format!(
+                "submit-batch returned {}: {}",
+                response.status, response.body
+            )));
+        }
+        let count: usize = response
+            .fields
+            .get("count")
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("submit-batch response without count".into()))?;
+        if count != specs.len() {
+            return Err(ClientError::Protocol(format!(
+                "submit-batch answered {count} specs for {} submitted",
+                specs.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let prefix = format!("{i}.");
+            let fields: BTreeMap<String, String> = response
+                .fields
+                .iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix(&prefix)
+                        .map(|rest| (rest.to_string(), v.clone()))
+                })
+                .collect();
+            let state = fields
+                .get("state")
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol(format!("spec {i} without a state")))?;
+            out.push(BatchSubmit {
+                state,
+                job: fields.get("job").and_then(|j| j.parse().ok()),
+                key: fields.get("key").cloned(),
+                cached: fields.get("cached").map(String::as_str) == Some("true"),
+                error: fields.get("error").cloned(),
+                fields,
+            });
+        }
+        Ok(out)
     }
 
     /// `GET /jobs/{id}`.

@@ -37,6 +37,7 @@
 //! |-------------------|-------------------------------------------------|
 //! | `GET /health`     | liveness + configured worker/queue geometry     |
 //! | `POST /runs`      | submit `{"workload","kind","policy"}`           |
+//! | `POST /submit-batch` | submit N specs at once (indexed flat fields) |
 //! | `GET /jobs/{id}`  | poll a submitted job                            |
 //! | `GET /runs/{key}` | fetch a stored result by content key            |
 //! | `GET /stats`      | full telemetry document (store, queues, workers)|
@@ -157,18 +158,24 @@ impl RunSummary {
     }
 
     fn write_fields(&self, w: &mut ObjWriter) {
-        w.str("key", &self.key)
-            .str("workload", &self.workload)
-            .str("policy", &self.policy)
-            .f64("ipc", self.ipc)
-            .f64("ser_fit", self.ser_fit)
-            .f64("ser_vs_ddr_only", self.ser_vs_ddr_only)
-            .u64("cycles", self.cycles)
-            .u64("instructions", self.instructions)
-            .f64("mpki", self.mpki)
-            .u64("hbm_accesses", self.hbm_accesses)
-            .u64("ddr_accesses", self.ddr_accesses)
-            .u64("migrations", self.migrations);
+        self.write_fields_prefixed(w, "");
+    }
+
+    /// Writes the summary fields under `prefix` (batch responses index
+    /// fields as `0.ipc`, `1.ipc`, … — the protocol stays flat).
+    fn write_fields_prefixed(&self, w: &mut ObjWriter, prefix: &str) {
+        w.str(&format!("{prefix}key"), &self.key)
+            .str(&format!("{prefix}workload"), &self.workload)
+            .str(&format!("{prefix}policy"), &self.policy)
+            .f64(&format!("{prefix}ipc"), self.ipc)
+            .f64(&format!("{prefix}ser_fit"), self.ser_fit)
+            .f64(&format!("{prefix}ser_vs_ddr_only"), self.ser_vs_ddr_only)
+            .u64(&format!("{prefix}cycles"), self.cycles)
+            .u64(&format!("{prefix}instructions"), self.instructions)
+            .f64(&format!("{prefix}mpki"), self.mpki)
+            .u64(&format!("{prefix}hbm_accesses"), self.hbm_accesses)
+            .u64(&format!("{prefix}ddr_accesses"), self.ddr_accesses)
+            .u64(&format!("{prefix}migrations"), self.migrations);
     }
 }
 
@@ -580,6 +587,10 @@ fn route(shared: &Shared, req: &Request) -> (u16, String, bool) {
             let (status, body) = submit(shared, &req.body);
             (status, body, false)
         }
+        ("POST", "/submit-batch") => {
+            let (status, body) = submit_batch(shared, &req.body);
+            (status, body, false)
+        }
         ("GET", path) if path.starts_with("/jobs/") => {
             let (status, body) = job_status(shared, &path["/jobs/".len()..]);
             (status, body, false)
@@ -615,18 +626,25 @@ fn health_body(shared: &Shared) -> String {
         .finish()
 }
 
-fn submit(shared: &Shared, body: &str) -> (u16, String) {
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return (503, error_body("shutting down"));
-    }
-    let fields = match parse_flat(body) {
-        Ok(f) => f,
-        Err(msg) => return (400, error_body(&msg)),
-    };
-    let get = |k: &str| fields.get(k).map(String::as_str).unwrap_or("");
-    let spec = match RunSpec::parse(get("workload"), get("kind"), get("policy")) {
+/// Outcome of submitting one run spec, shared by the single and batch
+/// submit endpoints so both have identical warm-path/queue semantics.
+enum SubmitOutcome {
+    /// The spec didn't parse.
+    Invalid(String),
+    /// Served warm from the store.
+    Cached { key: String, run: Box<RunResult> },
+    /// Routed to a worker queue.
+    Queued { id: u64, key: String },
+    /// The routed worker's queue is full (load shed).
+    QueueFull,
+    /// The routed worker's queue is closed.
+    Closed { alive: bool },
+}
+
+fn submit_one(shared: &Shared, workload: &str, kind: &str, policy: &str) -> SubmitOutcome {
+    let spec = match RunSpec::parse(workload, kind, policy) {
         Ok(spec) => spec,
-        Err(msg) => return (400, error_body(&msg)),
+        Err(msg) => return SubmitOutcome::Invalid(msg),
     };
     let key = spec.key(&shared.sim);
 
@@ -635,10 +653,10 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
         crate::store::RunKind::Annotated => s.load_annotated(&key).map(|(run, _)| run),
         _ => s.load_run(&key),
     }) {
-        let mut w = ObjWriter::new();
-        w.str("state", "done").bool("cached", true);
-        RunSummary::from_run(&key, &run).write_fields(&mut w);
-        return (200, w.finish());
+        return SubmitOutcome::Cached {
+            key,
+            run: Box::new(run),
+        };
     }
 
     shared.chaos_slow("server.queue");
@@ -653,6 +671,36 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
         Ok(()) => {
             shared.set_state(id, JobState::Queued);
             shared.accepted.fetch_add(1, Ordering::SeqCst);
+            SubmitOutcome::Queued { id, key }
+        }
+        Err(PushError::Full) => {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            SubmitOutcome::QueueFull
+        }
+        Err(PushError::Closed) => SubmitOutcome::Closed {
+            alive: slot.alive.load(Ordering::SeqCst),
+        },
+    }
+}
+
+fn submit(shared: &Shared, body: &str) -> (u16, String) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let fields = match parse_flat(body) {
+        Ok(f) => f,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let get = |k: &str| fields.get(k).map(String::as_str).unwrap_or("");
+    match submit_one(shared, get("workload"), get("kind"), get("policy")) {
+        SubmitOutcome::Invalid(msg) => (400, error_body(&msg)),
+        SubmitOutcome::Cached { key, run } => {
+            let mut w = ObjWriter::new();
+            w.str("state", "done").bool("cached", true);
+            RunSummary::from_run(&key, &run).write_fields(&mut w);
+            (200, w.finish())
+        }
+        SubmitOutcome::Queued { id, key } => {
             let body = ObjWriter::new()
                 .u64("job", id)
                 .str("state", "queued")
@@ -660,18 +708,79 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
                 .finish();
             (202, body)
         }
-        Err(PushError::Full) => {
-            shared.rejected.fetch_add(1, Ordering::SeqCst);
-            (429, error_body("queue_full"))
-        }
-        Err(PushError::Closed) => {
-            if slot.alive.load(Ordering::SeqCst) {
-                (503, error_body("shutting down"))
-            } else {
-                (503, error_body("worker unavailable"))
+        SubmitOutcome::QueueFull => (429, error_body("queue_full")),
+        SubmitOutcome::Closed { alive: true } => (503, error_body("shutting down")),
+        SubmitOutcome::Closed { alive: false } => (503, error_body("worker unavailable")),
+    }
+}
+
+/// Hard cap on specs per `POST /submit-batch` request (keeps one batch
+/// response within the client's read buffer and one request's work
+/// bounded).
+pub const MAX_BATCH: usize = 256;
+
+/// `POST /submit-batch`: N specs in one request, indexed flat fields
+/// (`count`, then `0.workload`/`0.kind`/`0.policy`, `1.…`). Each spec
+/// gets the exact single-submit treatment — warm store answer, queue, or
+/// shed — reported per index as `i.state` = `done`/`queued`/`rejected`
+/// plus the matching fields (`i.key` always present on done/queued, so
+/// a remote sweep learns every run key in one round trip).
+fn submit_batch(shared: &Shared, body: &str) -> (u16, String) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let fields = match parse_flat(body) {
+        Ok(f) => f,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let Some(count) = fields.get("count").and_then(|c| c.parse::<usize>().ok()) else {
+        return (400, error_body("count is required"));
+    };
+    if count == 0 || count > MAX_BATCH {
+        return (400, error_body(&format!("count must be 1..={MAX_BATCH}")));
+    }
+    let mut w = ObjWriter::new();
+    w.u64("count", count as u64);
+    for i in 0..count {
+        let get = |k: &str| {
+            fields
+                .get(&format!("{i}.{k}"))
+                .map(String::as_str)
+                .unwrap_or("")
+        };
+        let p = format!("{i}.");
+        match submit_one(shared, get("workload"), get("kind"), get("policy")) {
+            SubmitOutcome::Invalid(msg) => {
+                w.str(&format!("{p}state"), "rejected")
+                    .str(&format!("{p}error"), &msg);
+            }
+            SubmitOutcome::Cached { key, run } => {
+                w.str(&format!("{p}state"), "done")
+                    .bool(&format!("{p}cached"), true);
+                RunSummary::from_run(&key, &run).write_fields_prefixed(&mut w, &p);
+            }
+            SubmitOutcome::Queued { id, key } => {
+                w.str(&format!("{p}state"), "queued")
+                    .u64(&format!("{p}job"), id)
+                    .str(&format!("{p}key"), &key);
+            }
+            SubmitOutcome::QueueFull => {
+                w.str(&format!("{p}state"), "rejected")
+                    .str(&format!("{p}error"), "queue_full");
+            }
+            SubmitOutcome::Closed { alive } => {
+                w.str(&format!("{p}state"), "rejected").str(
+                    &format!("{p}error"),
+                    if alive {
+                        "shutting down"
+                    } else {
+                        "worker unavailable"
+                    },
+                );
             }
         }
     }
+    (200, w.finish())
 }
 
 fn job_status(shared: &Shared, id_str: &str) -> (u16, String) {

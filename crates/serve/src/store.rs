@@ -932,6 +932,42 @@ impl RunStore {
         report
     }
 
+    /// Counts what the store holds on disk right now, plus this
+    /// handle's live hit/miss/write counters — the one-line answer to
+    /// "did that sweep actually reuse the store?". Read-only.
+    pub fn stats(&self) -> StoreStats {
+        let m = &self.metrics;
+        let mut stats = StoreStats {
+            mode: self.mode(),
+            hits: m.hits.load(Ordering::Relaxed),
+            misses: m.misses.load(Ordering::Relaxed),
+            writes: m.writes.load(Ordering::Relaxed),
+            ..StoreStats::default()
+        };
+        if let Some(wal) = &self.wal {
+            stats.runs = wal.value_keys(wal::ValueKind::Run).len() as u64;
+            stats.annotated = wal.value_keys(wal::ValueKind::Annotated).len() as u64;
+            stats.checkpoints = wal.ckpt_keys().len() as u64;
+            return stats;
+        }
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".run") {
+                stats.runs += 1;
+            } else if name.ends_with(".ann") {
+                stats.annotated += 1;
+            } else if name.ends_with(".ckpt") {
+                stats.checkpoints += 1;
+            } else if name.ends_with(".quarantine") {
+                stats.quarantined += 1;
+            }
+        }
+        stats
+    }
+
     /// Exports the hit/miss/write/invalid counters into `scope` of `reg`.
     ///
     /// The caller chooses the exposure context; these counters must never
@@ -995,6 +1031,51 @@ impl std::fmt::Display for ScrubReport {
             self.tmp_removed,
             self.unknown,
             self.orphaned
+        )
+    }
+}
+
+/// What [`RunStore::stats`] counted: durable contents plus the calling
+/// handle's volatile hit/miss/write counters.
+///
+/// The `Display` form is the greppable `[stats]`-line payload the
+/// `ramp-store stats` subcommand prints — CI asserts "warm re-sweep
+/// performed zero simulations" from it rather than from wall-clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Which backend was counted.
+    pub mode: StoreMode,
+    /// Durable run entries (`.run` files / live WAL run records).
+    pub runs: u64,
+    /// Durable annotated entries.
+    pub annotated: u64,
+    /// Checkpoint trails (file mode counts segments, WAL mode counts
+    /// keys with a live checkpoint).
+    pub checkpoints: u64,
+    /// Quarantined entries (file mode only; WAL quarantines live
+    /// outside the segment set).
+    pub quarantined: u64,
+    /// This handle's cache hits since open (volatile).
+    pub hits: u64,
+    /// This handle's cache misses since open (volatile).
+    pub misses: u64,
+    /// This handle's completed writes since open (volatile).
+    pub writes: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mode={} runs={} annotated={} checkpoints={} quarantined={} hits={} misses={} writes={}",
+            self.mode.label(),
+            self.runs,
+            self.annotated,
+            self.checkpoints,
+            self.quarantined,
+            self.hits,
+            self.misses,
+            self.writes
         )
     }
 }

@@ -1,0 +1,133 @@
+//! Integration test of `POST /submit-batch`: one request carrying a mix
+//! of warm, cold and invalid specs comes back with per-index states —
+//! cached entries inline their full run summary (zero extra round trips
+//! on a warm remote sweep), queued entries carry job ids that drain to
+//! `done`, and bad specs are rejected without poisoning their batchmates.
+
+use std::time::Duration;
+
+use ramp_core::config::SystemConfig;
+use ramp_serve::client::Client;
+use ramp_serve::server::{Server, ServerConfig, MAX_BATCH};
+use ramp_serve::store::RunStore;
+
+fn scratch_store(tag: &str) -> RunStore {
+    let dir = std::env::temp_dir().join(format!("ramp-batch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    RunStore::open(dir).unwrap()
+}
+
+fn start(tag: &str) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            sim: SystemConfig {
+                insts_per_core: 40_000,
+                ..SystemConfig::smoke_test()
+            },
+            workers: 2,
+            queue_capacity: 8,
+            request_timeout: Duration::from_secs(10),
+            deadline: Duration::from_secs(60),
+            restart_limit: 3,
+            restart_backoff: Duration::from_millis(10),
+            store: Some(scratch_store(tag)),
+            chaos: None,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn spec(workload: &str, kind: &str, policy: &str) -> (String, String, String) {
+    (workload.to_string(), kind.to_string(), policy.to_string())
+}
+
+#[test]
+fn batch_mixes_warm_queued_and_rejected_specs() {
+    let (addr, handle) = start("mixed");
+    let client = Client::new(addr.to_string());
+
+    // Warm one spec the old way so the batch can answer it from the store.
+    let first = client.submit("astar", "profile", "").unwrap();
+    assert_eq!(first.status, 202);
+    let done = client.wait_done(first.job.unwrap(), 120_000).unwrap();
+    assert_eq!(done.state(), Some("done"));
+
+    let batch = client
+        .submit_batch(&[
+            spec("astar", "profile", ""),        // warm -> done inline
+            spec("astar", "static", "balanced"), // cold -> queued
+            spec("zork", "profile", ""),         // invalid -> rejected
+        ])
+        .unwrap();
+    assert_eq!(batch.len(), 3);
+
+    assert_eq!(batch[0].state, "done");
+    assert!(batch[0].cached);
+    assert_eq!(batch[0].fields["workload"], "astar");
+    assert_eq!(
+        batch[0].fields["ipc"], done.fields["ipc"],
+        "inline summary disagrees"
+    );
+    assert_eq!(batch[0].fields["key"], done.fields["key"]);
+
+    assert_eq!(batch[1].state, "queued");
+    let job = batch[1].job.expect("queued entry carries a job id");
+    assert!(batch[1].key.is_some(), "queued entry carries its run key");
+
+    assert_eq!(batch[2].state, "rejected");
+    let err = batch[2]
+        .error
+        .as_deref()
+        .expect("rejected entry carries an error");
+    assert!(err.contains("workload"), "unexpected rejection: {err}");
+
+    // The queued batchmate drains like any submitted job, to the same key.
+    let finished = client.wait_done(job, 120_000).unwrap();
+    assert_eq!(finished.state(), Some("done"));
+    assert_eq!(
+        Some(finished.fields["key"].as_str()),
+        batch[1].key.as_deref()
+    );
+
+    // A repeat of the whole batch is now fully warm except the bad spec.
+    let again = client
+        .submit_batch(&[
+            spec("astar", "profile", ""),
+            spec("astar", "static", "balanced"),
+            spec("zork", "profile", ""),
+        ])
+        .unwrap();
+    assert_eq!(again[0].state, "done");
+    assert_eq!(again[1].state, "done");
+    assert!(again[1].cached);
+    assert_eq!(again[2].state, "rejected");
+
+    let drained = client.shutdown().unwrap();
+    assert_eq!(drained.fields["failed"], "0");
+    handle.join().unwrap();
+}
+
+#[test]
+fn batch_rejects_bad_counts() {
+    let (addr, handle) = start("counts");
+    let client = Client::new(addr.to_string());
+
+    // An empty batch and an oversized batch both 400 at the protocol
+    // level before any spec is parsed.
+    assert!(client.submit_batch(&[]).is_err(), "empty batch must fail");
+    let oversized: Vec<_> = (0..MAX_BATCH + 1)
+        .map(|_| spec("astar", "profile", ""))
+        .collect();
+    assert!(
+        client.submit_batch(&oversized).is_err(),
+        "batch beyond MAX_BATCH must fail"
+    );
+
+    // Nothing was accepted by either attempt.
+    let drained = client.shutdown().unwrap();
+    assert_eq!(drained.fields["accepted"], "0");
+    handle.join().unwrap();
+}

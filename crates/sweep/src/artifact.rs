@@ -1,0 +1,126 @@
+//! The schema-versioned sweep artifact: one flat JSON document per
+//! completed sweep, modeled on the `BENCH_*.json` scorecard.
+//!
+//! Everything in the artifact is deterministic simulation output — the
+//! spec echo, the per-point metrics, the dominance ranks, the frontier —
+//! so the bytes are identical across thread counts, cold/warm runs, and
+//! chaos-killed-then-resumed runs. Volatile counters (cache hits,
+//! simulation counts) are deliberately excluded; they go to the stdout
+//! summary line instead.
+//!
+//! Writes are atomic (temp file + rename) and retried under the
+//! `sweep.artifact` chaos site, so a fault injected mid-write can never
+//! leave a torn artifact behind.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ramp_serve::json::ObjWriter;
+use ramp_sim::chaos::{Chaos, FaultKind};
+
+use crate::engine::SweepRun;
+use crate::spec::{Strategy, SweepSpec};
+
+/// Schema tag of the artifact format this module writes.
+pub const SCHEMA: &str = "ramp-sweep-v1";
+
+/// Chaos site rolled per artifact write attempt.
+pub const SITE_ARTIFACT: &str = "sweep.artifact";
+
+/// Renders the artifact document for one completed sweep.
+///
+/// Layout (flat keys, insertion order): `schema`, the `sweep.*` spec
+/// echo, the `axes.*` axis values, `rung.<r>.*` statistics when the
+/// strategy was halving, then `point.<i>.*` per evaluated point —
+/// identity, varied knob values under `point.<i>.cfg.*`, metrics,
+/// dominance `rank` and `frontier` membership — and finally the
+/// `frontier.*` summary (`frontier.points` is the comma-joined point
+/// indices).
+pub fn render(spec: &SweepSpec, run: &SweepRun) -> String {
+    let mut w = ObjWriter::new();
+    w.str("schema", SCHEMA)
+        .str("sweep.name", &spec.name)
+        .str("sweep.strategy", spec.strategy.label())
+        .u64("sweep.seed", spec.seed)
+        .u64("sweep.samples", spec.samples as u64)
+        .u64("sweep.rungs", u64::from(spec.rungs))
+        .str("sweep.base", &spec.base_label);
+    w.str("axes.workload", &spec.workload_axis())
+        .str("axes.policy", &spec.policy_axis());
+    for axis in &spec.knobs {
+        let values: Vec<String> = axis.values.iter().map(u64::to_string).collect();
+        w.str(&format!("axes.{}", axis.knob.name()), &values.join(","));
+    }
+    if spec.strategy == Strategy::Halving {
+        for (r, stat) in run.rungs.iter().enumerate() {
+            w.u64(&format!("rung.{r}.divisor"), stat.divisor)
+                .u64(&format!("rung.{r}.points"), stat.entered as u64)
+                .u64(&format!("rung.{r}.survivors"), stat.survivors as u64);
+        }
+    }
+    w.u64("sweep.points", run.rows.len() as u64);
+    for (i, row) in run.rows.iter().enumerate() {
+        let p = format!("point.{i}.");
+        w.str(&format!("{p}workload"), &row.workload)
+            .str(&format!("{p}policy"), &row.policy)
+            .str(&format!("{p}kind"), &row.kind)
+            .str(&format!("{p}key"), &row.key);
+        for (knob, value) in &row.knobs {
+            w.u64(&format!("{p}cfg.{knob}"), *value);
+        }
+        w.f64(&format!("{p}ipc"), row.ipc)
+            .f64(&format!("{p}ser_fit"), row.ser_fit)
+            .f64(&format!("{p}ser_vs_ddr_only"), row.ser_vs_ddr_only)
+            .f64(&format!("{p}mpki"), row.mpki)
+            .u64(&format!("{p}cycles"), row.cycles)
+            .u64(&format!("{p}instructions"), row.instructions)
+            .u64(&format!("{p}hbm_accesses"), row.hbm_accesses)
+            .u64(&format!("{p}ddr_accesses"), row.ddr_accesses)
+            .u64(&format!("{p}migrations"), row.migrations)
+            .f64(
+                &format!("{p}mig_pages_per_mcycle"),
+                row.mig_pages_per_mcycle(),
+            )
+            .u64(&format!("{p}rank"), u64::from(run.ranks[i]))
+            .bool(&format!("{p}frontier"), run.ranks[i] == 0);
+    }
+    let frontier = run.frontier();
+    let indices: Vec<String> = frontier.iter().map(usize::to_string).collect();
+    w.u64("frontier.size", frontier.len() as u64)
+        .str("frontier.points", &indices.join(","));
+    let mut doc = w.finish();
+    doc.push('\n');
+    doc
+}
+
+/// Atomically writes `content` to `path` (temp file + rename in the
+/// destination directory), retrying up to 3 attempts with the
+/// `sweep.artifact` chaos site rolled per attempt — an injected I/O
+/// fault or slow write surfaces as a retried attempt, never a torn file.
+pub fn write_atomic(path: &Path, content: &str, chaos: Option<&Arc<Chaos>>) -> Result<(), String> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let tmp = path.with_extension("tmp");
+    let mut last = String::new();
+    for attempt in 0..3 {
+        if let Some(c) = chaos {
+            c.maybe_slow(SITE_ARTIFACT);
+            if c.roll(FaultKind::Io, SITE_ARTIFACT) {
+                last = format!("injected I/O fault (attempt {})", attempt + 1);
+                continue;
+            }
+        }
+        let write = || -> std::io::Result<()> {
+            if let Some(d) = dir {
+                std::fs::create_dir_all(d)?;
+            }
+            std::fs::write(&tmp, content)?;
+            std::fs::rename(&tmp, path)
+        };
+        match write() {
+            Ok(()) => return Ok(()),
+            Err(e) => last = format!("{e} (attempt {})", attempt + 1),
+        }
+    }
+    let _ = std::fs::remove_file(&tmp);
+    Err(format!("writing {}: {last}", path.display()))
+}

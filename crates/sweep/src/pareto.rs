@@ -1,0 +1,106 @@
+//! Pareto dominance over the perf×reliability plane.
+//!
+//! The paper's Figure 1 frontier is a two-objective trade-off: maximize
+//! IPC, minimize the soft-error FIT rate. A point *dominates* another
+//! when it is at least as good on both objectives and strictly better
+//! on one; the *frontier* is the set of non-dominated points, and the
+//! *dominance rank* of a point is the frontier layer it falls into
+//! (rank 0 = the frontier, rank 1 = the frontier after removing rank 0,
+//! and so on — classic non-dominated sorting).
+//!
+//! Ranks are a pure function of the objective multiset: invariant under
+//! point reordering and duplicate insertion (ties on both objectives
+//! never dominate each other, so exact duplicates share a rank).
+
+/// One point in objective space: IPC is maximized, FIT minimized.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objective {
+    /// Instructions per cycle (higher is better).
+    pub ipc: f64,
+    /// Soft-error FIT rate (lower is better).
+    pub ser_fit: f64,
+}
+
+/// Whether `a` dominates `b`: at least as good on both objectives and
+/// strictly better on one. Comparisons involving NaN are `false`, so a
+/// NaN point neither dominates nor is dominated (it surfaces at rank 0
+/// rather than silently vanishing — sweeps only emit finite metrics).
+pub fn dominates(a: Objective, b: Objective) -> bool {
+    a.ipc >= b.ipc && a.ser_fit <= b.ser_fit && (a.ipc > b.ipc || a.ser_fit < b.ser_fit)
+}
+
+/// Non-dominated sorting: the dominance rank of every point.
+///
+/// O(n² · layers) peeling — fine for the ≤ thousands of points a sweep
+/// evaluates. Deterministic and order-invariant: the rank of a point
+/// depends only on the multiset of objectives.
+pub fn ranks(points: &[Objective]) -> Vec<u32> {
+    let n = points.len();
+    let mut rank = vec![u32::MAX; n];
+    let mut assigned = 0;
+    let mut layer = 0u32;
+    while assigned < n {
+        let mut this_layer = Vec::new();
+        for i in 0..n {
+            if rank[i] != u32::MAX {
+                continue;
+            }
+            let dominated =
+                (0..n).any(|j| j != i && rank[j] == u32::MAX && dominates(points[j], points[i]));
+            if !dominated {
+                this_layer.push(i);
+            }
+        }
+        debug_assert!(!this_layer.is_empty(), "peeling must make progress");
+        for i in this_layer {
+            rank[i] = layer;
+            assigned += 1;
+        }
+        layer += 1;
+    }
+    rank
+}
+
+/// Indices of the frontier (rank-0) points, in input order.
+pub fn frontier(points: &[Objective]) -> Vec<usize> {
+    ranks(points)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, r)| *r == 0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(ipc: f64, ser: f64) -> Objective {
+        Objective { ipc, ser_fit: ser }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_asymmetric() {
+        assert!(dominates(o(2.0, 1.0), o(1.0, 2.0)));
+        assert!(dominates(o(2.0, 1.0), o(2.0, 2.0)));
+        assert!(dominates(o(2.0, 1.0), o(1.0, 1.0)));
+        assert!(!dominates(o(2.0, 1.0), o(2.0, 1.0))); // ties never dominate
+        assert!(!dominates(o(1.0, 1.0), o(2.0, 0.5)));
+        // Trade-off points are mutually non-dominating.
+        assert!(!dominates(o(2.0, 2.0), o(1.0, 1.0)));
+        assert!(!dominates(o(1.0, 1.0), o(2.0, 2.0)));
+    }
+
+    #[test]
+    fn ranks_peel_layers() {
+        // Two frontier points, one dominated once, one dominated twice.
+        let pts = [o(2.0, 1.0), o(1.0, 0.5), o(1.5, 1.5), o(1.0, 2.0)];
+        assert_eq!(ranks(&pts), vec![0, 0, 1, 2]);
+        assert_eq!(frontier(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(ranks(&[o(1.0, 1.0)]), vec![0]);
+    }
+}

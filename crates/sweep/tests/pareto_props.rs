@@ -1,0 +1,124 @@
+//! Property tests for Pareto dominance and non-dominated sorting: the
+//! frontier must be mutually non-dominated, every non-frontier point
+//! must be dominated by some frontier point, and both ranks and the
+//! frontier must be invariant under point reordering and duplicate
+//! insertion — the guarantees the sweep artifact's `rank`/`frontier`
+//! fields stand on.
+
+use ramp_sim::check::{check, Gen};
+use ramp_sweep::pareto::{dominates, frontier, ranks, Objective};
+
+/// Random objective clouds, deliberately including exact ties on one or
+/// both axes (a small value grid makes collisions common).
+fn gen_points(g: &mut Gen, min: usize, max: usize) -> Vec<Objective> {
+    let n = g.usize_in(min, max);
+    (0..n)
+        .map(|_| Objective {
+            ipc: g.u64_below(8) as f64 * 0.25,
+            ser_fit: g.u64_below(8) as f64 * 0.5,
+        })
+        .collect()
+}
+
+#[test]
+fn frontier_is_mutually_non_dominated() {
+    check("frontier_mutually_non_dominated", |g| {
+        let pts = gen_points(g, 1, 24);
+        let front = frontier(&pts);
+        for &a in &front {
+            for &b in &front {
+                assert!(
+                    !dominates(pts[a], pts[b]),
+                    "frontier point {a} dominates frontier point {b}: {pts:?}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn every_non_frontier_point_is_dominated_by_a_frontier_point() {
+    check("non_frontier_dominated_by_frontier", |g| {
+        let pts = gen_points(g, 1, 24);
+        let r = ranks(&pts);
+        let front: Vec<usize> = (0..pts.len()).filter(|&i| r[i] == 0).collect();
+        for i in 0..pts.len() {
+            if r[i] == 0 {
+                continue;
+            }
+            assert!(
+                front.iter().any(|&f| dominates(pts[f], pts[i])),
+                "point {i} (rank {}) not dominated by any frontier point: {pts:?}",
+                r[i]
+            );
+        }
+    });
+}
+
+#[test]
+fn ranks_are_invariant_under_reordering() {
+    check("ranks_invariant_under_reordering", |g| {
+        let pts = gen_points(g, 1, 16);
+        let base = ranks(&pts);
+        // A seeded Fisher-Yates permutation of the same multiset.
+        let mut perm: Vec<usize> = (0..pts.len()).collect();
+        for i in 0..perm.len() {
+            let j = i + g.usize_in(0, perm.len() - i);
+            perm.swap(i, j);
+        }
+        let shuffled: Vec<Objective> = perm.iter().map(|&i| pts[i]).collect();
+        let shuffled_ranks = ranks(&shuffled);
+        for (pos, &orig) in perm.iter().enumerate() {
+            assert_eq!(
+                shuffled_ranks[pos], base[orig],
+                "rank of point {orig} changed under permutation: {pts:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn ranks_are_invariant_under_duplicate_insertion() {
+    check("ranks_invariant_under_duplicates", |g| {
+        let pts = gen_points(g, 1, 12);
+        let base = ranks(&pts);
+        // Duplicate a random point; every original keeps its rank and
+        // the duplicate shares its original's (ties never dominate).
+        let dup = g.usize_in(0, pts.len());
+        let mut with_dup = pts.clone();
+        with_dup.push(pts[dup]);
+        let r = ranks(&with_dup);
+        assert_eq!(
+            &r[..pts.len()],
+            &base[..],
+            "original ranks changed: {pts:?}"
+        );
+        assert_eq!(r[pts.len()], base[dup], "duplicate rank differs: {pts:?}");
+    });
+}
+
+#[test]
+fn layers_partition_and_make_progress() {
+    check("layers_partition", |g| {
+        let pts = gen_points(g, 1, 24);
+        let r = ranks(&pts);
+        let max = *r.iter().max().unwrap();
+        // Every layer up to the max is populated (peeling never skips).
+        for layer in 0..=max {
+            assert!(
+                r.iter().any(|&x| x == layer),
+                "layer {layer} empty: {pts:?}"
+            );
+        }
+        // Each point of layer L>0 is dominated by some point of layer L-1.
+        for i in 0..pts.len() {
+            if r[i] == 0 {
+                continue;
+            }
+            assert!(
+                (0..pts.len()).any(|j| r[j] == r[i] - 1 && dominates(pts[j], pts[i])),
+                "point {i} not dominated from the previous layer: {pts:?}"
+            );
+        }
+    });
+}

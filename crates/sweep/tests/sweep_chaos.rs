@@ -1,0 +1,147 @@
+//! Kill-mid-sweep resume: a chaos-injected panic aborts a sweep partway,
+//! the completed points stay persisted in the run store, and re-running
+//! the same spec simulates only the missing points — producing an
+//! artifact byte-identical to an uninterrupted run.
+//!
+//! Chaos rolls are seeded but their assignment to tasks depends on
+//! execution order, so every run here is single-threaded.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ramp_core::config::SystemConfig;
+use ramp_serve::store::RunStore;
+use ramp_sim::chaos::Chaos;
+use ramp_sweep::engine::run_local_with;
+use ramp_sweep::spec::{parse_action, Strategy, SweepSpec};
+use ramp_sweep::{artifact, SweepRun};
+use ramp_trace::Workload;
+
+/// A fresh scratch directory per call (unique across tests and runs).
+fn scratch(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "ramp-sweep-chaos-{}-{tag}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 6-point grid (2 workloads × {profile, balanced, wr2-ratio}) over a
+/// shrunk smoke config, small enough for dev-profile test runs.
+fn small_spec() -> SweepSpec {
+    let mut base = SystemConfig::smoke_test();
+    base.insts_per_core = 20_000;
+    let tokens = ["profile", "balanced", "wr2-ratio"];
+    SweepSpec {
+        name: "chaos-sweep".to_string(),
+        strategy: Strategy::Grid,
+        seed: 0,
+        samples: 0,
+        rungs: 3,
+        base_label: "smoke".to_string(),
+        base,
+        workloads: vec![
+            Workload::from_name("astar").unwrap(),
+            Workload::from_name("lbm").unwrap(),
+        ],
+        policies: tokens
+            .iter()
+            .map(|t| (t.to_string(), parse_action(t).unwrap()))
+            .collect(),
+        knobs: Vec::new(),
+    }
+}
+
+fn render(spec: &SweepSpec, run: &SweepRun) -> String {
+    artifact::render(spec, run)
+}
+
+#[test]
+fn killed_sweep_resumes_from_store_with_identical_artifact() {
+    let spec = small_spec();
+    let total = spec.points().unwrap().len() as u64;
+    assert_eq!(total, 6);
+
+    // Uninterrupted baseline in its own store: the reference bytes.
+    let baseline_dir = scratch("baseline");
+    let baseline_store = RunStore::open(&baseline_dir).unwrap();
+    let baseline = run_local_with(&spec, Some(&baseline_store), 1, None).unwrap();
+    assert_eq!(baseline.counters.cached, 0);
+    assert_eq!(baseline.counters.simulated, total);
+    let golden = render(&spec, &baseline);
+
+    // Chaos run: injected panics with a zero retry budget kill points
+    // mid-sweep. Rolls are a deterministic function of the seed and the
+    // roll sequence, so scan seeds for one that kills at least one point
+    // whose run was never persisted (a killed profile point can still be
+    // persisted as a sibling static point's intermediate, which is the
+    // resume working as designed — but this test wants real gaps).
+    let mut killed = None;
+    for seed in 0..16u64 {
+        let dir = scratch(&format!("killed-{seed}"));
+        let store = RunStore::open(&dir).unwrap();
+        let chaos = Arc::new(Chaos::from_spec(seed, "panic=0.5,retries=0").unwrap());
+        match run_local_with(&spec, Some(&store), 1, Some(chaos)) {
+            Err(e) if (store.stats().runs as u64) < total => {
+                killed = Some((dir, store, e));
+                break;
+            }
+            _ => {
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    let (dir, store, err) = killed.expect("no seed in 0..16 left a persistence gap at panic=0.5");
+    assert!(
+        err.contains("point(s) failed") && err.contains("re-run the sweep to resume"),
+        "unexpected failure message: {err}"
+    );
+    let failed: u64 = err
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .expect("failure message leads with the failed-point count");
+    assert!((1..=total).contains(&failed), "failed={failed} of {total}");
+
+    // Every point key is a distinct run key in this grid (the profile
+    // points double as the static points' intermediates), so the store's
+    // run count says exactly how many points survived the kill.
+    let persisted = store.stats().runs as u64;
+    assert!(
+        persisted < total,
+        "no persistence gap: {persisted} of {total}"
+    );
+
+    // Resume without chaos: only the missing points simulate, and the
+    // artifact is byte-identical to the uninterrupted baseline.
+    let resumed = run_local_with(&spec, Some(&store), 1, None).unwrap();
+    assert_eq!(
+        resumed.counters.simulated,
+        total - persisted,
+        "resume re-ran persisted points"
+    );
+    assert_eq!(resumed.counters.cached, persisted);
+    assert!(
+        resumed.counters.simulated <= failed,
+        "resume simulated more points than the kill failed"
+    );
+    assert_eq!(render(&spec, &resumed), golden, "resumed artifact differs");
+
+    // And a warm repeat simulates nothing at all.
+    let warm = run_local_with(&spec, Some(&store), 1, None).unwrap();
+    assert_eq!(warm.counters.simulated, 0);
+    assert_eq!(warm.counters.profile_sims, 0);
+    assert_eq!(warm.counters.cached, total);
+    assert_eq!(render(&spec, &warm), golden, "warm artifact differs");
+
+    drop(store);
+    drop(baseline_store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+}

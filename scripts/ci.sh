@@ -9,8 +9,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Optional stage selector. Without an argument the full hermetic gate
-# below runs (build + tests + golden/warm/chaos/checkpoint/wal smokes +
-# bench-smoke). `bench` and `bench-smoke` run the performance scorecard
+# below runs (build + tests + golden/warm/chaos/checkpoint/sweep/wal
+# smokes + bench-smoke). `bench` and `bench-smoke` run the performance scorecard
 # gate on its own: re-measure the pinned kernel suite and the
 # all_experiments cold/warm probes, then compare against the committed
 # BENCH_0007.json (see DESIGN.md "Performance methodology"). Schema
@@ -82,9 +82,51 @@ wal_smoke_stage() {
     target/release/ramp-store verify --dir "$dir/store" --mode wal \
         || { echo "FAIL: WAL store not sound after compaction"; exit 1; }
 }
+# Sweep gate (`sweep-smoke`, also part of the full pipeline): the pinned
+# 64-point examples/sweep_frontier.toml grid must produce byte-identical
+# artifacts at 1 and 4 threads from fresh stores, and a warm re-sweep
+# against the populated store must perform zero simulations — asserted
+# both from the sweep's own `[sweep]` summary line and from the store's
+# run count staying put (see DESIGN.md §12).
+sweep_smoke_stage() {
+    local dir before after
+    dir="$(mktemp -d)"
+    # shellcheck disable=SC2064
+    trap "rm -rf '$dir'" RETURN
+
+    echo "==> sweep-smoke: cold 64-point sweep @ RAMP_THREADS=1"
+    RAMP_STORE_DIR="$dir/store1" RAMP_THREADS=1 target/release/ramp-sweep \
+        run examples/sweep_frontier.toml --out "$dir/t1.json" > "$dir/t1.out"
+    echo "==> sweep-smoke: cold 64-point sweep @ RAMP_THREADS=4"
+    RAMP_STORE_DIR="$dir/store4" RAMP_THREADS=4 target/release/ramp-sweep \
+        run examples/sweep_frontier.toml --out "$dir/t4.json" > "$dir/t4.out"
+    cmp "$dir/t1.json" "$dir/t4.json" \
+        || { echo "FAIL: sweep artifact differs across thread counts"; exit 1; }
+    grep -qE '^\[sweep\] points=64 ' "$dir/t1.out" \
+        || { echo "FAIL: sweep did not evaluate the pinned 64 points"; exit 1; }
+
+    echo "==> sweep-smoke: warm re-sweep performs zero simulations"
+    before="$(target/release/ramp-store stats --dir "$dir/store1" | grep -oE ' runs=[0-9]+')"
+    RAMP_STORE_DIR="$dir/store1" RAMP_THREADS=4 target/release/ramp-sweep \
+        run examples/sweep_frontier.toml --out "$dir/warm.json" > "$dir/warm.out"
+    grep -qE ' cached=64 simulated=0 profile_sims=0 ' "$dir/warm.out" \
+        || { echo "FAIL: warm re-sweep simulated instead of hitting the store"; exit 1; }
+    cmp "$dir/t1.json" "$dir/warm.json" \
+        || { echo "FAIL: warm sweep artifact differs from cold artifact"; exit 1; }
+    after="$(target/release/ramp-store stats --dir "$dir/store1" | grep -oE ' runs=[0-9]+')"
+    [ "$before" = "$after" ] \
+        || { echo "FAIL: warm re-sweep grew the store ($before -> $after)"; exit 1; }
+}
 case "${1:-all}" in
 bench) bench_stage 0 1.6; exit 0 ;;
 bench-smoke) bench_stage 1 2.5; exit 0 ;;
+sweep-smoke)
+    echo "==> cargo build --release (ramp-sweep + ramp-store)"
+    cargo build --release --offline -p ramp-sweep --bin ramp-sweep
+    cargo build --release --offline -p ramp-serve --bin ramp-store
+    sweep_smoke_stage
+    exit 0
+    ;;
 wal-smoke)
     echo "==> cargo build --release (fig05_perf_static + ramp-store)"
     cargo build --release --offline -p ramp-bench --bin fig05_perf_static
@@ -94,7 +136,7 @@ wal-smoke)
     ;;
 all) ;;
 *)
-    echo "usage: $0 [bench|bench-smoke|wal-smoke]" >&2
+    echo "usage: $0 [bench|bench-smoke|sweep-smoke|wal-smoke]" >&2
     exit 2
     ;;
 esac
@@ -222,6 +264,9 @@ for _ in $(seq 1 100); do [ -s "$PORT_FILE2" ] && break; sleep 0.1; done
 [ -s "$PORT_FILE2" ] || { echo "FAIL: chaos server never wrote its port file"; exit 1; }
 target/release/ramp-client --addr "$(cat "$PORT_FILE2")" --retries 8 --backoff-ms 10 smoke
 wait "$SERVER_PID" || { echo "FAIL: chaos server exited non-zero"; exit 1; }
+
+# Sweep determinism gate (binaries already built above).
+sweep_smoke_stage
 
 # WAL durability gate (binaries already built above).
 wal_smoke_stage

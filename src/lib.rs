@@ -64,3 +64,7 @@ pub use ramp_core as core;
 /// The serving stack: persistent content-addressed run store and the
 /// std-only experiment server/client.
 pub use ramp_serve as serve;
+
+/// Declarative design-space sweeps with Pareto-frontier search over the
+/// policy×workload×config space.
+pub use ramp_sweep as sweep;
