@@ -13,6 +13,9 @@
 //!
 //! GLOBAL FLAGS:
 //!   --addr HOST:PORT   server address        (default 127.0.0.1:7177)
+//!   --server HOST:PORT endpoint list entry; repeatable — the first is
+//!                      the primary, the rest are fallbacks tried in
+//!                      order when it is dead (overrides --addr)
 //!   --retries N        transport retry budget (default 3)
 //!   --backoff-ms MS    base retry backoff     (default 50)
 //!   --retry-429        also retry 429s, honoring retry-after
@@ -43,8 +46,20 @@ use ramp_serve::client::{smoke_with, Client, ClientError};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ramp-client [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--retry-429] \
-         health|submit|submit-batch|job|wait|result|stats|shutdown|smoke [args...]"
+        "usage: ramp-client [--addr HOST:PORT] [--server HOST:PORT ...] [--retries N] \
+         [--backoff-ms MS] [--retry-429] \
+         health|submit|submit-batch|job|wait|result|stats|shutdown|smoke [args...]\n\
+         \n\
+         --server is repeatable: the first is the primary endpoint, the rest are\n\
+         fallbacks tried in order when it is dead (overrides --addr).\n\
+         \n\
+         exit codes:\n\
+         \x20 0  success (job done / request ok)\n\
+         \x20 1  failure: error status, failed job, or transport gave up\n\
+         \x20 2  usage error\n\
+         \x20 3  shed load (429 on submit; rejected specs in submit-batch)\n\
+         \x20 4  wait: the server expired the job before it ran\n\
+         \x20 5  wait: the client poll budget ran out first"
     );
     std::process::exit(2);
 }
@@ -56,6 +71,7 @@ fn fail(err: impl std::fmt::Display) -> ! {
 
 fn main() {
     let mut addr = "127.0.0.1:7177".to_string();
+    let mut servers: Vec<String> = Vec::new();
     let mut retries: u32 = 3;
     let mut backoff_ms: u64 = 50;
     let mut retry_429 = false;
@@ -64,6 +80,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--server" => servers.push(args.next().unwrap_or_else(|| usage())),
             "--retries" => {
                 retries = args
                     .next()
@@ -86,7 +103,11 @@ fn main() {
     if rest.is_empty() {
         usage();
     }
-    let client = Client::new(addr.clone())
+    if servers.is_empty() {
+        servers.push(addr);
+    }
+    let client = Client::new(servers.remove(0))
+        .with_fallbacks(servers)
         .with_retries(retries)
         .with_backoff(Duration::from_millis(backoff_ms))
         .with_retry_429(retry_429);

@@ -1,0 +1,115 @@
+//! `ramp-router` — the shard router daemon.
+//!
+//! ```text
+//! ramp-router [--addr HOST:PORT] --shard HOST:PORT [--shard HOST:PORT ...]
+//!             [--replicas R] [--probe-ms MS] [--fail-threshold N]
+//!             [--live-threshold N] [--http-threads N] [--port-file PATH]
+//! ```
+//!
+//! Fronts a fleet of `ramp-served` shards (see DESIGN.md §13): run keys
+//! are jump-consistent-hashed over the ordered shard map, replicated on
+//! `--replicas` shards (default 2), health-probed every `--probe-ms`
+//! (default 100), and failed over per-request. The shard map may also
+//! come from `RAMP_SHARDS` (comma-separated `host:port` list) when no
+//! `--shard` flags are given. Shard **order matters**: every router
+//! over the same ordered map computes the same replica sets.
+//! `--port-file` writes the bound address for scripts, and `RAMP_CHAOS`
+//! arms the `router.upstream` / `router.handoff` / `router.probe`
+//! fault-injection sites.
+
+use std::time::Duration;
+
+use ramp_serve::router::{Router, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ramp-router [--addr HOST:PORT] --shard HOST:PORT [--shard HOST:PORT ...] \
+         [--replicas R] [--probe-ms MS] [--fail-threshold N] [--live-threshold N] \
+         [--http-threads N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7178".to_string();
+    let mut shards: Vec<String> = Vec::new();
+    let mut replicas: Option<usize> = None;
+    let mut probe_ms: Option<u64> = None;
+    let mut fail_threshold: Option<u32> = None;
+    let mut live_threshold: Option<u32> = None;
+    let mut http_threads: Option<usize> = None;
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--shard" => shards.push(value("--shard")),
+            "--replicas" => replicas = value("--replicas").parse().ok(),
+            "--probe-ms" => probe_ms = value("--probe-ms").parse().ok(),
+            "--fail-threshold" => fail_threshold = value("--fail-threshold").parse().ok(),
+            "--live-threshold" => live_threshold = value("--live-threshold").parse().ok(),
+            "--http-threads" => http_threads = value("--http-threads").parse().ok(),
+            "--port-file" => port_file = Some(value("--port-file")),
+            _ => usage(),
+        }
+    }
+
+    if shards.is_empty() {
+        if let Ok(v) = std::env::var("RAMP_SHARDS") {
+            shards = v
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+        }
+    }
+    if shards.is_empty() {
+        eprintln!("no shards: pass --shard or set RAMP_SHARDS");
+        usage();
+    }
+
+    let mut cfg = RouterConfig::new(shards);
+    if let Some(r) = replicas {
+        cfg.replicas = r.max(1);
+    }
+    if let Some(ms) = probe_ms {
+        cfg.probe_interval = Duration::from_millis(ms.max(1));
+    }
+    if let Some(n) = fail_threshold {
+        cfg.fail_threshold = n.max(1);
+    }
+    if let Some(n) = live_threshold {
+        cfg.live_threshold = n.max(1);
+    }
+    if let Some(n) = http_threads {
+        cfg.http.threads = n.max(1);
+    }
+
+    let shard_list = cfg.shards.join(", ");
+    let replicas = cfg.replicas.clamp(1, cfg.shards.len());
+    let router = match Router::bind(&addr, cfg) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = router.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, bound.to_string()) {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("ramp-router listening on {bound} (shards: {shard_list}; replicas: {replicas})");
+    router.run();
+    eprintln!("ramp-router exited");
+}

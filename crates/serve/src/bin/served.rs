@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ramp-served [--addr HOST:PORT] [--workers N] [--queue N]
-//!             [--deadline-ms MS] [--port-file PATH] [--smoke]
+//!             [--deadline-ms MS] [--http-threads N]
+//!             [--port-file PATH] [--smoke]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7177`; port `0` picks an
@@ -19,8 +20,10 @@
 //! store exactly as for the experiment binaries (`RAMP_STORE_MODE=wal`
 //! selects the append-only WAL backend). `--deadline-ms` caps how long
 //! a queued job may wait before it is expired unrun (default 60000),
-//! and `RAMP_CHAOS` arms fault injection across the executor, store,
-//! WAL, workers and connection handling (see DESIGN.md §8).
+//! `--http-threads` sizes the keep-alive connection pool's handler
+//! thread count (default 4), and `RAMP_CHAOS` arms fault injection
+//! across the executor, store, WAL, workers and connection handling
+//! (see DESIGN.md §8).
 
 use std::time::Duration;
 
@@ -29,7 +32,7 @@ use ramp_serve::server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: ramp-served [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--deadline-ms MS] [--port-file PATH] [--smoke]"
+         [--deadline-ms MS] [--http-threads N] [--port-file PATH] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -39,6 +42,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut queue: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut http_threads: Option<usize> = None;
     let mut port_file: Option<String> = None;
     let mut smoke = false;
 
@@ -55,6 +59,7 @@ fn main() {
             "--workers" => workers = value("--workers").parse().ok(),
             "--queue" => queue = value("--queue").parse().ok(),
             "--deadline-ms" => deadline_ms = value("--deadline-ms").parse().ok(),
+            "--http-threads" => http_threads = value("--http-threads").parse().ok(),
             "--port-file" => port_file = Some(value("--port-file")),
             "--smoke" => smoke = true,
             _ => usage(),
@@ -81,6 +86,9 @@ fn main() {
     }
     if let Some(ms) = deadline_ms {
         cfg.deadline = Duration::from_millis(ms.max(1));
+    }
+    if let Some(n) = http_threads {
+        cfg.http.threads = n.max(1);
     }
 
     let server = match Server::bind(&addr, cfg) {

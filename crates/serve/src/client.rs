@@ -1,11 +1,18 @@
-//! A scriptable client for the experiment server.
+//! A scriptable client for the experiment server and the shard router.
 //!
-//! One request per connection, mirroring the server's
-//! `Connection: close` discipline. Typed helpers wrap each endpoint and
-//! return the response's flat JSON object as a string→string field map;
+//! Requests ride HTTP/1.1 keep-alive: the client holds one pooled
+//! connection (request-capped, shared across clones) and reuses it
+//! while the server advertises `Connection: keep-alive`; a stale pooled
+//! connection gets one silent fresh-dial retry, so reuse never costs a
+//! retry-budget attempt. Typed helpers wrap each endpoint and return
+//! the response's flat JSON object as a string→string field map;
 //! [`smoke`] drives the full serving choreography (warm-cache replay,
 //! backpressure, graceful drain) and is what `scripts/ci.sh` runs.
 //!
+//! The client owns an ordered **endpoint list** ([`Client::new`] plus
+//! [`Client::with_fallbacks`]): transport failures rotate to the next
+//! endpoint, and the first endpoint that answers stays sticky — the CLI
+//! survives a dead front end as long as any fallback is alive.
 //! Transport faults (connect refused, reset mid-response) are retried
 //! with exponential backoff and decorrelated jitter up to a configurable
 //! budget; `429` responses honor the server's `retry-after` hint when
@@ -18,12 +25,14 @@
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ramp_sim::codec::fnv1a64;
 use ramp_sim::rng::mix64;
 
-use crate::http::read_response_full;
+use crate::http::{read_response_full, HttpResponse};
 use crate::json::{parse_flat, ObjWriter};
 
 /// Default per-request socket timeout.
@@ -34,6 +43,8 @@ pub const DEFAULT_RETRIES: u32 = 3;
 pub const DEFAULT_BACKOFF: Duration = Duration::from_millis(50);
 /// Default backoff ceiling.
 pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_secs(2);
+/// Requests sent per pooled connection before it is retired.
+const CLIENT_MAX_REQUESTS: u32 = 128;
 
 /// A classified client-side failure.
 #[derive(Clone, Debug)]
@@ -166,10 +177,24 @@ pub struct BatchSubmit {
     pub fields: BTreeMap<String, String>,
 }
 
-/// A client bound to one server address.
+/// One kept-alive connection, pooled between requests.
+#[derive(Debug)]
+struct PooledConn {
+    addr: String,
+    stream: TcpStream,
+    served: u32,
+}
+
+/// A client bound to an ordered list of server endpoints (the primary
+/// plus fallbacks). Clones share the endpoint stickiness and the pooled
+/// connection.
 #[derive(Clone, Debug)]
 pub struct Client {
-    addr: String,
+    endpoints: Vec<String>,
+    /// Index of the endpoint that last answered; requests start here.
+    active: Arc<AtomicUsize>,
+    /// At most one kept-alive connection, reused across requests.
+    pool: Arc<Mutex<Option<PooledConn>>>,
     timeout: Duration,
     retries: u32,
     backoff: Duration,
@@ -181,13 +206,22 @@ impl Client {
     /// Creates a client for `addr` (e.g. `"127.0.0.1:7177"`).
     pub fn new(addr: String) -> Client {
         Client {
-            addr,
+            endpoints: vec![addr],
+            active: Arc::new(AtomicUsize::new(0)),
+            pool: Arc::new(Mutex::new(None)),
             timeout: DEFAULT_TIMEOUT,
             retries: DEFAULT_RETRIES,
             backoff: DEFAULT_BACKOFF,
             backoff_cap: DEFAULT_BACKOFF_CAP,
             retry_429: false,
         }
+    }
+
+    /// Appends fallback endpoints tried (in order) when the active one
+    /// fails; the first endpoint that answers becomes sticky.
+    pub fn with_fallbacks(mut self, fallbacks: Vec<String>) -> Client {
+        self.endpoints.extend(fallbacks);
+        self
     }
 
     /// Overrides the per-request socket timeout.
@@ -218,17 +252,18 @@ impl Client {
         self
     }
 
-    /// The server address this client talks to.
+    /// The server address this client currently talks to (the endpoint
+    /// that last answered, or the primary before any request).
     pub fn addr(&self) -> &str {
-        &self.addr
+        &self.endpoints[self.active.load(Ordering::Relaxed) % self.endpoints.len()]
     }
 
     /// The deterministic decorrelated-jitter delay before retry
     /// `attempt`: `base + unit * (3·prev − base)`, capped. The jitter
-    /// unit is hashed from `(addr, path, attempt)`, so a replay backs
-    /// off identically while distinct callers decorrelate.
+    /// unit is hashed from `(primary addr, path, attempt)`, so a replay
+    /// backs off identically while distinct callers decorrelate.
     fn backoff_delay(&self, path: &str, attempt: u32, prev: Duration) -> Duration {
-        let seed = fnv1a64(self.addr.as_bytes()) ^ fnv1a64(path.as_bytes()).rotate_left(17);
+        let seed = fnv1a64(self.endpoints[0].as_bytes()) ^ fnv1a64(path.as_bytes()).rotate_left(17);
         let h = mix64(seed ^ mix64(attempt as u64 + 1));
         let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         let base = self.backoff.as_secs_f64();
@@ -237,12 +272,20 @@ impl Client {
     }
 
     fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, ClientError> {
+        // Enough attempts to retry the retry budget *and* to visit
+        // every fallback endpoint at least once.
+        let budget = (self.retries + 1).max(self.endpoints.len() as u32);
+        let start = self.active.load(Ordering::Relaxed);
         let mut prev_delay = self.backoff;
         let mut attempt: u32 = 0;
         loop {
+            let idx = (start + attempt as usize) % self.endpoints.len();
+            let addr = &self.endpoints[idx];
             attempt += 1;
-            match self.request_once(method, path, body) {
+            match self.request_once(addr, method, path, body) {
                 Ok(resp) => {
+                    // This endpoint answered: stick to it.
+                    self.active.store(idx, Ordering::Relaxed);
                     if resp.status == 429 && self.retry_429 && attempt <= self.retries {
                         // Honor the server's hint, floor it at our own
                         // jittered backoff so tight hints still spread.
@@ -254,16 +297,15 @@ impl Client {
                     }
                     return Ok(resp);
                 }
-                Err(e) if attempt <= self.retries => {
+                Err(_) if attempt < budget => {
                     let delay = self.backoff_delay(path, attempt, prev_delay);
                     std::thread::sleep(delay);
                     prev_delay = delay;
-                    let _ = e;
                 }
                 Err((connect_phase, last)) => {
                     return Err(if connect_phase {
                         ClientError::Connect {
-                            addr: self.addr.clone(),
+                            addr: addr.clone(),
                             attempts: attempt,
                             last,
                         }
@@ -278,30 +320,69 @@ impl Client {
         }
     }
 
-    /// One connect–send–read exchange; the error side carries whether
-    /// the failure was in the connect phase.
+    /// One keep-alive exchange against `addr`; the error side carries
+    /// whether the failure was in the connect phase. A pooled
+    /// connection that fails gets one silent fresh-dial retry — the
+    /// server may simply have reaped it — so reuse never consumes a
+    /// retry-budget attempt.
     fn request_once(
         &self,
+        addr: &str,
         method: &str,
         path: &str,
         body: &str,
     ) -> Result<Response, (bool, String)> {
-        let mut stream = TcpStream::connect(&self.addr)
-            .map_err(|e| (true, format!("connect {}: {e}", self.addr)))?;
+        let pooled = {
+            let mut slot = self.pool.lock().unwrap();
+            slot.take().filter(|p| p.addr == addr)
+        };
+        if let Some(mut p) = pooled {
+            if let Ok(resp) = Self::exchange(&mut p.stream, addr, method, path, body) {
+                self.repool(p.stream, addr, p.served + 1, &resp);
+                let retry_after = resp.retry_after_secs();
+                return Ok(Response::parse(resp.status, resp.body, retry_after));
+            }
+            // Stale: fall through to a fresh connection.
+        }
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| (true, format!("connect {addr}: {e}")))?;
         let _ = stream.set_read_timeout(Some(self.timeout));
         let _ = stream.set_write_timeout(Some(self.timeout));
+        let resp = Self::exchange(&mut stream, addr, method, path, body).map_err(|e| (false, e))?;
+        self.repool(stream, addr, 1, &resp);
+        let retry_after = resp.retry_after_secs();
+        Ok(Response::parse(resp.status, resp.body, retry_after))
+    }
+
+    /// Sends one request (advertising keep-alive) and reads the reply.
+    fn exchange(
+        stream: &mut TcpStream,
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<HttpResponse, String> {
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-            self.addr,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
             body.len()
         );
         stream
             .write_all(head.as_bytes())
             .and_then(|_| stream.write_all(body.as_bytes()))
-            .map_err(|e| (false, format!("send request: {e}")))?;
-        let resp = read_response_full(&mut stream).map_err(|e| (false, e))?;
-        let retry_after = resp.retry_after_secs();
-        Ok(Response::parse(resp.status, resp.body, retry_after))
+            .map_err(|e| format!("send request: {e}"))?;
+        read_response_full(stream)
+    }
+
+    /// Keeps the connection for the next request if the server left it
+    /// open and the per-connection request cap allows.
+    fn repool(&self, stream: TcpStream, addr: &str, served: u32, resp: &HttpResponse) {
+        if resp.keep_alive() && served < CLIENT_MAX_REQUESTS {
+            *self.pool.lock().unwrap() = Some(PooledConn {
+                addr: addr.to_string(),
+                stream,
+                served,
+            });
+        }
     }
 
     /// `GET /health`.
@@ -668,6 +749,52 @@ mod tests {
         // A different path draws a different jitter stream.
         let other = client.backoff_delay("/jobs/1", 3, DEFAULT_BACKOFF);
         assert_ne!(other, delays[2]);
+    }
+
+    #[test]
+    fn fallback_endpoint_survives_a_dead_primary() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = crate::http::read_request(&mut s).unwrap();
+            assert_eq!(req.path, "/health");
+            crate::http::write_response(&mut s, 200, "{\"ok\":true}").unwrap();
+        });
+        let client = Client::new(dead)
+            .with_fallbacks(vec![live.clone()])
+            .with_retries(0)
+            .with_backoff(Duration::from_millis(1));
+        let resp = client.health().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.addr(), live, "the answering fallback is sticky");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_reuses_a_kept_alive_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Exactly ONE accepted connection serves both requests; a
+            // client that re-dialed would leave the second read timing
+            // out on the idle first connection.
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            for _ in 0..2 {
+                let req = crate::http::read_request(&mut s).expect("request on pooled conn");
+                assert_eq!(req.path, "/health");
+                crate::http::write_response_keep(&mut s, 200, &[], "{\"ok\":true}", true).unwrap();
+            }
+        });
+        let client = Client::new(addr);
+        assert_eq!(client.health().unwrap().status, 200);
+        assert_eq!(client.health().unwrap().status, 200);
+        server.join().unwrap();
     }
 
     #[test]

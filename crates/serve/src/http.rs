@@ -1,21 +1,43 @@
 //! A minimal HTTP/1.1 request/response layer over `std::net`.
 //!
-//! Just enough protocol for the experiment server: one request per
-//! connection (`Connection: close`), request line + headers +
-//! `Content-Length`-delimited body, hard size limits on both, and a
-//! small table of status codes. Per-request socket read/write timeouts
-//! are set by the caller on the `TcpStream` before handing it here, so a
-//! stalled peer can never wedge an acceptor or worker thread.
+//! Just enough protocol for the experiment server and the shard router:
+//! request line + headers + `Content-Length`-delimited bodies, hard
+//! size limits on every dimension an untrusted peer controls (header
+//! bytes, header count, line length, body bytes — oversized input is
+//! rejected with `431`/`400` instead of allocated), HTTP/1.1 keep-alive
+//! with an explicit `Connection:` header on every response, and a small
+//! table of status codes.
+//!
+//! [`serve_pooled`] is the shared listener front end: a bounded queue of
+//! accepted connections drained by a fixed pool of handler threads, each
+//! serving many requests per connection (persistent connections with a
+//! per-connection request cap and idle reaping) instead of the old
+//! thread-per-connection / one-request-per-connection discipline.
+//! Per-request socket read/write timeouts are set on the `TcpStream`
+//! before parsing, so a stalled peer can never wedge a handler thread
+//! for longer than the idle timeout.
+//!
+//! The layer does not implement pipelining: both our client and the
+//! router send request N+1 only after reading response N, which is what
+//! makes a fresh `BufReader` per exchange safe on a reused connection.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::json::error_body;
+use crate::queue::BoundedQueue;
 
 /// Maximum bytes of request line + headers.
 pub const MAX_HEADER_BYTES: usize = 8 * 1024;
 /// Maximum bytes of request body.
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Maximum number of request headers.
+pub const MAX_HEADER_COUNT: usize = 64;
 
-/// A parsed request: method, path, body.
+/// A parsed request: method, path, body, and connection disposition.
 #[derive(Debug)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), upper-cased as received.
@@ -24,51 +46,123 @@ pub struct Request {
     pub path: String,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: String,
+    /// Whether the peer is willing to keep the connection open
+    /// (HTTP/1.1 default unless `Connection: close` was sent).
+    pub keep_alive: bool,
 }
 
-/// Reads one HTTP/1.1 request, enforcing the size limits.
-///
-/// Errors are strings suitable for a 400 response (or for dropping the
-/// connection when the peer vanished mid-request).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read request line: {e}"))?;
-    if line.is_empty() {
-        return Err("empty request".into());
+/// Why a request could not be parsed, carrying the response status the
+/// peer should see (or `None` when the connection should be dropped
+/// silently, e.g. a clean EOF between keep-alive requests).
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection, timed out, or vanished
+    /// mid-request; there is nobody to answer.
+    Closed(String),
+    /// The request is malformed — answer `400`.
+    Malformed(String),
+    /// The request line or header section exceeds a hard bound — answer
+    /// `431` without having allocated the oversized input.
+    TooLarge(String),
+}
+
+impl RequestError {
+    /// The HTTP status to answer with, if the peer is still there.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::Closed(_) => None,
+            RequestError::Malformed(_) => Some(400),
+            RequestError::TooLarge(_) => Some(431),
+        }
     }
-    if line.len() > MAX_HEADER_BYTES {
-        return Err("request line too long".into());
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed(msg)
+            | RequestError::Malformed(msg)
+            | RequestError::TooLarge(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Reads one line of at most `cap` bytes. The read is bounded *before*
+/// buffering (`Take`), so a hostile peer streaming an endless line costs
+/// at most `cap + 1` bytes of allocation, not unbounded growth.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    what: &str,
+) -> Result<String, RequestError> {
+    let mut buf = Vec::new();
+    reader
+        .by_ref()
+        .take(cap as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| RequestError::Closed(format!("read {what}: {e}")))?;
+    if buf.len() > cap {
+        return Err(RequestError::TooLarge(format!(
+            "{what} exceeds {cap} bytes"
+        )));
+    }
+    String::from_utf8(buf).map_err(|_| RequestError::Malformed(format!("{what} is not UTF-8")))
+}
+
+/// Reads one HTTP/1.1 request, enforcing every size bound.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let line = read_line_bounded(&mut reader, MAX_HEADER_BYTES, "request line")?;
+    if line.is_empty() {
+        return Err(RequestError::Closed("empty request".into()));
     }
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
-    let path = parts.next().ok_or("missing path")?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_ascii_uppercase();
 
     let mut content_length = 0usize;
+    let mut keep_alive = version != "HTTP/1.0";
     let mut header_bytes = line.len();
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| format!("read header: {e}"))?;
+        let header = read_line_bounded(&mut reader, MAX_HEADER_BYTES, "header")?;
         header_bytes += header.len();
         if header_bytes > MAX_HEADER_BYTES {
-            return Err("headers too large".into());
+            return Err(RequestError::TooLarge(format!(
+                "headers exceed {MAX_HEADER_BYTES} bytes"
+            )));
         }
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
+        header_count += 1;
+        if header_count > MAX_HEADER_COUNT {
+            return Err(RequestError::TooLarge(format!(
+                "more than {MAX_HEADER_COUNT} headers"
+            )));
+        }
         if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse::<usize>()
-                    .map_err(|_| "bad content-length")?;
+                    .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
                 if content_length > MAX_BODY_BYTES {
-                    return Err("body too large".into());
+                    return Err(RequestError::Malformed("body too large".into()));
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
                 }
             }
         }
@@ -77,9 +171,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| format!("read body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8")?;
-    Ok(Request { method, path, body })
+        .map_err(|e| RequestError::Closed(format!("read body: {e}")))?;
+    let body =
+        String::from_utf8(body).map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 fn reason(status: u16) -> &'static str {
@@ -90,16 +190,18 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Writes one response and flushes; the connection is then closed by the
-/// caller dropping the stream.
+/// Writes one response with `Connection: close` and flushes.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    write_response_with(stream, status, &[], body)
+    write_response_keep(stream, status, &[], body, false)
 }
 
 /// [`write_response`] with extra headers (e.g. `retry-after` on a 429).
@@ -110,13 +212,25 @@ pub fn write_response_with(
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_keep(stream, status, extra_headers, body, false)
+}
+
+/// Writes one response, advertising whether the connection stays open.
+pub fn write_response_keep(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str(&format!(
-        "content-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
+        "content-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     ));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
@@ -147,6 +261,12 @@ impl HttpResponse {
     pub fn retry_after_secs(&self) -> Option<u64> {
         self.header("retry-after")?.trim().parse().ok()
     }
+
+    /// Whether the sender left the connection open for reuse.
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
 }
 
 /// Reads one response off a client connection: `(status, body)`.
@@ -156,7 +276,9 @@ pub fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
 }
 
 /// Reads one full response (status + headers + body) off a client
-/// connection.
+/// connection. Safe on a reused keep-alive connection: the body is
+/// `Content-Length`-delimited and fully consumed, so nothing of the
+/// next exchange is buffered away.
 pub fn read_response_full(stream: &mut TcpStream) -> Result<HttpResponse, String> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -211,6 +333,206 @@ pub fn read_response_full(stream: &mut TcpStream) -> Result<HttpResponse, String
     })
 }
 
+/// Tuning for the pooled-connection listener.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolPolicy {
+    /// Handler threads draining the accepted-connection queue.
+    pub threads: usize,
+    /// Accepted connections queued beyond the handler pool; further
+    /// arrivals are shed with `503`.
+    pub backlog: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before it is reaped.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before it is closed (bounds how
+    /// long one peer can monopolize a handler thread).
+    pub max_requests: u32,
+    /// Socket write timeout (and the bound on one request's read once
+    /// bytes are flowing).
+    pub io_timeout: Duration,
+}
+
+impl Default for PoolPolicy {
+    fn default() -> Self {
+        PoolPolicy {
+            threads: 4,
+            backlog: 64,
+            idle_timeout: Duration::from_secs(2),
+            max_requests: 128,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a [`serve_pooled`] handler answers for one request.
+#[derive(Debug)]
+pub struct Reply {
+    /// Response status.
+    pub status: u16,
+    /// Extra response headers (lower-case names).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+    /// Force-close this connection after the response.
+    pub close: bool,
+    /// Stop the whole listener after the response is written (graceful
+    /// shutdown).
+    pub stop: bool,
+    /// Write a torn response head and hang up instead (chaos
+    /// injection: exercises client transport retries).
+    pub reset: bool,
+}
+
+impl Reply {
+    /// A plain JSON reply with no special disposition.
+    pub fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            headers: Vec::new(),
+            body,
+            close: false,
+            stop: false,
+            reset: false,
+        }
+    }
+}
+
+/// Serves `listener` with a bounded keep-alive connection pool until a
+/// handler returns [`Reply::stop`].
+///
+/// The accept thread (the caller) pushes connections onto a bounded
+/// queue drained by `policy.threads` handler threads. Each connection
+/// is served up to `policy.max_requests` requests; between requests the
+/// socket read timeout is the idle timeout, so an abandoned keep-alive
+/// connection is reaped instead of pinning its handler. Under
+/// contention (connections waiting in the queue) responses advertise
+/// `Connection: close`, shedding persistence so waiting peers are
+/// served promptly. Oversized or malformed requests are answered
+/// `431`/`400` and the connection dropped.
+///
+/// Blocks until the listener stops and every handler thread has
+/// finished; all accepted connections are served or closed by then.
+pub fn serve_pooled<H>(listener: TcpListener, policy: PoolPolicy, handler: H)
+where
+    H: Fn(&Request) -> Reply + Send + Sync + 'static,
+{
+    let local = listener.local_addr().ok();
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(policy.backlog.max(1)));
+    let handler = Arc::new(handler);
+    let handlers: Vec<_> = (0..policy.threads.max(1))
+        .map(|_| {
+            let conns = Arc::clone(&conns);
+            let stop = Arc::clone(&stop);
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || {
+                while let Some(batch) = conns.pop_batch(1) {
+                    for mut stream in batch {
+                        serve_connection(&mut stream, &policy, &stop, &conns, &*handler, local);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if conns.len() >= policy.backlog {
+            // Shed: answering 503 here keeps overload visible instead of
+            // letting the accept backlog grow without bound.
+            let _ = stream.set_write_timeout(Some(policy.io_timeout));
+            let _ = write_response_keep(
+                &mut stream,
+                503,
+                &[("retry-after", "1")],
+                &error_body("connection backlog full"),
+                false,
+            );
+            continue;
+        }
+        // A race past the depth check just drops the connection; the
+        // client's transport retry covers it.
+        let _ = conns.try_push(stream);
+    }
+
+    conns.close();
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serves one connection until close, error, request cap, or stop.
+fn serve_connection<H>(
+    stream: &mut TcpStream,
+    policy: &PoolPolicy,
+    stop: &AtomicBool,
+    conns: &BoundedQueue<TcpStream>,
+    handler: &H,
+    local: Option<std::net::SocketAddr>,
+) where
+    H: Fn(&Request) -> Reply,
+{
+    let _ = stream.set_write_timeout(Some(policy.io_timeout));
+    let _ = stream.set_read_timeout(Some(policy.idle_timeout));
+    let mut served = 0u32;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let req = match read_request(stream) {
+            Ok(req) => req,
+            Err(err) => {
+                if let Some(status) = err.status() {
+                    let _ = write_response_keep(
+                        stream,
+                        status,
+                        &[],
+                        &error_body(&err.to_string()),
+                        false,
+                    );
+                }
+                break;
+            }
+        };
+        served += 1;
+        let reply = handler(&req);
+        if reply.reset {
+            let _ = stream.write_all(b"HTTP/1.1 ");
+            let _ = stream.flush();
+            break;
+        }
+        // Keep the connection only while nothing else is waiting: under
+        // contention persistence is shed so queued peers get a thread.
+        let keep = req.keep_alive
+            && !reply.close
+            && !reply.stop
+            && served < policy.max_requests
+            && !stop.load(Ordering::SeqCst)
+            && conns.is_empty();
+        let headers: Vec<(&str, &str)> = reply
+            .headers
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
+        let _ = write_response_keep(stream, reply.status, &headers, &reply.body, keep);
+        if reply.stop {
+            stop.store(true, Ordering::SeqCst);
+            conns.close();
+            // Wake the accept loop so it observes the stop flag.
+            if let Some(addr) = local {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
+        if !keep {
+            break;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +554,25 @@ mod tests {
         (req, client.join().unwrap())
     }
 
+    /// Parses `request` server-side and returns the outcome.
+    fn parse(request: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let request = request.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = s.write_all(&request);
+            // FIN the write side so a server waiting for bytes that will
+            // never come (e.g. the empty request) sees EOF, not a hang.
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let result = read_request(&mut server_side);
+        drop(client.join().unwrap());
+        result
+    }
+
     #[test]
     fn request_and_response_round_trip() {
         let (req, (status, body)) = pump(
@@ -242,6 +583,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/runs");
         assert_eq!(req.body, "{\"workload\":\"x\"}!");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
         assert_eq!(status, 202);
         assert_eq!(body, "{\"job\":1}");
     }
@@ -253,6 +595,22 @@ mod tests {
         assert_eq!(req.path, "/health");
         assert!(req.body.is_empty());
         assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let (req, _) = pump(
+            "GET /health HTTP/1.1\r\nconnection: close\r\n\r\n",
+            200,
+            "{}",
+        );
+        assert!(!req.keep_alive);
+        let (req, _) = pump(
+            "GET /health HTTP/1.0\r\nconnection: keep-alive\r\n\r\n",
+            200,
+            "{}",
+        );
+        assert!(req.keep_alive, "explicit keep-alive upgrades HTTP/1.0");
     }
 
     #[test]
@@ -278,23 +636,127 @@ mod tests {
         assert_eq!(resp.status, 429);
         assert_eq!(resp.retry_after_secs(), Some(1));
         assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert!(!resp.keep_alive());
         assert_eq!(resp.body, "{\"error\":\"queue_full\"}");
     }
 
     #[test]
     fn oversized_bodies_are_rejected() {
+        let req = format!("POST /runs HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 1 << 30);
+        match parse(req.as_bytes()) {
+            Err(e @ RequestError::Malformed(_)) => assert_eq!(e.status(), Some(400)),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endless_request_line_is_bounded() {
+        // A request line streamed without a newline must be cut off at
+        // the bound, not buffered until memory runs out.
+        let mut req = b"GET /".to_vec();
+        req.extend(std::iter::repeat_n(b'a', 2 * MAX_HEADER_BYTES));
+        match parse(&req) {
+            Err(e @ RequestError::TooLarge(_)) => assert_eq!(e.status(), Some(431)),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_section_is_bounded() {
+        let mut req = b"GET /health HTTP/1.1\r\n".to_vec();
+        for i in 0..200 {
+            req.extend(format!("x-filler-{i}: {}\r\n", "y".repeat(100)).into_bytes());
+        }
+        req.extend(b"\r\n");
+        match parse(&req) {
+            Err(e @ RequestError::TooLarge(_)) => assert_eq!(e.status(), Some(431)),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_headers_are_rejected() {
+        // Many tiny headers stay under the byte bound but blow the
+        // header-count bound.
+        let mut req = b"GET /health HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADER_COUNT + 10) {
+            req.extend(format!("h{i}: v\r\n").into_bytes());
+        }
+        req.extend(b"\r\n");
+        match parse(&req) {
+            Err(e @ RequestError::TooLarge(_)) => assert_eq!(e.status(), Some(431)),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_content_length_is_malformed() {
+        match parse(b"POST /runs HTTP/1.1\r\ncontent-length: banana\r\n\r\n") {
+            Err(e @ RequestError::Malformed(_)) => assert_eq!(e.status(), Some(400)),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_connection_is_closed_not_answered() {
+        match parse(b"") {
+            Err(e @ RequestError::Closed(_)) => assert_eq!(e.status(), None),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_pooled_keeps_connections_alive() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let client = std::thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(
-                format!("POST /runs HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 1 << 30).as_bytes(),
-            )
-            .unwrap();
-            s
+        let server = std::thread::spawn(move || {
+            serve_pooled(listener, PoolPolicy::default(), |req: &Request| {
+                let mut reply = Reply::json(200, format!("{{\"path\":\"{}\"}}", req.path));
+                reply.stop = req.path == "/stop";
+                reply
+            });
         });
-        let (mut server_side, _) = listener.accept().unwrap();
-        assert!(read_request(&mut server_side).is_err());
-        drop(client.join().unwrap());
+
+        // Three requests over ONE connection, then a stop request.
+        let mut s = TcpStream::connect(addr).unwrap();
+        for i in 0..3 {
+            let head = format!("GET /r{i} HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+            s.write_all(head.as_bytes()).unwrap();
+            let resp = read_response_full(&mut s).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, format!("{{\"path\":\"/r{i}\"}}"));
+            assert!(resp.keep_alive(), "request {i} should keep the connection");
+        }
+        s.write_all(b"GET /stop HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+            .unwrap();
+        let resp = read_response_full(&mut s).unwrap();
+        assert!(!resp.keep_alive(), "stop reply must close");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn serve_pooled_answers_431_for_hostile_input() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_pooled(listener, PoolPolicy::default(), |req: &Request| {
+                let mut reply = Reply::json(200, "{}".into());
+                reply.stop = req.path == "/stop";
+                reply
+            });
+        });
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut hostile = b"GET /".to_vec();
+        hostile.extend(std::iter::repeat_n(b'a', 2 * MAX_HEADER_BYTES));
+        s.write_all(&hostile).unwrap();
+        let resp = read_response_full(&mut s).unwrap();
+        assert_eq!(resp.status, 431);
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /stop HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+            .unwrap();
+        assert_eq!(read_response_full(&mut s).unwrap().status, 200);
+        server.join().unwrap();
     }
 }

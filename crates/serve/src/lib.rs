@@ -27,9 +27,15 @@
 //!    and a supervisor restarts crashed workers with bounded backoff.
 //!    Endpoints cover submitting runs, polling job status, fetching
 //!    cached results, dumping the telemetry document, and a graceful
-//!    shutdown that drains in-flight jobs before exiting. [`client`] is
-//!    the matching scriptable client (also shipped as the `ramp-client`
-//!    binary).
+//!    shutdown that drains in-flight jobs before exiting. Both listener
+//!    and client keep connections alive through a bounded pool
+//!    ([`http::serve_pooled`]). [`client`] is the matching scriptable
+//!    client (also shipped as the `ramp-client` binary, with a
+//!    multi-endpoint fallback list). [`router`] (the `ramp-router`
+//!    binary) scales the server out: a reverse proxy that
+//!    consistent-hash shards run keys over a fleet of `ramp-served`
+//!    processes with replication, health-checked failover and hinted
+//!    handoff, so a killed shard degrades capacity, never correctness.
 //!
 //! Zero external dependencies, like the rest of the workspace.
 //!
@@ -59,6 +65,7 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod spec;
 pub mod store;
@@ -66,6 +73,7 @@ pub mod wal;
 pub mod wire;
 
 pub use client::Client;
+pub use router::{Router, RouterConfig};
 pub use server::{render_job_status, JobState, Server, ServerConfig};
 pub use spec::{RunProgress, RunSpec};
 pub use store::{RunKind, RunStore};

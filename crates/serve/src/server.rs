@@ -44,8 +44,7 @@
 //! | `POST /shutdown`  | drain in-flight jobs, then exit                 |
 
 use std::collections::HashMap;
-use std::io::Write as _;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,12 +53,12 @@ use std::time::{Duration, Instant};
 use ramp_core::config::SystemConfig;
 use ramp_core::system::RunResult;
 use ramp_sim::chaos::{self, Chaos, FaultKind};
-use ramp_sim::codec::fnv1a64;
 use ramp_sim::telemetry::StatRegistry;
 
-use crate::http::{read_request, write_response, write_response_with, Request};
+use crate::http::{serve_pooled, PoolPolicy, Reply, Request};
 use crate::json::{error_body, parse_flat, ObjWriter};
 use crate::queue::{BoundedQueue, PushError};
+use crate::router::route_shard;
 use crate::spec::{RunProgress, RunSpec};
 use crate::store::RunStore;
 
@@ -88,6 +87,10 @@ pub struct ServerConfig {
     pub store: Option<RunStore>,
     /// Fault-injection registry; defaults to the `RAMP_CHAOS` global.
     pub chaos: Option<Arc<Chaos>>,
+    /// Keep-alive listener tuning (handler threads, accept backlog,
+    /// idle reaping, per-connection request cap). `io_timeout` is
+    /// overridden by [`ServerConfig::request_timeout`] at bind time.
+    pub http: PoolPolicy,
 }
 
 impl ServerConfig {
@@ -106,6 +109,7 @@ impl ServerConfig {
             restart_backoff: Duration::from_millis(50),
             store: RunStore::from_env(),
             chaos: chaos::global(),
+            http: PoolPolicy::default(),
         }
     }
 }
@@ -269,27 +273,11 @@ impl Shared {
     }
 }
 
-/// Jump consistent hash (Lamping–Veach) of a run key over `buckets`
-/// worker slots. Deterministic, uniform, and stable under pool growth —
-/// the property that matters here is simply that the same key always
-/// routes to the same worker, giving each key a single writer.
-fn route_slot(key: &str, buckets: usize) -> usize {
-    let mut h = fnv1a64(key.as_bytes());
-    let mut b: i64 = -1;
-    let mut j: i64 = 0;
-    while j < buckets as i64 {
-        b = j;
-        h = h.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
-        j = ((b.wrapping_add(1) as f64) * ((1u64 << 31) as f64 / (((h >> 33) + 1) as f64))) as i64;
-    }
-    b as usize
-}
-
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    request_timeout: Duration,
+    http: PoolPolicy,
 }
 
 impl Server {
@@ -298,6 +286,8 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let workers = cfg.workers.max(1);
         let per_slot = (cfg.queue_capacity / workers).max(1);
+        let mut http = cfg.http;
+        http.io_timeout = cfg.request_timeout;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -323,7 +313,7 @@ impl Server {
                 requeued: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             }),
-            request_timeout: cfg.request_timeout,
+            http,
         })
     }
 
@@ -346,18 +336,10 @@ impl Server {
             })
             .collect();
 
-        for stream in self.listener.incoming() {
-            let mut stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let _ = stream.set_read_timeout(Some(self.request_timeout));
-            let _ = stream.set_write_timeout(Some(self.request_timeout));
-            let stop = handle_connection(&self.shared, &mut stream);
-            if stop {
-                break;
-            }
-        }
+        let shared = Arc::clone(&self.shared);
+        serve_pooled(self.listener, self.http, move |req: &Request| {
+            handle_request(&shared, req)
+        });
 
         for slot in &self.shared.slots {
             slot.queue.close();
@@ -545,39 +527,30 @@ fn run_one(shared: &Shared, job: Job) {
     }
 }
 
-/// Handles one connection; returns `true` when the server should stop.
-fn handle_connection(shared: &Shared, stream: &mut TcpStream) -> bool {
+/// Handles one parsed request; parse errors and connection lifecycle
+/// live in [`serve_pooled`].
+fn handle_request(shared: &Shared, req: &Request) -> Reply {
     shared.chaos_slow("server.read");
-    let req = match read_request(stream) {
-        Ok(req) => req,
-        Err(msg) => {
-            let _ = write_response(stream, 400, &error_body(&msg));
-            return false;
-        }
-    };
-    let (status, body, stop) = route(shared, &req);
+    let (status, body, stop) = route(shared, req);
+    let mut reply = Reply::json(status, body);
+    reply.stop = stop;
+    if status == 429 {
+        // Back-pressured clients get an explicit retry hint.
+        reply
+            .headers
+            .push(("retry-after".to_string(), "1".to_string()));
+    }
     // Injected mid-response reset: write a torn head and hang up, so the
     // client exercises its transport-retry path. `POST /shutdown` — the
     // one non-idempotent endpoint — is exempt: resetting it would retry
     // a drain that already happened.
     let resettable = !(req.method == "POST" && req.path == "/shutdown");
-    if resettable
+    reply.reset = resettable
         && shared
             .chaos
             .as_ref()
-            .is_some_and(|c| c.roll(FaultKind::Net, "server.response"))
-    {
-        let _ = stream.write_all(b"HTTP/1.1 ");
-        let _ = stream.flush();
-        return stop;
-    }
-    if status == 429 {
-        // Back-pressured clients get an explicit retry hint.
-        let _ = write_response_with(stream, status, &[("retry-after", "1")], &body);
-    } else {
-        let _ = write_response(stream, status, &body);
-    }
-    stop
+            .is_some_and(|c| c.roll(FaultKind::Net, "server.response"));
+    reply
 }
 
 fn route(shared: &Shared, req: &Request) -> (u16, String, bool) {
@@ -660,7 +633,7 @@ fn submit_one(shared: &Shared, workload: &str, kind: &str, policy: &str) -> Subm
     }
 
     shared.chaos_slow("server.queue");
-    let slot = &shared.slots[route_slot(&key, shared.slots.len())];
+    let slot = &shared.slots[route_shard(&key, shared.slots.len())];
     let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
     match slot.queue.try_push(Job {
         id,
@@ -963,49 +936,4 @@ fn drain(shared: &Shared) -> String {
         .u64("failed", shared.failed.load(Ordering::SeqCst))
         .u64("expired", shared.expired.load(Ordering::SeqCst))
         .finish()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::route_slot;
-
-    #[test]
-    fn routing_is_deterministic_and_in_range() {
-        for buckets in [1usize, 2, 3, 8, 17] {
-            for i in 0..200 {
-                let key = format!("{i:032x}");
-                let a = route_slot(&key, buckets);
-                assert_eq!(a, route_slot(&key, buckets), "stable for {key}");
-                assert!(a < buckets, "{a} out of range for {buckets}");
-            }
-        }
-    }
-
-    #[test]
-    fn routing_spreads_keys_over_slots() {
-        let buckets = 4usize;
-        let mut counts = vec![0usize; buckets];
-        for i in 0..400 {
-            counts[route_slot(&format!("{i:032x}"), buckets)] += 1;
-        }
-        for (slot, &n) in counts.iter().enumerate() {
-            assert!(n > 40, "slot {slot} got only {n}/400 keys: {counts:?}");
-        }
-    }
-
-    #[test]
-    fn jump_hash_moves_few_keys_when_growing() {
-        // The consistent-hash property: going from N to N+1 slots moves
-        // roughly 1/(N+1) of the keys, not all of them.
-        let keys: Vec<String> = (0..500).map(|i| format!("{i:032x}")).collect();
-        let moved = keys
-            .iter()
-            .filter(|k| route_slot(k, 4) != route_slot(k, 5))
-            .count();
-        assert!(moved > 0, "growing the pool must move some keys");
-        assert!(
-            moved < 250,
-            "jump hash moved {moved}/500 keys (expected ~100)"
-        );
-    }
 }

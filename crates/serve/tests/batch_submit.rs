@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use ramp_core::config::SystemConfig;
 use ramp_serve::client::Client;
+use ramp_serve::http::PoolPolicy;
 use ramp_serve::server::{Server, ServerConfig, MAX_BATCH};
 use ramp_serve::store::RunStore;
 
@@ -31,6 +32,7 @@ fn start(tag: &str) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
             deadline: Duration::from_secs(60),
             restart_limit: 3,
             restart_backoff: Duration::from_millis(10),
+            http: PoolPolicy::default(),
             store: Some(scratch_store(tag)),
             chaos: None,
         },

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use ramp_core::config::SystemConfig;
 use ramp_serve::client::Client;
+use ramp_serve::http::PoolPolicy;
 use ramp_serve::server::{Server, ServerConfig};
 use ramp_serve::store::RunStore;
 use ramp_sim::chaos::{Chaos, FaultKind};
@@ -53,6 +54,7 @@ fn start(tag: &str, chaos: Option<Arc<Chaos>>) -> (SocketAddr, JoinHandle<()>) {
             deadline: Duration::from_secs(60),
             restart_limit: 6,
             restart_backoff: Duration::from_millis(5),
+            http: PoolPolicy::default(),
             store: Some(store),
             chaos,
         },
@@ -240,6 +242,7 @@ fn stale_queued_jobs_expire_with_a_classified_state() {
             deadline: Duration::from_millis(1),
             restart_limit: 3,
             restart_backoff: Duration::from_millis(10),
+            http: PoolPolicy::default(),
             store: Some(scratch_store("expire")),
             chaos: None,
         },

@@ -1,0 +1,231 @@
+//! Chaos matrix for the shard router: seeded faults armed at the three
+//! router sites (`router.upstream`, `router.handoff`, `router.probe`)
+//! while the shards underneath stay fault-free. The PR-5 contract holds
+//! one layer up:
+//!
+//! * every run driven through the router either completes with results
+//!   **byte-identical** to the fault-free reference (the shards are
+//!   deterministic; the router must never corrupt what it proxies), or
+//!   fails *classified* — a 503 "no live replica", a typed
+//!   [`ClientError`], or a poll budget expiry;
+//! * `/stats` stays serveable mid-chaos, shutdown drains cleanly, and
+//!   no panic escapes the router, its prober, its handoff thread or any
+//!   shard (the joins prove it);
+//! * the armed fault kinds actually rolled at the router's sites.
+//!
+//! Chaos handles are built explicitly ([`Chaos::from_spec`]) so
+//! parallel tests never race on the process-global registry.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ramp_core::config::SystemConfig;
+use ramp_serve::client::Client;
+use ramp_serve::http::PoolPolicy;
+use ramp_serve::router::{Router, RouterConfig};
+use ramp_serve::server::{Server, ServerConfig};
+use ramp_serve::store::RunStore;
+use ramp_sim::chaos::{Chaos, FaultKind};
+
+fn tiny_sim() -> SystemConfig {
+    SystemConfig {
+        insts_per_core: 20_000,
+        ..SystemConfig::smoke_test()
+    }
+}
+
+fn scratch_store(tag: &str) -> RunStore {
+    let dir = std::env::temp_dir().join(format!("ramp-router-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    RunStore::open(dir).unwrap()
+}
+
+/// One fault-free in-process shard.
+fn start_shard(tag: &str) -> (SocketAddr, JoinHandle<()>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            sim: tiny_sim(),
+            workers: 2,
+            queue_capacity: 16,
+            request_timeout: Duration::from_secs(10),
+            deadline: Duration::from_secs(60),
+            restart_limit: 6,
+            restart_backoff: Duration::from_millis(5),
+            http: PoolPolicy::default(),
+            store: Some(scratch_store(tag)),
+            chaos: None,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// A chaos-armed router over three fault-free shards.
+fn start_fleet(
+    cell: usize,
+    chaos: Option<Arc<Chaos>>,
+) -> (
+    SocketAddr,
+    JoinHandle<()>,
+    Vec<(SocketAddr, JoinHandle<()>)>,
+) {
+    let shards: Vec<(SocketAddr, JoinHandle<()>)> = (0..3)
+        .map(|i| start_shard(&format!("cell{cell}-shard{i}")))
+        .collect();
+    let mut cfg = RouterConfig::new(shards.iter().map(|(a, _)| a.to_string()).collect());
+    cfg.replicas = 2;
+    cfg.probe_interval = Duration::from_millis(20);
+    cfg.chaos = chaos;
+    let router = Router::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = router.local_addr();
+    (addr, std::thread::spawn(move || router.run()), shards)
+}
+
+fn patient(addr: SocketAddr) -> Client {
+    Client::new(addr.to_string())
+        .with_retries(12)
+        .with_backoff(Duration::from_millis(2))
+        .with_retry_429(true)
+}
+
+const COMBOS: &[(&str, &str, &str)] = &[
+    ("lbm", "profile", ""),
+    ("mcf", "static", "perf-focused"),
+    ("milc", "migration", "perf-fc"),
+    ("astar", "annotated", ""),
+];
+
+/// `(ipc, key)` per combo as served through the router; 503s (every
+/// replica dark or faulted) come back as classified errors.
+fn run_combos(client: &Client) -> Vec<Result<(String, String), String>> {
+    COMBOS
+        .iter()
+        .map(|(wl, kind, policy)| {
+            let submit = client
+                .submit(wl, kind, policy)
+                .map_err(|e| format!("submit {wl}/{kind}: {e}"))?;
+            match (submit.status, submit.cached) {
+                (202, _) => {
+                    let job = submit.job.expect("202 carries a job id");
+                    let done = client
+                        .wait_done(job, 120_000)
+                        .map_err(|e| format!("wait {wl}/{kind}: {e}"))?;
+                    match done.state() {
+                        Some("done") => {
+                            Ok((done.fields["ipc"].clone(), done.fields["key"].clone()))
+                        }
+                        Some(state) => Err(format!(
+                            "{wl}/{kind} ended {state}: {}",
+                            done.fields.get("error").cloned().unwrap_or_default()
+                        )),
+                        None => panic!("terminal job without a state: {}", done.body),
+                    }
+                }
+                (200, true) => Ok((
+                    submit.response.fields["ipc"].clone(),
+                    submit.key.clone().expect("cached response carries a key"),
+                )),
+                (503, _) => Err(format!(
+                    "{wl}/{kind}: no live replica (503): {}",
+                    submit.response.body
+                )),
+                (status, _) => panic!("submit {wl}/{kind} returned {status}"),
+            }
+        })
+        .collect()
+}
+
+fn teardown(
+    router_addr: SocketAddr,
+    router: JoinHandle<()>,
+    shards: Vec<(SocketAddr, JoinHandle<()>)>,
+) {
+    patient(router_addr)
+        .shutdown()
+        .expect("router shutdown drains despite chaos");
+    router.join().expect("no panic may escape the router");
+    for (addr, handle) in shards {
+        patient(addr).shutdown().expect("shard shutdown");
+        handle.join().expect("no panic may escape a shard");
+    }
+}
+
+#[test]
+fn chaos_armed_router_proxies_identically_or_fails_classified() {
+    // Fault-free reference through a fault-free router: the proxy layer
+    // must be invisible in the bytes.
+    let (addr, router, shards) = start_fleet(0, None);
+    let reference: Vec<(String, String)> = run_combos(&patient(addr))
+        .into_iter()
+        .map(|r| r.expect("fault-free fleet run succeeds"))
+        .collect();
+    teardown(addr, router, shards);
+
+    let matrix: &[(u64, &str)] = &[
+        (31, "net=0.3,slow=1ms"),
+        (32, "panic=0.5,retries=1"),
+        (33, "net=0.2,panic=0.2,slow=1ms"),
+    ];
+    let mut total_injected = 0u64;
+    for (cell, (seed, spec)) in matrix.iter().enumerate() {
+        let chaos = Arc::new(Chaos::from_spec(*seed, spec).unwrap());
+        let (addr, router, shards) = start_fleet(cell + 1, Some(Arc::clone(&chaos)));
+        let client = patient(addr);
+
+        let mut done = 0usize;
+        let mut classified = 0usize;
+        for (i, outcome) in run_combos(&client).into_iter().enumerate() {
+            match outcome {
+                Ok(pair) => {
+                    assert_eq!(
+                        pair,
+                        reference[i].clone(),
+                        "cell {cell} ({spec}) combo {:?}",
+                        COMBOS[i]
+                    );
+                    done += 1;
+                }
+                Err(msg) => {
+                    assert!(
+                        msg.contains("no live replica")
+                            || msg.contains("after")
+                            || msg.contains("attempt")
+                            || msg.contains("deadline"),
+                        "cell {cell} ({spec}): unclassified failure: {msg}"
+                    );
+                    classified += 1;
+                }
+            }
+        }
+        assert_eq!(done + classified, COMBOS.len(), "every combo accounted for");
+
+        // The router's own stats document stays serveable mid-chaos and
+        // carries the per-shard health scopes.
+        let stats = client.stats().unwrap_or_default();
+        assert!(
+            stats.is_empty() || stats.contains("router.shard0"),
+            "stats lost the shard scopes: {stats}"
+        );
+
+        teardown(addr, router, shards);
+
+        for kind in [FaultKind::Net, FaultKind::Panic, FaultKind::Slow] {
+            if chaos.rate(kind) > 0.0 {
+                assert!(
+                    chaos.rolls(kind) > 0,
+                    "cell {cell} ({spec}): {} armed but never rolled at a router site",
+                    kind.label()
+                );
+                total_injected += chaos.injected(kind);
+            }
+        }
+    }
+    assert!(
+        total_injected > 0,
+        "the whole matrix injected nothing — the router sites are wired to nothing"
+    );
+}

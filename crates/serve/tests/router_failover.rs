@@ -1,0 +1,260 @@
+//! Kill-a-shard-mid-sweep: the headline fault-tolerance guarantee of
+//! the sharded fleet (DESIGN.md §13). A 64-point sweep is fanned out
+//! through `ramp-router` to three real `ramp-served` shard processes;
+//! one shard is SIGKILLed while points are in flight; the sweep must
+//! still complete and its final Pareto artifact must be byte-identical
+//! to an undisturbed local run of the same spec.
+//!
+//! Why byte-identity holds: every shard simulates the same
+//! deterministic system, run keys are replicated on two shards, the
+//! router fails requests over per-request (before the health prober
+//! even darkens the dead shard), and lost in-flight jobs are
+//! resubmitted to a surviving replica on the next poll. The artifact
+//! excludes volatile counters, so "who simulated it" never leaks into
+//! the bytes.
+
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ramp_serve::client::{scan_counter, Client};
+use ramp_serve::store::RunStore;
+use ramp_sweep::artifact;
+use ramp_sweep::engine;
+use ramp_sweep::spec::SweepSpec;
+
+/// The 64-point fleet grid (kept in sync with examples/sweep_fleet.toml
+/// by the `fleet_spec_matches_the_example_file` test below).
+const SPEC: &str = r#"
+[sweep]
+name = "sweep-fleet"
+strategy = "grid"
+base = "smoke"
+insts = 20000
+
+[axes]
+workload = ["mcf", "milc", "omnetpp", "astar", "sphinx", "soplex", "gcc", "lbm"]
+policy = ["profile", "perf-focused", "rel-focused", "balanced", "wr-ratio", "wr2-ratio", "frac-hottest-0.50", "migration:perf-fc"]
+"#;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ramp-router-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Reads a `--port-file`, polling until the daemon writes it.
+fn wait_port(path: &PathBuf) -> String {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(path) {
+            if !addr.trim().is_empty() {
+                return addr.trim().to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "no port file at {path:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_healthy(addr: &str) {
+    let client = Client::new(addr.to_string()).with_retries(0);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(r) = client.health() {
+            if r.status == 200 {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "{addr} never became healthy");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn killing_a_shard_mid_sweep_keeps_the_artifact_byte_identical() {
+    let dir = scratch_dir("fleet");
+    let spec = SweepSpec::parse(SPEC).unwrap();
+
+    // Undisturbed reference: the same spec run locally against a scratch
+    // store. This is the byte-level ground truth the fleet must match.
+    let ref_store = RunStore::open(dir.join("ref-store")).unwrap();
+    let ref_run = engine::run_local(&spec, Some(&ref_store), 4).unwrap();
+    let reference = artifact::render(&spec, &ref_run);
+
+    // Three real shard daemons (separate processes, separate stores).
+    let mut children = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for i in 0..3 {
+        let port_file = dir.join(format!("shard{i}.port"));
+        let child = Command::new(env!("CARGO_BIN_EXE_ramp-served"))
+            .args(["--addr", "127.0.0.1:0", "--workers", "2", "--queue", "64"])
+            .args(["--smoke", "--port-file"])
+            .arg(&port_file)
+            .env("RAMP_INSTS", "20000")
+            .env("RAMP_STORE_DIR", dir.join(format!("shard{i}-store")))
+            .env_remove("RAMP_CHAOS")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn ramp-served");
+        children.push(child);
+        shard_addrs.push(wait_port(&port_file));
+    }
+
+    // The router fronting them, replicas = 2, fast probe cadence so the
+    // dead shard is darkened (and its hints dropped) within the test.
+    let router_port_file = dir.join("router.port");
+    let mut router_cmd = Command::new(env!("CARGO_BIN_EXE_ramp-router"));
+    router_cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--replicas",
+        "2",
+        "--probe-ms",
+        "50",
+    ]);
+    for addr in &shard_addrs {
+        router_cmd.args(["--shard", addr]);
+    }
+    let router = router_cmd
+        .args(["--port-file"])
+        .arg(&router_port_file)
+        .env_remove("RAMP_CHAOS")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ramp-router");
+    children.push(router);
+    let mut fleet = Reaper(children);
+    let router_addr = wait_port(&router_port_file);
+    for addr in &shard_addrs {
+        wait_healthy(addr);
+    }
+    wait_healthy(&router_addr);
+
+    // Fan the sweep out through the router on a worker thread while this
+    // thread watches /stats for in-flight traffic and pulls the trigger.
+    let done = Arc::new(AtomicBool::new(false));
+    let sweep_done = Arc::clone(&done);
+    let sweep_spec = spec.clone();
+    let sweep_addr = router_addr.clone();
+    let sweep = std::thread::spawn(move || {
+        let client = Client::new(sweep_addr)
+            .with_retries(6)
+            .with_backoff(Duration::from_millis(25));
+        let run = engine::run_remote(&sweep_spec, &client, 8, 120_000);
+        sweep_done.store(true, Ordering::SeqCst);
+        run
+    });
+
+    let stats_client = Client::new(router_addr.clone()).with_retries(6);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let doc = stats_client.stats().unwrap_or_default();
+        if scan_counter(&doc, "proxied").unwrap_or(0) >= 8 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline && !done.load(Ordering::SeqCst),
+            "sweep finished before any traffic was observed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // SIGKILL the middle shard while the sweep is mid-flight.
+    assert!(
+        !done.load(Ordering::SeqCst),
+        "sweep already finished; the kill would not disturb anything"
+    );
+    fleet.0[1].kill().expect("SIGKILL shard 1");
+    fleet.0[1].wait().unwrap();
+
+    let run = sweep
+        .join()
+        .expect("sweep thread panicked")
+        .expect("remote sweep failed after shard kill");
+    let disturbed = artifact::render(&spec, &run);
+    assert_eq!(
+        disturbed, reference,
+        "artifact diverged after killing a shard mid-sweep"
+    );
+    assert_eq!(run.rows.len(), 64);
+
+    // The router must have noticed: either per-request failover fired or
+    // a lost job was resubmitted to a surviving replica.
+    let doc = stats_client.stats().expect("router stats after kill");
+    let failover = scan_counter(&doc, "failover").unwrap_or(0);
+    let resubmitted = scan_counter(&doc, "resubmitted").unwrap_or(0);
+    assert!(
+        failover + resubmitted > 0,
+        "no failover or resubmission recorded in {doc}"
+    );
+
+    // Graceful teardown: router first, then the surviving shards.
+    let _ = stats_client.shutdown();
+    for (i, addr) in shard_addrs.iter().enumerate() {
+        if i != 1 {
+            let _ = Client::new(addr.clone()).shutdown();
+        }
+    }
+    let status = fleet.0.pop().unwrap().wait_with_output().unwrap();
+    assert!(
+        status.status.success(),
+        "router exited uncleanly: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    for (i, child) in fleet.0.iter_mut().enumerate() {
+        if i == 1 {
+            continue; // the murdered shard
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(st) = child.try_wait().unwrap() {
+                assert!(st.success(), "shard {i} exited uncleanly");
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard {i} never drained");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Guards the inline spec against drifting from the shipped example.
+#[test]
+fn fleet_spec_matches_the_example_file() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweep_fleet.toml");
+    let mut text = String::new();
+    std::fs::File::open(&path)
+        .unwrap_or_else(|e| panic!("{path:?}: {e}"))
+        .read_to_string(&mut text)
+        .unwrap();
+    let example = SweepSpec::parse(&text).unwrap();
+    let inline = SweepSpec::parse(SPEC).unwrap();
+    assert_eq!(example.name, inline.name);
+    assert_eq!(
+        example.base.canonical_bytes(),
+        inline.base.canonical_bytes()
+    );
+    assert_eq!(example.workloads, inline.workloads);
+    assert_eq!(
+        example.policies.iter().map(|p| &p.0).collect::<Vec<_>>(),
+        inline.policies.iter().map(|p| &p.0).collect::<Vec<_>>()
+    );
+}

@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use ramp_core::config::SystemConfig;
 use ramp_serve::client::{scan_counter, smoke, Client};
+use ramp_serve::http::PoolPolicy;
 use ramp_serve::server::{Server, ServerConfig};
 use ramp_serve::store::RunStore;
 
@@ -43,6 +44,7 @@ fn full_smoke_choreography() {
         deadline: Duration::from_secs(60),
         restart_limit: 3,
         restart_backoff: Duration::from_millis(10),
+        http: PoolPolicy::default(),
         store: Some(scratch_store("choreo")),
         chaos: None,
     });
@@ -62,6 +64,7 @@ fn bad_requests_get_400s_and_404s() {
         deadline: Duration::from_secs(60),
         restart_limit: 3,
         restart_backoff: Duration::from_millis(10),
+        http: PoolPolicy::default(),
         store: Some(scratch_store("errors")),
         chaos: None,
     });
@@ -95,6 +98,7 @@ fn stats_track_store_and_queue_counters() {
         deadline: Duration::from_secs(60),
         restart_limit: 3,
         restart_backoff: Duration::from_millis(10),
+        http: PoolPolicy::default(),
         store: Some(scratch_store("stats")),
         chaos: None,
     });
@@ -141,6 +145,7 @@ fn shutdown_waits_for_inflight_jobs() {
         deadline: Duration::from_secs(60),
         restart_limit: 3,
         restart_backoff: Duration::from_millis(10),
+        http: PoolPolicy::default(),
         store: Some(scratch_store("drain")),
         chaos: None,
     });

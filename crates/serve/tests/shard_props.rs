@@ -1,0 +1,125 @@
+//! Property-based tests over the shard-routing primitives (in-tree
+//! `ramp_sim::check` harness): the guarantees every other layer of the
+//! fleet leans on. Balance — jump-consistent-hash spreads keys evenly
+//! over any shard count; monotonicity — growing the map from N to N+1
+//! shards moves only ~1/(N+1) of the keys (the property that makes the
+//! hash "consistent"); and replica sets — always the requested size,
+//! pairwise-distinct, led by the primary, and identical no matter which
+//! router computes them.
+//!
+//! Each property runs deterministic cases; on failure the harness
+//! prints the case's seed so `RAMP_PROP_SEED=<seed>` replays it alone.
+
+use ramp_serve::router::{replica_set, route_shard};
+use ramp_sim::check::{check, check_n, Gen};
+
+/// A plausible routing key: the same `workload|kind|policy` shape the
+/// router hashes in production, plus raw random strings for coverage
+/// beyond the structured namespace.
+fn arb_key(g: &mut Gen) -> String {
+    if g.bool() {
+        let workloads = ["mcf", "milc", "omnetpp", "astar", "sphinx", "soplex"];
+        let kinds = ["profile", "placement", "migration"];
+        let policies = ["", "perf-fc", "balanced", "wr-ratio", "frac-hottest-0.50"];
+        format!(
+            "{}|{}|{}",
+            g.pick(&workloads),
+            g.pick(&kinds),
+            g.pick(&policies)
+        )
+    } else {
+        let len = g.usize_in(1, 40);
+        (0..len)
+            .map(|_| g.u8_in_inclusive(b' ', b'~') as char)
+            .collect()
+    }
+}
+
+/// Every key lands in range, and the same key always lands on the same
+/// shard — routing is a pure function of (key, shard count).
+#[test]
+fn routing_is_total_and_deterministic() {
+    check("routing_is_total_and_deterministic", |g| {
+        let key = arb_key(g);
+        let shards = g.usize_in(1, 64);
+        let slot = route_shard(&key, shards);
+        assert!(slot < shards, "key {key:?} -> {slot} out of {shards}");
+        assert_eq!(slot, route_shard(&key, shards), "routing must be pure");
+    });
+}
+
+/// Balance: over a fixed population of distinct run keys, every shard
+/// count 1..=16 spreads load within 3x of the ideal share. (Jump hash
+/// is much tighter in expectation; the loose bound keeps the test
+/// deterministic-robust at this population size.)
+#[test]
+fn keys_balance_across_shard_counts() {
+    let keys: Vec<String> = (0..4096)
+        .map(|i| format!("wl{}|placement|p{}", i, i % 7))
+        .collect();
+    for shards in 1..=16usize {
+        let mut counts = vec![0usize; shards];
+        for key in &keys {
+            counts[route_shard(key, shards)] += 1;
+        }
+        let ideal = keys.len() / shards;
+        for (slot, &n) in counts.iter().enumerate() {
+            assert!(
+                n * 3 >= ideal && n <= ideal * 3,
+                "shard {slot}/{shards} holds {n} keys (ideal {ideal})"
+            );
+        }
+    }
+}
+
+/// Monotonicity: adding one shard to an N-shard map relocates roughly
+/// 1/(N+1) of the keys, and every relocated key moves *to the new
+/// shard* — nothing reshuffles between old shards.
+#[test]
+fn growing_the_map_moves_only_its_share_of_keys() {
+    check_n("growing_the_map_moves_only_its_share_of_keys", 64, |g| {
+        let shards = g.usize_in(1, 16);
+        let keys: Vec<String> = (0..2048).map(|i| format!("key-{i}|{}", g.u64())).collect();
+        let mut moved = 0usize;
+        for key in &keys {
+            let before = route_shard(key, shards);
+            let after = route_shard(key, shards + 1);
+            if before != after {
+                assert_eq!(after, shards, "key {key:?} reshuffled {before}->{after}");
+                moved += 1;
+            }
+        }
+        let expected = keys.len() / (shards + 1);
+        assert!(
+            moved * 2 >= expected && moved <= expected * 2,
+            "{moved} of {} keys moved at {shards}->{} shards (expected ~{expected})",
+            keys.len(),
+            shards + 1
+        );
+    });
+}
+
+/// Replica sets: requested size (clamped to the shard count), led by
+/// the jump-hash primary, pairwise-distinct, and in range.
+#[test]
+fn replica_sets_are_distinct_primary_led_and_clamped() {
+    check("replica_sets_are_distinct_primary_led_and_clamped", |g| {
+        let key = arb_key(g);
+        let shards = g.usize_in(1, 16);
+        let replicas = g.usize_in(0, 20); // deliberately out of range too
+        let set = replica_set(&key, shards, replicas);
+        assert_eq!(set.len(), replicas.clamp(1, shards));
+        assert_eq!(set[0], route_shard(&key, shards), "primary leads");
+        for (i, &a) in set.iter().enumerate() {
+            assert!(a < shards, "replica {a} out of range {shards}");
+            for &b in &set[i + 1..] {
+                assert_ne!(a, b, "duplicate replica in {set:?}");
+            }
+        }
+        assert_eq!(
+            set,
+            replica_set(&key, shards, replicas),
+            "replica sets must agree across routers"
+        );
+    });
+}

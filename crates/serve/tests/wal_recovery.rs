@@ -24,6 +24,7 @@ use ramp_avf::{PageStats, StatsTable};
 use ramp_core::config::SystemConfig;
 use ramp_core::system::RunResult;
 use ramp_serve::client::Client;
+use ramp_serve::http::PoolPolicy;
 use ramp_serve::server::{Server, ServerConfig};
 use ramp_serve::store::{run_key, RunKind, RunStore, StoreMode};
 use ramp_serve::wire;
@@ -396,6 +397,7 @@ fn supervised_workers_survive_kills_over_a_wal_store() {
             deadline: Duration::from_secs(60),
             restart_limit: 32,
             restart_backoff: Duration::from_millis(1),
+            http: PoolPolicy::default(),
             store: Some(store),
             chaos: Some(Arc::clone(&chaos)),
         },

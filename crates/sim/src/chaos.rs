@@ -36,8 +36,12 @@
 //! `wal.manifest.corrupt` damages the manifest bytes before the atomic
 //! swap), `sim.checkpoint` (kill after a durable checkpoint),
 //! `server.job` / `server.response` (dispatcher and response writer),
-//! and `server.worker` (panic a worker thread outside its per-job
-//! isolation so the supervisor's restart path is exercised).
+//! `server.worker` (panic a worker thread outside its per-job
+//! isolation so the supervisor's restart path is exercised), and the
+//! shard router's `router.upstream` (fault a proxied upstream exchange
+//! so per-request failover runs), `router.handoff` (panic a hinted-
+//! handoff delivery so the redelivery loop's isolation is exercised)
+//! and `router.probe` (fail a health probe so shards flap dark/live).
 //!
 //! With `RAMP_CHAOS` unset, [`global`] returns `None` and every
 //! injection point compiles down to a branch-not-taken — the

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ramp-sweep run SPEC.toml [--out FILE] [--threads N]
-//!                          [--remote HOST:PORT] [--batch N] [--timeout-ms MS]
+//!                          [--remote HOST:PORT ...] [--batch N] [--timeout-ms MS]
 //! ramp-sweep points SPEC.toml
 //! ramp-sweep frontier ARTIFACT.json
 //! ```
@@ -10,7 +10,9 @@
 //! `run` parses the sweep spec, executes every point — locally on the
 //! work-stealing executor (store-deduped through `RAMP_STORE_DIR` /
 //! `RAMP_STORE_MODE`, thread count from `--threads` or `RAMP_THREADS`),
-//! or fanned out to a running `ramp-served` with `--remote` — and
+//! or fanned out to a running `ramp-served` or `ramp-router` with
+//! `--remote` (repeatable: the first endpoint is the primary, the rest
+//! are fallbacks the client rotates to when it is dead) — and
 //! writes the schema-versioned artifact (default `SWEEP_<name>.json`).
 //! Stdout gets the deterministic frontier table followed by one
 //! volatile `[sweep] ...` summary line with the cache/simulation
@@ -32,7 +34,7 @@ use ramp_sweep::spec::SweepSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ramp-sweep run SPEC.toml [--out FILE] [--threads N] [--remote HOST:PORT] \
+        "usage: ramp-sweep run SPEC.toml [--out FILE] [--threads N] [--remote HOST:PORT ...] \
          [--batch N] [--timeout-ms MS]"
     );
     eprintln!("       ramp-sweep points SPEC.toml");
@@ -75,7 +77,7 @@ fn cmd_run(args: &[String]) {
     let mut spec_path: Option<&str> = None;
     let mut out_path: Option<String> = None;
     let mut threads: Option<usize> = None;
-    let mut remote: Option<String> = None;
+    let mut remote: Vec<String> = Vec::new();
     let mut batch: usize = 32;
     let mut timeout_ms: u64 = 300_000;
     let mut it = args.iter();
@@ -83,7 +85,7 @@ fn cmd_run(args: &[String]) {
         match arg.as_str() {
             "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--threads" => threads = it.next().and_then(|v| v.parse().ok()).or_else(|| usage()),
-            "--remote" => remote = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--remote" => remote.push(it.next().cloned().unwrap_or_else(|| usage())),
             "--batch" => {
                 batch = it
                     .next()
@@ -106,8 +108,9 @@ fn cmd_run(args: &[String]) {
     let spec = load_spec(spec_path);
     let out = PathBuf::from(out_path.unwrap_or_else(|| format!("SWEEP_{}.json", spec.name)));
 
-    let (run, store) = if let Some(addr) = remote {
-        let client = ramp_serve::client::Client::new(addr);
+    let (run, store) = if !remote.is_empty() {
+        let mut remote = remote;
+        let client = ramp_serve::client::Client::new(remote.remove(0)).with_fallbacks(remote);
         let run = engine::run_remote(&spec, &client, batch, timeout_ms).unwrap_or_else(|e| fail(e));
         (run, None)
     } else {

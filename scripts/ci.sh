@@ -9,8 +9,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Optional stage selector. Without an argument the full hermetic gate
-# below runs (build + tests + golden/warm/chaos/checkpoint/sweep/wal
-# smokes + bench-smoke). `bench` and `bench-smoke` run the performance scorecard
+# below runs (build + tests + golden/warm/chaos/checkpoint/sweep/wal/
+# shard smokes + bench-smoke). `bench` and `bench-smoke` run the performance scorecard
 # gate on its own: re-measure the pinned kernel suite and the
 # all_experiments cold/warm probes, then compare against the committed
 # BENCH_0007.json (see DESIGN.md "Performance methodology"). Schema
@@ -117,6 +117,113 @@ sweep_smoke_stage() {
     [ "$before" = "$after" ] \
         || { echo "FAIL: warm re-sweep grew the store ($before -> $after)"; exit 1; }
 }
+# Sharded-fleet gate (`shard-smoke`, also part of the full pipeline):
+# three `ramp-served` shards fronted by `ramp-router` with replication
+# factor 2 (see DESIGN.md §13). The pinned 64-point
+# examples/sweep_fleet.toml grid is swept cold through the router, the
+# hinted-handoff mirror queue is drained, and then (a) a warm re-sweep
+# must perform zero simulations with a byte-identical artifact, and
+# (b) after SIGKILLing one shard the sweep must *still* perform zero
+# simulations — every key's surviving replica is warm — produce the
+# same bytes again, and leave a non-zero `router.failover` counter in
+# the router's /stats. The probe interval is set long so the dead shard
+# stays in the map during the post-kill sweep: the bytes must survive
+# per-request failover, not just health-check eviction.
+shard_smoke_stage() {
+    local dir raddr addr pending stats accepted completed failed expired deadline i
+    dir="$(mktemp -d)"
+    # shellcheck disable=SC2064
+    trap "rm -rf '$dir'" RETURN
+
+    counter() { # counter VALUE_NAME < stats-json
+        grep -o "\"$1\": {\"type\":\"counter\",\"value\":[0-9]*" \
+            | head -n1 | grep -o '[0-9]*$' || echo 0
+    }
+
+    echo "==> shard-smoke: booting 3 shards + router (replicas=2)"
+    SHARD_PIDS=()
+    for i in 0 1 2; do
+        RAMP_STORE_DIR="$dir/shard$i-store" RAMP_INSTS=20000 \
+            target/release/ramp-served --smoke --addr 127.0.0.1:0 \
+            --workers 2 --queue 64 --port-file "$dir/shard$i.port" \
+            > "$dir/shard$i.out" 2> "$dir/shard$i.err" &
+        SHARD_PIDS+=($!)
+    done
+    for i in 0 1 2; do
+        for _ in $(seq 1 100); do [ -s "$dir/shard$i.port" ] && break; sleep 0.1; done
+        [ -s "$dir/shard$i.port" ] || { echo "FAIL: shard $i never wrote its port file"; exit 1; }
+    done
+    target/release/ramp-router --addr 127.0.0.1:0 --replicas 2 --probe-ms 5000 \
+        --shard "$(cat "$dir/shard0.port")" --shard "$(cat "$dir/shard1.port")" \
+        --shard "$(cat "$dir/shard2.port")" --port-file "$dir/router.port" \
+        > "$dir/router.out" 2> "$dir/router.err" &
+    ROUTER_PID=$!
+    for _ in $(seq 1 100); do [ -s "$dir/router.port" ] && break; sleep 0.1; done
+    [ -s "$dir/router.port" ] || { echo "FAIL: router never wrote its port file"; exit 1; }
+    raddr="$(cat "$dir/router.port")"
+
+    echo "==> shard-smoke: cold 64-point sweep through the router"
+    target/release/ramp-sweep run examples/sweep_fleet.toml \
+        --remote "$raddr" --out "$dir/cold.json" > "$dir/cold.out"
+    grep -qE '^\[sweep\] points=64 ' "$dir/cold.out" \
+        || { echo "FAIL: fleet sweep did not evaluate the pinned 64 points"; exit 1; }
+
+    echo "==> shard-smoke: draining hinted-handoff mirrors"
+    deadline=$((SECONDS + 60))
+    while :; do
+        pending="$(target/release/ramp-client --addr "$raddr" stats \
+            | grep -o '"handoff_pending": {"type":"gauge","value":[0-9.]*' \
+            | grep -o '[0-9.]*$' || echo 1)"
+        [ "${pending%%.*}" = 0 ] && break
+        [ "$SECONDS" -lt "$deadline" ] \
+            || { echo "FAIL: handoff queue never drained ($pending pending)"; exit 1; }
+        sleep 0.2
+    done
+    for i in 0 1 2; do # mirrors are real jobs; wait for every shard to finish them
+        addr="$(cat "$dir/shard$i.port")"
+        deadline=$((SECONDS + 60))
+        while :; do
+            stats="$(target/release/ramp-client --addr "$addr" stats)"
+            accepted="$(echo "$stats" | counter accepted)"
+            completed="$(echo "$stats" | counter completed)"
+            failed="$(echo "$stats" | counter failed)"
+            expired="$(echo "$stats" | counter expired)"
+            [ "$accepted" = "$((completed + failed + expired))" ] && break
+            [ "$SECONDS" -lt "$deadline" ] \
+                || { echo "FAIL: shard $i never drained ($accepted accepted, $completed done)"; exit 1; }
+            sleep 0.2
+        done
+    done
+
+    echo "==> shard-smoke: warm fleet sweep performs zero simulations"
+    target/release/ramp-sweep run examples/sweep_fleet.toml \
+        --remote "$raddr" --out "$dir/warm.json" > "$dir/warm.out"
+    grep -qE ' cached=64 simulated=0 profile_sims=0$' "$dir/warm.out" \
+        || { echo "FAIL: warm fleet sweep simulated instead of hitting the shards"; exit 1; }
+    cmp "$dir/cold.json" "$dir/warm.json" \
+        || { echo "FAIL: warm fleet artifact differs from cold artifact"; exit 1; }
+
+    echo "==> shard-smoke: SIGKILL shard 1, re-sweep must be byte-identical"
+    kill -9 "${SHARD_PIDS[1]}"
+    wait "${SHARD_PIDS[1]}" 2>/dev/null || true
+    target/release/ramp-sweep run examples/sweep_fleet.toml \
+        --remote "$raddr" --out "$dir/postkill.json" > "$dir/postkill.out"
+    grep -qE ' cached=64 simulated=0 profile_sims=0$' "$dir/postkill.out" \
+        || { echo "FAIL: post-kill sweep simulated — the surviving replicas were cold"; exit 1; }
+    cmp "$dir/cold.json" "$dir/postkill.json" \
+        || { echo "FAIL: artifact differs after killing a shard"; exit 1; }
+    target/release/ramp-client --addr "$raddr" stats > "$dir/router-stats.json"
+    grep -q '"failover": {"type":"counter","value":[1-9]' "$dir/router-stats.json" \
+        || { echo "FAIL: router recorded no failover after the kill"; exit 1; }
+
+    echo "==> shard-smoke: graceful teardown"
+    target/release/ramp-client --addr "$raddr" shutdown > /dev/null
+    wait "$ROUTER_PID" || { echo "FAIL: router exited non-zero"; exit 1; }
+    for i in 0 2; do
+        target/release/ramp-client --addr "$(cat "$dir/shard$i.port")" shutdown > /dev/null
+        wait "${SHARD_PIDS[$i]}" || { echo "FAIL: shard $i exited non-zero"; exit 1; }
+    done
+}
 case "${1:-all}" in
 bench) bench_stage 0 1.6; exit 0 ;;
 bench-smoke) bench_stage 1 2.5; exit 0 ;;
@@ -134,9 +241,17 @@ wal-smoke)
     wal_smoke_stage
     exit 0
     ;;
+shard-smoke)
+    echo "==> cargo build --release (fleet binaries)"
+    cargo build --release --offline -p ramp-serve \
+        --bin ramp-served --bin ramp-router --bin ramp-client
+    cargo build --release --offline -p ramp-sweep --bin ramp-sweep
+    shard_smoke_stage
+    exit 0
+    ;;
 all) ;;
 *)
-    echo "usage: $0 [bench|bench-smoke|sweep-smoke|wal-smoke]" >&2
+    echo "usage: $0 [bench|bench-smoke|sweep-smoke|wal-smoke|shard-smoke]" >&2
     exit 2
     ;;
 esac
@@ -270,6 +385,9 @@ sweep_smoke_stage
 
 # WAL durability gate (binaries already built above).
 wal_smoke_stage
+
+# Sharded-fleet gate (binaries already built above).
+shard_smoke_stage
 
 # Bench-smoke rides along with the full gate: the release binaries are
 # already built above, so this only costs the fast kernel suite plus
